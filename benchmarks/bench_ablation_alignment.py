@@ -1,0 +1,103 @@
+"""Ablation: cross-correlation alignment before recalibration.
+
+The Wattsup-style wall meter delivers readings ~1.2 s late.  Recalibrating
+against those readings *without* alignment pairs measured power with model
+intervals 1.2 s in the future; with a workload whose load pulses at a
+period incommensurate with the delay, the mispaired samples systematically
+contradict each other and corrupt the refit.
+
+Expected: aligned recalibration beats no recalibration; misaligned
+(delay pinned to zero) recalibration is clearly worse than aligned.
+"""
+
+from repro.analysis import relative_error, render_table
+from repro.core.facility import PowerContainerFacility
+from repro.hardware import WOODCREST
+from repro.hardware.specs import build_machine
+from repro.kernel import Kernel
+from repro.requests import RequestSpec
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngHub
+from repro.workloads import StressWorkload
+from repro.workloads.base import OpenLoopDriver, meter_setup_for
+
+DURATION = 14.0
+#: Meter/trace period: divides the 1.2 s delay exactly (4 samples), so the
+#: aligned pairing is clean and the comparison isolates alignment itself.
+METER_PERIOD = 0.3
+#: Burst period chosen incommensurate with the 1.2 s meter delay so a
+#: zero-delay pairing lands mid-anti-phase (1.2 s = 1 1/3 periods).
+BURST_PERIOD = 0.9
+BURST_REQUESTS = 16
+
+
+def _run(calibrations, pin_zero_delay: bool):
+    spec = WOODCREST
+    cal = calibrations["woodcrest"]
+    sim = Simulator()
+    machine = build_machine(spec, sim)
+    kernel = Kernel(machine, sim)
+    kwargs = meter_setup_for(spec, cal, machine, sim)
+    from repro.hardware.meters import WallMeter
+    kwargs["meter"] = WallMeter(machine, sim, period=METER_PERIOD, delay=1.2)
+    kwargs["trace_period"] = METER_PERIOD
+    facility = PowerContainerFacility(kernel, cal, **kwargs)
+    if pin_zero_delay:
+        facility.pin_delay(0)
+    facility.start_tracing()
+
+    workload = StressWorkload()
+    server = workload.build_server(kernel, facility)
+    driver = OpenLoopDriver(
+        kernel, facility, workload, server,
+        load_fraction=0.5, rng=RngHub(2).stream("unused"),
+    )
+    # Pulsed load: bursts of requests with idle gaps between them.
+    t = 0.1
+    while t < DURATION:
+        for _ in range(BURST_REQUESTS):
+            sim.schedule_at(
+                t, driver.inject_request,
+                RequestSpec("checksum", params={"factor": 1.0}),
+            )
+        t += BURST_PERIOD
+    sim.run_until(DURATION)
+    facility.flush()
+    machine.checkpoint()
+    measured = machine.integrator.active_joules
+    return {
+        approach: relative_error(
+            facility.registry.total_energy(approach), measured
+        )
+        for approach in ("eq2", "recal")
+    }
+
+
+def test_ablation_alignment(benchmark, calibrations):
+    def experiment():
+        return {
+            "aligned": _run(calibrations, pin_zero_delay=False),
+            "misaligned": _run(calibrations, pin_zero_delay=True),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        ["no recalibration", results["aligned"]["eq2"] * 100],
+        ["recalibration, aligned", results["aligned"]["recal"] * 100],
+        ["recalibration, delay pinned to 0",
+         results["misaligned"]["recal"] * 100],
+    ]
+    print()
+    print(render_table(
+        ["configuration", "validation error %"], rows,
+        title="Ablation: measurement alignment (Woodcrest wall meter, "
+              "pulsed Stress)",
+        float_format="{:.1f}",
+    ))
+
+    aligned = results["aligned"]["recal"]
+    misaligned = results["misaligned"]["recal"]
+    baseline = results["aligned"]["eq2"]
+    assert aligned < baseline, "aligned recalibration must help"
+    assert misaligned > aligned, \
+        "alignment must beat pairing at the wrong delay"

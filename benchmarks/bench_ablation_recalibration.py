@@ -1,0 +1,93 @@
+"""Ablation: recalibration sample weighting (Section 3.2).
+
+The paper weighs offline calibration samples and online measurement samples
+equally in the least-square target.  This ablation compares:
+
+* offline-only (no recalibration),
+* the paper's equal weighting,
+* online-dominant weighting (offline samples down-weighted 10x).
+
+On a hidden-power workload (Stress), any use of online samples must help;
+online-dominant fits the *current* workload best but discards the offline
+anchor that keeps the model sane for other metric regions -- we also check
+it does not catastrophically degrade a concurrently-evaluated normal
+workload region by validating coefficients stay physical.
+"""
+
+import numpy as np
+
+from repro.analysis import relative_error, render_table
+from repro.core import OnlineRecalibrator
+from repro.hardware import SANDYBRIDGE
+from repro.workloads import StressWorkload, run_workload
+
+
+def _run_with_weights(calibrations, offline_weight: float | None):
+    """offline_weight=None disables recalibration entirely."""
+    from repro.core.facility import PowerContainerFacility
+    from repro.hardware.specs import build_machine
+    from repro.kernel import Kernel
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngHub
+    from repro.workloads.base import OpenLoopDriver, meter_setup_for
+
+    spec = SANDYBRIDGE
+    cal = calibrations["sandybridge"]
+    sim = Simulator()
+    machine = build_machine(spec, sim)
+    kernel = Kernel(machine, sim)
+    kwargs = meter_setup_for(spec, cal, machine, sim)
+    if offline_weight is None:
+        kwargs.pop("meter")
+        facility = PowerContainerFacility(kernel, cal)
+    else:
+        facility = PowerContainerFacility(kernel, cal, **kwargs)
+        for recalibrator in facility.recalibrators.values():
+            recalibrator.offline_weight = offline_weight
+    facility.start_tracing()
+
+    workload = StressWorkload()
+    server = workload.build_server(kernel, facility)
+    driver = OpenLoopDriver(
+        kernel, facility, workload, server,
+        load_fraction=0.7, rng=RngHub(3).stream("arrivals"),
+    )
+    driver.start(5.0)
+    sim.run_until(5.0)
+    facility.flush()
+    machine.checkpoint()
+    measured = machine.integrator.active_joules
+    error = relative_error(
+        facility.registry.total_energy("recal"), measured
+    )
+    coefficients = facility.models["recal"].coefficients
+    return error, coefficients
+
+
+def test_ablation_recalibration(benchmark, calibrations):
+    def experiment():
+        return {
+            "offline only": _run_with_weights(calibrations, None),
+            "equal weighting (paper)": _run_with_weights(calibrations, 1.0),
+            "online-dominant (offline x0.1)": _run_with_weights(
+                calibrations, 0.1
+            ),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[name, error * 100] for name, (error, _) in results.items()]
+    print()
+    print(render_table(
+        ["weighting", "Stress validation error %"], rows,
+        title="Ablation: recalibration sample weighting",
+        float_format="{:.1f}",
+    ))
+
+    offline_err = results["offline only"][0]
+    equal_err = results["equal weighting (paper)"][0]
+    online_err = results["online-dominant (offline x0.1)"][0]
+    assert equal_err < offline_err, "recalibration must help"
+    assert online_err < offline_err
+    # All fits stay physical (non-negative coefficients).
+    for _name, (_err, coefficients) in results.items():
+        assert (np.asarray(coefficients) >= 0).all()

@@ -1,0 +1,80 @@
+"""Ablation: user-level stage-transfer tracking (the paper's future work).
+
+Section 3.3: OS-only tracking "cannot track user-level request stage
+transfers in an event-driven server ... an important limitation", with the
+future-work remedy of trapping accesses to critical synchronization data
+structures (after Whodunit).  This benchmark serves a mixed
+heavy/light-request workload on an event-driven (single-process) server and
+compares per-request attribution error with the sync-trap inference off and
+on.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import PowerContainerFacility
+from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+from repro.kernel import ContextTag, Kernel, Message
+from repro.server.eventdriven import EventDrivenServer
+from repro.sim import Simulator
+
+WORK = RateProfile(name="evd-work", ipc=1.2, cache_per_cycle=0.006)
+#: Alternating request demands: heavy, light, heavy, ...
+DEMANDS = [12e6 if i % 2 == 0 else 3e6 for i in range(30)]
+
+
+def _run(calibrations, track):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(
+        kernel, calibrations["sandybridge"], track_user_level_stages=track,
+    )
+    server = EventDrivenServer(
+        kernel, "evd", WORK, cycles_for=lambda p: p[1], turn_cycles=0.8e6,
+    )
+    server.client_side.on_message = lambda m: None
+    containers = []
+    t = 0.0
+    for i, demand in enumerate(DEMANDS):
+        container = facility.create_request_container(f"req{i}")
+        containers.append((container, demand))
+        sim.schedule_at(t, server.inject, Message(
+            nbytes=64, payload=(i, demand),
+            tag=ContextTag(container_id=container.id),
+        ))
+        t += 2e-3
+    sim.run_until(1.0)
+    facility.flush()
+    errors = [
+        abs(c.stats.events.nonhalt_cycles - demand) / demand
+        for c, demand in containers
+    ]
+    return float(np.mean(errors)), float(np.max(errors))
+
+
+def test_ablation_userlevel(benchmark, calibrations):
+    def experiment():
+        return {
+            "os-only (paper's limitation)": _run(calibrations, track=False),
+            "with sync-trap inference": _run(calibrations, track=True),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [name, mean * 100, worst * 100]
+        for name, (mean, worst) in results.items()
+    ]
+    print()
+    print(render_table(
+        ["tracking", "mean attribution error %", "worst %"],
+        rows,
+        title="Ablation: event-driven server, user-level stage tracking",
+        float_format="{:.1f}",
+    ))
+
+    tracked_mean, tracked_worst = results["with sync-trap inference"]
+    untracked_mean, _w = results["os-only (paper's limitation)"]
+    assert tracked_worst < 0.05, "inference recovers per-request work"
+    assert untracked_mean > 0.3, \
+        "OS-only tracking badly misattributes event-driven work"

@@ -1,0 +1,38 @@
+"""Fig. 1: incremental (per-core) power on SandyBridge and Woodcrest.
+
+Paper shape: on the quad-core SandyBridge, the idle->1-core increment is
+substantially larger than the later increments (shared chip maintenance
+power turns on once).  On the dual-socket Woodcrest, the first *two*
+increments are large -- the OS spreads tasks across chips, so both sockets'
+maintenance power is on by two busy cores.
+"""
+
+from repro.analysis import incremental_power_curve, render_table
+from repro.hardware import SANDYBRIDGE, WOODCREST
+
+
+def test_fig01_incremental_power(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            spec.name: incremental_power_curve(spec, duration=0.25)
+            for spec in (SANDYBRIDGE, WOODCREST)
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, increments in results.items():
+        for k, watts in enumerate(increments):
+            rows.append([name, f"{k}->{k + 1} cores", watts])
+    print()
+    print(render_table(["machine", "step", "incremental watts"], rows,
+                       title="Figure 1: incremental per-core power"))
+
+    sb = results["sandybridge"]
+    assert sb[0] > sb[1] * 1.3, "first SandyBridge step must be largest"
+    assert abs(sb[1] - sb[3]) / sb[1] < 0.1
+
+    wc = results["woodcrest"]
+    assert wc[0] > wc[2] * 1.2 and wc[1] > wc[2] * 1.2, \
+        "first two Woodcrest steps activate one socket each"
+    assert abs(wc[2] - wc[3]) / wc[2] < 0.1

@@ -1,0 +1,97 @@
+"""Fig. 2: measurement/model alignment cross-correlation.
+
+Paper shape: the cross-correlation over hypothetical measurement delays
+peaks at about 1 ms for the SandyBridge on-chip meter (A) and about 1.2 s
+(1200 ms) for the Wattsup meter behind its USB path (B).
+
+Substitution note: the physical Wattsup reports once per second; to resolve
+its 1.2 s delay within a short simulation, the experiment samples it at a
+50 ms period (upsampled reporting, same coarse+delayed character).
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import PowerContainerFacility, estimate_delay
+from repro.core.alignment import correlation_curve
+from repro.hardware import RateProfile, SANDYBRIDGE, WallMeter, build_machine
+from repro.kernel import Compute, Kernel, Sleep
+from repro.sim import Simulator
+
+PHASED = RateProfile(name="phased", ipc=1.6, cache_per_cycle=0.012,
+                     mem_per_cycle=0.006)
+
+
+def _phase_program(machine, duration):
+    def program():
+        elapsed = 0.0
+        while elapsed < duration:
+            yield Compute(cycles=machine.freq_hz * 0.12, profile=PHASED)
+            yield Sleep(0.08)
+            elapsed += 0.2
+    return program()
+
+
+def _alignment_run(calibrations, meter_kind: str, true_delay: float,
+                   period: float, duration: float):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    cal = calibrations["sandybridge"]
+    if meter_kind == "package":
+        from repro.hardware import PackageMeter
+        meter = PackageMeter(machine, sim, period=period, delay=true_delay)
+        idle = cal.package_idle_watts
+    else:
+        meter = WallMeter(machine, sim, period=period, delay=true_delay)
+        idle = cal.idle_watts
+    facility = PowerContainerFacility(
+        kernel, cal, meter=meter, meter_idle_watts=idle,
+        meter_covers_peripherals=(meter_kind == "wall"),
+        trace_period=period, recalib_interval=duration * 2,  # manual align
+        max_delay_seconds=true_delay * 2.5,
+    )
+    facility.start_tracing()
+    for core in range(2):
+        kernel.spawn(_phase_program(machine, duration), f"phase{core}")
+    sim.run_until(duration)
+
+    measured = np.array([
+        s.watts - idle for s in meter.samples_available(sim.now)
+    ])
+    _times, modeled = facility.model_trace_series()
+    max_delay = int(round(true_delay * 2.5 / period))
+    measured_c = measured - measured.mean()
+    modeled_c = modeled - modeled.mean()
+    curve = correlation_curve(measured_c, modeled_c, max_delay)
+    est = estimate_delay(measured, modeled, max_delay)
+    return est * period, curve
+
+
+def test_fig02_alignment(benchmark, calibrations):
+    def experiment():
+        onchip = _alignment_run(
+            calibrations, "package", true_delay=1e-3, period=1e-3, duration=4.0
+        )
+        wattsup = _alignment_run(
+            calibrations, "wall", true_delay=1.2, period=0.05, duration=12.0
+        )
+        return onchip, wattsup
+
+    (onchip_delay, onchip_curve), (wattsup_delay, wattsup_curve) = \
+        benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["meter", "paper delay", "estimated delay"],
+        [
+            ["SandyBridge on-chip", "~1 ms", f"{onchip_delay * 1e3:.1f} ms"],
+            ["Wattsup (USB)", "~1200 ms", f"{wattsup_delay * 1e3:.0f} ms"],
+        ],
+        title="Figure 2: alignment cross-correlation peaks",
+    ))
+    assert abs(onchip_delay - 1e-3) <= 1e-3
+    assert abs(wattsup_delay - 1.2) <= 0.1
+    # The peak genuinely dominates the curve.
+    assert onchip_curve.argmax() == round(onchip_delay / 1e-3)
+    assert wattsup_curve.argmax() == round(wattsup_delay / 0.05)

@@ -1,0 +1,52 @@
+"""Fig. 5: measured active power of the application workloads.
+
+Paper shape: every workload draws clearly more power at peak than at half
+load; Stress (and GAE-Hybrid with its viruses) are the power-hungriest
+workloads; Woodcrest draws the most active power per core for the same
+work, Westmere the least per core.
+"""
+
+from repro.analysis import render_table
+from repro.workloads import WORKLOADS
+
+MACHINES = ("woodcrest", "westmere", "sandybridge")
+LOADS = (1.0, 0.5)
+
+
+def test_fig05_workload_power(benchmark, validation_cache):
+    def experiment():
+        table = {}
+        for machine in MACHINES:
+            for workload in WORKLOADS:
+                for load in LOADS:
+                    outcome = validation_cache(workload, machine, load)
+                    table[(machine, workload, load)] = (
+                        outcome.measured_active_watts
+                    )
+        return table
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for workload in WORKLOADS:
+        for load in LOADS:
+            rows.append(
+                [workload, "peak" if load == 1.0 else "half"]
+                + [table[(m, workload, load)] for m in MACHINES]
+            )
+    print()
+    print(render_table(
+        ["workload", "load", *MACHINES], rows,
+        title="Figure 5: measured active power (watts)",
+        float_format="{:.1f}",
+    ))
+
+    for machine in MACHINES:
+        for workload in WORKLOADS:
+            peak = table[(machine, workload, 1.0)]
+            half = table[(machine, workload, 0.5)]
+            assert peak > half, f"{workload}@{machine}: peak must exceed half"
+        # Stress is the hungriest single-type workload on every machine.
+        stress = table[(machine, "stress", 1.0)]
+        for other in ("rsa-crypto", "solr", "webwork"):
+            assert stress > table[(machine, other, 1.0)]

@@ -1,0 +1,58 @@
+"""Fig. 6: mean request power distributions (Solr, GAE-Hybrid, half load).
+
+Paper shape: Solr's request power distribution is a fairly tight single
+mass; GAE-Hybrid is bimodal, with the power-virus mass clearly above the
+Vosao mass.
+"""
+
+import numpy as np
+
+from repro.analysis import distribution_histogram, render_table
+from repro.analysis.experiments import request_power_samples
+
+
+def test_fig06_power_distributions(benchmark, validation_cache):
+    def experiment():
+        solr = validation_cache("solr", "sandybridge", 0.5).run
+        hybrid = validation_cache("gae-hybrid", "sandybridge", 0.5).run
+        return {
+            "solr": request_power_samples(solr),
+            "vosao": [
+                p for p in (
+                    r.mean_power(hybrid.facility.primary)
+                    for r in hybrid.driver.results
+                    if r.rtype in ("read", "write")
+                    and r.container.stats.cpu_seconds > 0
+                )
+            ],
+            "virus": request_power_samples(hybrid, rtype_prefix="virus"),
+        }
+
+    samples = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for name, values in samples.items():
+        arr = np.asarray(values)
+        rows.append([
+            name, len(arr), float(arr.mean()),
+            float(np.percentile(arr, 10)), float(np.percentile(arr, 90)),
+        ])
+    print()
+    print(render_table(
+        ["population", "n", "mean W", "p10 W", "p90 W"], rows,
+        title="Figure 6: mean request power distributions (half load)",
+    ))
+
+    # Histograms are well-formed probability densities.
+    for values in samples.values():
+        density, edges = distribution_histogram(values, bins=20)
+        assert float((density * np.diff(edges)).sum()) > 0.999
+
+    solr = np.asarray(samples["solr"])
+    vosao = np.asarray(samples["vosao"])
+    virus = np.asarray(samples["virus"])
+    assert len(virus) >= 10
+    # The virus mass sits clearly above the Vosao mass.
+    assert np.percentile(virus, 25) > np.percentile(vosao, 75)
+    # Solr is a tight single mass relative to its mean.
+    assert solr.std() / solr.mean() < 0.35

@@ -1,0 +1,60 @@
+"""Fig. 7: request energy usage distributions (Solr, GAE-Hybrid, half load).
+
+Paper shape: request energy varies widely for both workloads, but for
+different reasons -- Solr's spread comes from execution-time variation
+(query work is long-tailed), GAE-Hybrid's mainly from power variation
+(viruses vs. Vosao).
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.analysis.experiments import request_energy_samples
+
+
+def test_fig07_energy_distributions(benchmark, validation_cache):
+    def experiment():
+        solr = validation_cache("solr", "sandybridge", 0.5).run
+        hybrid = validation_cache("gae-hybrid", "sandybridge", 0.5).run
+        return {
+            "solr_energy": request_energy_samples(solr),
+            "solr_cpu": [
+                r.container.stats.cpu_seconds for r in solr.driver.results
+                if r.container.stats.cpu_seconds > 0
+            ],
+            "vosao_energy": [
+                r.energy(hybrid.facility.primary)
+                for r in hybrid.driver.results
+                if r.rtype in ("read", "write")
+                and r.container.stats.cpu_seconds > 0
+            ],
+            "virus_energy": request_energy_samples(hybrid, "virus"),
+        }
+
+    samples = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for name in ("solr_energy", "vosao_energy", "virus_energy"):
+        arr = np.asarray(samples[name])
+        rows.append([name, len(arr), float(arr.mean()),
+                     float(np.percentile(arr, 10)),
+                     float(np.percentile(arr, 90))])
+    print()
+    print(render_table(
+        ["population", "n", "mean J", "p10 J", "p90 J"], rows,
+        title="Figure 7: request energy distributions (half load)",
+        float_format="{:.3f}",
+    ))
+
+    solr_energy = np.asarray(samples["solr_energy"])
+    solr_cpu = np.asarray(samples["solr_cpu"])
+    # Solr's energy spread is driven by execution-time spread: strong
+    # correlation between a request's CPU time and its energy.
+    corr = np.corrcoef(solr_cpu, solr_energy)[0, 1]
+    assert corr > 0.95
+    assert solr_energy.std() / solr_energy.mean() > 0.4  # wide spread
+
+    virus = np.asarray(samples["virus_energy"])
+    vosao = np.asarray(samples["vosao_energy"])
+    # GAE-Hybrid: viruses burn far more energy per request (longer AND
+    # more power-hungry).
+    assert virus.mean() > 5 * vosao.mean()

@@ -1,0 +1,79 @@
+"""Fig. 10: power prediction at new request compositions.
+
+Paper shape: learned per-request energy profiles predict system power under
+new compositions (RSA with only the largest key; WeBWorK with only the 10
+most popular problem sets) within 11%; the CPU-utilization-proportional
+alternative errs up to 19%; the request-rate-proportional alternative errs
+up to 56%.
+"""
+
+from repro.analysis import predict_at_new_composition, render_table
+from repro.hardware import SANDYBRIDGE
+from repro.workloads import RsaCryptoWorkload, WeBWorKWorkload
+
+PREDICTORS = (
+    "power-containers",
+    "cpu-utilization-proportional",
+    "request-rate-proportional",
+)
+
+
+def test_fig10_prediction(benchmark, calibrations):
+    def experiment():
+        cal = calibrations["sandybridge"]
+        rsa = predict_at_new_composition(
+            RsaCryptoWorkload(),
+            RsaCryptoWorkload(mix={"key-large": 1.0}),
+            SANDYBRIDGE, cal,
+            profiling_load=0.5, new_loads=(0.5, 0.65, 0.8), duration=6.0,
+        )
+        webwork = predict_at_new_composition(
+            WeBWorKWorkload(),
+            WeBWorKWorkload(popular_only=True),
+            SANDYBRIDGE, cal,
+            profiling_load=0.5, new_loads=(0.5, 0.65, 0.8), duration=6.0,
+        )
+        return {"rsa-crypto": rsa, "webwork": webwork}
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    worst = {name: 0.0 for name in PREDICTORS}
+    for workload, results in outcomes.items():
+        for outcome in results:
+            rows.append([
+                workload, outcome.load_fraction,
+                outcome.measured_active_watts,
+                *(outcome.errors[p] * 100 for p in PREDICTORS),
+            ])
+            for predictor in PREDICTORS:
+                worst[predictor] = max(worst[predictor],
+                                       outcome.errors[predictor])
+    print()
+    print(render_table(
+        ["workload", "load", "measured W", "containers %", "cpu-util %",
+         "rate %"],
+        rows, title="Figure 10: prediction at new request compositions",
+        float_format="{:.1f}",
+    ))
+    print()
+    print(render_table(
+        ["predictor", "worst error %", "paper worst %"],
+        [
+            ["power containers", worst["power-containers"] * 100, 11],
+            ["cpu-utilization-proportional",
+             worst["cpu-utilization-proportional"] * 100, 19],
+            ["request-rate-proportional",
+             worst["request-rate-proportional"] * 100, 56],
+        ],
+        title="Figure 10 summary",
+        float_format="{:.1f}",
+    ))
+
+    assert worst["power-containers"] < 0.11  # the paper's bound
+    assert worst["power-containers"] < worst["cpu-utilization-proportional"]
+    assert (
+        worst["cpu-utilization-proportional"]
+        < worst["request-rate-proportional"]
+    )
+    assert worst["request-rate-proportional"] > 0.3

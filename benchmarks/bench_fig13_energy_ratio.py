@@ -1,0 +1,61 @@
+"""Fig. 13: cross-machine active energy usage ratio (SandyBridge/Woodcrest).
+
+Paper shape: the ratio ranges from 0.22 (RSA-crypto -- SandyBridge is
+vastly more efficient for it) up to 0.91 (Stress -- memory-bound work gains
+little from the newer machine).  Displacing a Stress request to Woodcrest
+is therefore about four times cheaper, energy-wise, than displacing an
+RSA-crypto request.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.hardware import SANDYBRIDGE, WOODCREST, spec_by_name
+from repro.workloads import run_workload, workload_by_name
+
+WORKLOAD_NAMES = ("rsa-crypto", "solr", "webwork", "stress", "gae-vosao")
+PAPER_RATIOS = {"rsa-crypto": 0.22, "stress": 0.91}
+
+
+def _mean_request_energy(workload_name, machine_name, calibrations):
+    spec = spec_by_name(machine_name)
+    duration = 6.0 if spec.has_package_meter else 12.0
+    run = run_workload(
+        workload_by_name(workload_name), spec, calibrations[machine_name],
+        load_fraction=1.0, duration=duration, warmup=duration * 0.3,
+    )
+    energies = [r.energy(run.facility.primary) for r in run.results()
+                if r.container.stats.cpu_seconds > 0]
+    return float(np.mean(energies))
+
+
+def test_fig13_energy_ratio(benchmark, calibrations):
+    def experiment():
+        ratios = {}
+        for name in WORKLOAD_NAMES:
+            sb = _mean_request_energy(name, "sandybridge", calibrations)
+            wc = _mean_request_energy(name, "woodcrest", calibrations)
+            ratios[name] = (sb, wc, sb / wc)
+        return ratios
+
+    ratios = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        [name, sb, wc, ratio, PAPER_RATIOS.get(name, "-")]
+        for name, (sb, wc, ratio) in ratios.items()
+    ]
+    print()
+    print(render_table(
+        ["workload", "SandyBridge J", "Woodcrest J", "ratio", "paper ratio"],
+        rows, title="Figure 13: cross-machine active energy ratio",
+    ))
+
+    rsa = ratios["rsa-crypto"][2]
+    stress = ratios["stress"][2]
+    assert rsa < 0.3, "RSA has the strongest SandyBridge affinity"
+    assert 0.8 < stress < 1.1, "Stress gains little from SandyBridge"
+    # The four-fold displacement-cost difference the paper highlights.
+    assert stress / rsa > 3.0
+    # All other workloads fall between the extremes.
+    for name in ("solr", "webwork", "gae-vosao"):
+        assert rsa < ratios[name][2] < stress

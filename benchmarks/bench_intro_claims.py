@@ -1,0 +1,84 @@
+"""Section 1 motivation claims, measured on the simulated SandyBridge.
+
+The paper's introduction motivates fine-grained power management with three
+measurements on its SandyBridge machine:
+
+1. idle power is only ~5% of the CPU package power at high load
+   (excellent processor energy proportionality);
+2. counting the whole machine, the idle proportion is ~32%;
+3. at the same full CPU utilization, a cache/memory-intensive application
+   consumes ~49% more power than a CPU spinning program.
+
+This benchmark reproduces all three measurements through the simulated
+meters.
+"""
+
+from repro.analysis import render_table
+from repro.hardware import PackageMeter, RateProfile, SANDYBRIDGE, WallMeter, build_machine
+from repro.kernel import Compute, Kernel
+from repro.sim import Simulator
+
+SPIN = RateProfile(name="spin", ipc=1.0)
+#: Cache/memory-intensive at full utilization.
+MEMHOG = RateProfile(
+    name="memhog", ipc=0.9, flops_per_cycle=0.35,
+    cache_per_cycle=0.016, mem_per_cycle=0.009, hidden_watts=1.0,
+)
+
+
+def _measure(profile, duration=0.3):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    package = PackageMeter(machine, sim, period=1e-3, delay=0.0)
+    wall = WallMeter(machine, sim, period=0.1, delay=0.0)
+    package.start()
+    wall.start()
+    if profile is not None:
+        for i in range(machine.n_cores):
+
+            def spinner(p=profile):
+                while True:
+                    yield Compute(cycles=machine.freq_hz * 0.05, profile=p)
+
+            kernel.spawn(spinner(), f"w{i}")
+    sim.run_until(duration)
+    return package.mean_watts(0.05), wall.mean_watts(0.05)
+
+
+def test_intro_claims(benchmark):
+    def experiment():
+        return {
+            "idle": _measure(None),
+            "spin": _measure(SPIN),
+            "memhog": _measure(MEMHOG),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    idle_pkg, idle_wall = results["idle"]
+    spin_pkg, spin_wall = results["spin"]
+    hog_pkg, _hog_wall = results["memhog"]
+    # "Observed high load scenario": a fully-utilized server (the spinning
+    # full-load case is the moderate reference, as in the paper's server
+    # measurements).
+    pkg_idle_ratio = idle_pkg / hog_pkg
+    wall_idle_ratio = idle_wall / spin_wall
+    hog_vs_spin = hog_pkg / spin_pkg - 1
+
+    rows = [
+        ["package idle / high-load package", "~5%", pkg_idle_ratio * 100],
+        ["machine idle / high-load machine", "~32%", wall_idle_ratio * 100],
+        ["memhog vs spin package power", "+49%", hog_vs_spin * 100],
+    ]
+    print()
+    print(render_table(
+        ["claim", "paper", "measured %"], rows,
+        title="Section 1: motivation measurements",
+        float_format="{:.1f}",
+    ))
+
+    assert pkg_idle_ratio < 0.08, "package is highly energy-proportional"
+    assert 0.28 < wall_idle_ratio < 0.42, "machine idle share ~1/3"
+    assert 0.30 < hog_vs_spin < 0.65, \
+        "memory-intensive work draws ~half again the spin power"

@@ -1,0 +1,85 @@
+"""Section 3.5: scalability of the container facility.
+
+The paper argues the facility scales because (a) sampling cost is per-core,
+not per-request -- requests that are not running consume space only -- and
+(b) an active container costs 784 bytes, so "thousands of active power
+containers" do not threaten server scalability.
+
+This benchmark serves the same total work with 10x more (10x smaller)
+requests and verifies the number of maintenance operations stays in the
+same band (sampling is per-core-millisecond, not per-request), then checks
+the modeled space cost of thousands of containers.
+"""
+
+from repro.analysis import render_table
+from repro.core.container import CONTAINER_STRUCT_BYTES
+from repro.hardware import SANDYBRIDGE
+from repro.workloads import SolrWorkload, run_workload
+
+
+def _total_samples(run):
+    return sum(a.samples_taken for a in run.facility.accountants.values())
+
+
+def test_sec35_scalability(benchmark, calibrations):
+    def experiment():
+        runs = {}
+        for label, n_workers, scale in (("coarse", 16, 1.0),
+                                        ("fine", 64, 0.1)):
+            workload = SolrWorkload(n_workers=n_workers)
+            # Shrink per-request work 10x; the driver compensates with 10x
+            # the arrival rate, so total served work is identical.
+            if scale != 1.0:
+                import repro.workloads.solr as solr_module
+                workload = SolrWorkload(n_workers=n_workers)
+                original_demand = workload.demand_cycles
+
+                def scaled_demand(work_factor, arch, _orig=original_demand):
+                    return _orig(work_factor, arch) * scale
+
+                workload.demand_cycles = scaled_demand
+                original_mean = workload.mean_demand_seconds
+
+                def scaled_mean(arch, _orig=original_mean):
+                    return _orig(arch) * scale
+
+                workload.mean_demand_seconds = scaled_mean
+            run = run_workload(
+                workload, SANDYBRIDGE, calibrations["sandybridge"],
+                load_fraction=0.6, duration=3.0, warmup=0.0,
+                with_meter=False,
+            )
+            runs[label] = run
+        return runs
+
+    runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    coarse, fine = runs["coarse"], runs["fine"]
+    rows = []
+    for label, run in runs.items():
+        containers = len(run.facility.registry)
+        rows.append([
+            label,
+            run.driver.completed,
+            _total_samples(run),
+            containers,
+            containers * CONTAINER_STRUCT_BYTES / 1024,
+        ])
+    print()
+    print(render_table(
+        ["granularity", "requests", "maintenance ops", "containers",
+         "space KiB"],
+        rows, title="Section 3.5: scalability with request granularity",
+        float_format="{:.1f}",
+    ))
+
+    # ~10x more requests served...
+    assert fine.driver.completed > coarse.driver.completed * 5
+    # ...but maintenance ops grow far slower: sampling is per-core-period
+    # plus two context-switch samples per scheduled request, not
+    # per-request-period.
+    ops_ratio = _total_samples(fine) / _total_samples(coarse)
+    requests_ratio = fine.driver.completed / coarse.driver.completed
+    assert ops_ratio < requests_ratio * 0.6
+    # Thousands of containers cost a few MB at 784 B each.
+    assert len(fine.facility.registry) * CONTAINER_STRUCT_BYTES < 8e6

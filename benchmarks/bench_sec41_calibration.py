@@ -1,0 +1,52 @@
+"""Section 4.1: offline power-model calibration on SandyBridge.
+
+Paper coefficient table (maximum active-power impact, C * Mmax):
+
+    Cidle = 26.1 W; Ccore 33.1 W; Cins 12.4 W; Ccache 13.9 W; Cmem 8.2 W;
+    Cchipshare 5.6 W; Cdisk 1.7 W; Cnet 5.8 W.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import calibrate_machine
+from repro.core.model import FEATURES_FULL
+from repro.hardware import SANDYBRIDGE
+
+PAPER_TABLE = {
+    "mcore": 33.1,
+    "mins": 12.4,
+    "mcache": 13.9,
+    "mmem": 8.2,
+    "mchipshare": 5.6,
+    "mdisk": 1.7,
+    "mnet": 5.8,
+}
+
+
+def test_sec41_calibration(benchmark):
+    result = benchmark.pedantic(
+        lambda: calibrate_machine(SANDYBRIDGE, duration=0.25),
+        rounds=1,
+        iterations=1,
+    )
+    table = result.cmax_table(FEATURES_FULL)
+    rows = [["Cidle", 26.1, result.idle_watts]]
+    for feature in FEATURES_FULL:
+        rows.append([
+            f"C{feature[1:]}", PAPER_TABLE.get(feature, float("nan")),
+            table[feature],
+        ])
+    print()
+    print(render_table(
+        ["coefficient (C*Mmax)", "paper watts", "measured watts"], rows,
+        title="Section 4.1: SandyBridge calibration table",
+    ))
+
+    assert result.idle_watts == pytest.approx(26.1)
+    assert table["mcore"] == pytest.approx(33.1, rel=0.20)
+    assert table["mchipshare"] == pytest.approx(5.6, rel=0.50)
+    assert table["mcache"] == pytest.approx(13.9, rel=0.35)
+    assert table["mmem"] == pytest.approx(8.2, rel=0.35)
+    assert table["mdisk"] == pytest.approx(1.7, rel=0.40)
+    assert table["mnet"] == pytest.approx(5.8, rel=0.40)

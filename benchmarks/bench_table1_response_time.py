@@ -1,0 +1,51 @@
+"""Table 1: average request response time under the three dispatch policies.
+
+Paper numbers (GAE-Vosao / RSA-crypto):
+
+    simple load balance:            537 ms / 1,728 ms
+    machine heterogeneity-aware:    159 ms /    66 ms
+    workload heterogeneity-aware:   131 ms /    50 ms
+
+Shape: the simple balance overloads the slower Woodcrest machine and RSA
+suffers most (it is by far the most expensive work there); both
+heterogeneity-aware policies keep machines at healthy utilization, with the
+workload-aware policy best because RSA rarely lands on Woodcrest at all.
+"""
+
+from repro.analysis import render_table
+
+PAPER_MS = {
+    "simple load balance": (537, 1728),
+    "machine heterogeneity-aware": (159, 66),
+    "workload heterogeneity-aware": (131, 50),
+}
+
+
+def test_table1_response_time(benchmark, distribution_results):
+    results = benchmark.pedantic(
+        lambda: distribution_results, rounds=1, iterations=1
+    )
+    rows = []
+    for name, r in results.items():
+        paper_vosao, paper_rsa = PAPER_MS[name]
+        rows.append([
+            name, r["rt_vosao"] * 1000, r["rt_rsa"] * 1000,
+            paper_vosao, paper_rsa,
+        ])
+    print()
+    print(render_table(
+        ["policy", "GAE-Vosao ms", "RSA-crypto ms",
+         "paper Vosao ms", "paper RSA ms"],
+        rows, title="Table 1: average request response time",
+        float_format="{:.0f}",
+    ))
+
+    simple = results["simple load balance"]
+    machine = results["machine heterogeneity-aware"]
+    workload = results["workload heterogeneity-aware"]
+    # Simple balance suffers badly, worst for RSA on the overloaded machine.
+    assert simple["rt_rsa"] > 3 * machine["rt_rsa"]
+    assert simple["rt_vosao"] > machine["rt_vosao"]
+    # Workload-aware is at least as good as machine-aware for both types.
+    assert workload["rt_rsa"] <= machine["rt_rsa"] * 1.1
+    assert workload["rt_vosao"] <= machine["rt_vosao"] * 1.1

@@ -1,0 +1,73 @@
+"""Shared benchmark fixtures: session-cached calibrations and runs.
+
+Figures 5-8 report different views of the same workload runs, so runs are
+cached per (workload, machine, load) and reused across benchmark files.
+"""
+
+import pytest
+
+from repro.core import calibrate_machine
+from repro.hardware import SANDYBRIDGE, WESTMERE, WOODCREST
+
+
+@pytest.fixture(scope="session")
+def calibrations():
+    """Offline calibration for all three testbed machines."""
+    return {
+        spec.name: calibrate_machine(spec, duration=0.2)
+        for spec in (WOODCREST, WESTMERE, SANDYBRIDGE)
+    }
+
+
+@pytest.fixture(scope="session")
+def conditioning_runs(calibrations):
+    """Fig. 11/12 conditioning experiment, shared by both benchmarks."""
+    from repro.analysis import run_conditioning_experiment
+
+    cal = calibrations["sandybridge"]
+    return {
+        conditioned: run_conditioning_experiment(
+            SANDYBRIDGE, cal, conditioned=conditioned,
+            duration=14.0, virus_start=7.0,
+        )
+        for conditioned in (False, True)
+    }
+
+
+@pytest.fixture(scope="session")
+def distribution_results(calibrations):
+    """Fig. 14 / Table 1 policy runs, shared by both benchmarks."""
+    from benchmarks.bench_fig14_distribution_energy import POLICIES, _run_policy
+
+    return {
+        name: _run_policy(factory(), calibrations)
+        for name, factory in POLICIES
+    }
+
+
+@pytest.fixture(scope="session")
+def validation_cache(calibrations):
+    """Memoized Fig. 5/8 validation runs keyed by (workload, machine, load)."""
+    from repro.analysis import validate_workload
+    from repro.hardware import spec_by_name
+    from repro.workloads import workload_by_name
+
+    cache = {}
+
+    def get(workload_name: str, machine_name: str, load: float):
+        key = (workload_name, machine_name, load)
+        if key not in cache:
+            spec = spec_by_name(machine_name)
+            # Wall-metered machines need a longer run for the 1.2 s-delayed
+            # meter to feed enough recalibration samples.
+            duration = 5.0 if spec.has_package_meter else 12.0
+            cache[key] = validate_workload(
+                workload_by_name(workload_name),
+                spec,
+                calibrations[machine_name],
+                load_fraction=load,
+                duration=duration,
+            )
+        return cache[key]
+
+    return get

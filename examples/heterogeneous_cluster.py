@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Energy-aware request distribution on a heterogeneous cluster (Section 4.4).
+
+Two machines -- a 2011 SandyBridge and a 2006 Woodcrest -- serve a combined
+GAE-Vosao + RSA-crypto workload.  Power containers profile each request
+type's energy on each machine; the cross-machine energy ratio reveals that
+RSA has a strong affinity for the newer machine (ratio ~0.22) while other
+work is cheap to displace.  The workload-heterogeneity-aware dispatcher
+exploits this, saving substantial energy over policies that ignore either
+machine or workload heterogeneity.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro.core import calibrate_machine
+from repro.hardware import SANDYBRIDGE, WOODCREST
+from repro.server import (
+    Dispatcher,
+    HeterogeneousCluster,
+    MachineHeterogeneityAwarePolicy,
+    SimpleLoadBalancePolicy,
+    WorkloadHeterogeneityAwarePolicy,
+)
+from repro.sim import RngHub
+from repro.workloads import GaeVosaoWorkload, RsaCryptoWorkload
+
+DURATION = 10.0
+WARMUP = 2.0
+
+
+def run_policy(name, policy, calibrations):
+    cluster = HeterogeneousCluster()
+    cluster.add_machine(SANDYBRIDGE, calibrations["sandybridge"])
+    cluster.add_machine(WOODCREST, calibrations["woodcrest"])
+    vosao, rsa = GaeVosaoWorkload(), RsaCryptoWorkload()
+    cluster.build_workload(vosao)
+    cluster.build_workload(rsa)
+
+    # 50/50 load composition, offered at the most the simple balance can
+    # sustain (Woodcrest saturates first under an even split).
+    dv = vosao.mean_demand_seconds("sandybridge")
+    dr = rsa.mean_demand_seconds("sandybridge")
+    share_vosao, share_rsa = dr / (dv + dr), dv / (dv + dr)
+    demand_wc = (share_vosao * vosao.mean_demand_seconds("woodcrest")
+                 + share_rsa * rsa.mean_demand_seconds("woodcrest"))
+    rate = 0.95 * 2 * WOODCREST.n_cores / demand_wc
+
+    dispatcher = Dispatcher(
+        cluster, [(vosao, share_vosao), (rsa, share_rsa)], policy, rate,
+        RngHub(7).stream("arrivals"),
+    )
+    dispatcher.start(DURATION)
+    cluster.simulator.run_until(WARMUP)
+    cluster.mark_energy()
+    cluster.simulator.run_until(DURATION)
+    for member in cluster.machines:
+        member.facility.flush()
+
+    window = DURATION - WARMUP
+    watts = {
+        m.name: m.active_joules_since_mark() / window
+        for m in cluster.machines
+    }
+    print(f"\n{name}:")
+    print(f"   energy rate : SandyBridge {watts['sandybridge']:5.1f} W + "
+          f"Woodcrest {watts['woodcrest']:5.1f} W = "
+          f"{sum(watts.values()):6.1f} W")
+    print(f"   response    : Vosao "
+          f"{dispatcher.mean_response_time('gae-vosao', since=WARMUP) * 1e3:6.0f} ms, "
+          f"RSA {dispatcher.mean_response_time('rsa-crypto', since=WARMUP) * 1e3:6.0f} ms")
+    if dispatcher.profiles.has_profile("woodcrest", "rsa-crypto:key-large"):
+        ratio = dispatcher.profiles.ratio(
+            "rsa-crypto:key-large", "sandybridge", "woodcrest"
+        )
+        print(f"   learned cross-machine energy ratio for RSA(large): {ratio:.2f}")
+    return sum(watts.values())
+
+
+def main() -> None:
+    print("calibrating both machines ...")
+    calibrations = {
+        spec.name: calibrate_machine(spec, duration=0.25)
+        for spec in (SANDYBRIDGE, WOODCREST)
+    }
+    totals = {}
+    for name, policy in (
+        ("simple load balance", SimpleLoadBalancePolicy()),
+        ("machine heterogeneity-aware",
+         MachineHeterogeneityAwarePolicy("sandybridge", "woodcrest")),
+        ("workload heterogeneity-aware (power containers)",
+         WorkloadHeterogeneityAwarePolicy("sandybridge", "woodcrest")),
+    ):
+        totals[name] = run_policy(name, policy, calibrations)
+
+    simple = totals["simple load balance"]
+    machine = totals["machine heterogeneity-aware"]
+    workload = totals["workload heterogeneity-aware (power containers)"]
+    print(f"\nworkload-aware distribution saves "
+          f"{(1 - workload / simple) * 100:.0f}% vs simple balance and "
+          f"{(1 - workload / machine) * 100:.0f}% vs machine-aware "
+          f"(paper: ~30% and ~25%).")
+
+
+if __name__ == "__main__":
+    main()

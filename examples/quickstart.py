@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: per-request power and energy accounting in five steps.
+
+1. Calibrate the simulated SandyBridge machine's power model offline.
+2. Build a machine + kernel and attach the power-container facility
+   (with the on-chip meter wired for online recalibration).
+3. Serve a Solr-like search workload at half load.
+4. Print per-request power/energy statistics -- the facility's core output.
+5. Validate: summed request energy matches the measured system power.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import relative_error
+from repro.core import calibrate_machine
+from repro.hardware import SANDYBRIDGE
+from repro.workloads import SolrWorkload, run_workload
+
+
+def main() -> None:
+    print("== 1. Offline calibration (Section 4.1 microbenchmarks) ==")
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.25)
+    table = calibration.cmax_table()
+    for name, watts in table.items():
+        print(f"   C*Mmax[{name:10s}] = {watts:6.2f} W")
+    print(f"   idle power           = {calibration.idle_watts:6.2f} W")
+
+    print("\n== 2+3. Serve Solr at half load for 4 simulated seconds ==")
+    run = run_workload(
+        SolrWorkload(), SANDYBRIDGE, calibration,
+        load_fraction=0.5, duration=4.0, warmup=0.0,
+    )
+    results = run.driver.results
+    print(f"   completed requests : {len(results)}")
+    print(f"   mean response time : {run.driver.mean_response_time() * 1e3:.1f} ms")
+
+    print("\n== 4. Per-request power containers ==")
+    for result in results[:5]:
+        stats = result.container.stats
+        print(
+            f"   {result.container.label:14s} "
+            f"cpu={stats.cpu_seconds * 1e3:6.2f} ms  "
+            f"energy={result.energy():.4f} J  "
+            f"mean power={result.mean_power():5.2f} W"
+        )
+    energies = [r.energy() for r in results]
+    print(f"   ... ({len(results)} total; mean energy "
+          f"{np.mean(energies):.4f} J, p90 {np.percentile(energies, 90):.4f} J)")
+
+    print("\n== 5. Validation (the paper's Fig. 8 invariant) ==")
+    measured = run.measured_active_joules / run.duration
+    estimated = run.facility.registry.total_energy(run.facility.primary) / run.duration
+    error = relative_error(estimated, measured)
+    print(f"   measured system active power : {measured:6.2f} W")
+    print(f"   sum of request energy / time : {estimated:6.2f} W")
+    print(f"   validation error             : {error * 100:5.2f} %")
+    assert error < 0.1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Power Containers (ASPLOS 2013) -- a simulation-based reproduction.
+
+Per-request power and energy accounting and control for multicore servers:
+an event-driven multicore power model with shared-chip-power attribution,
+measurement-aligned online recalibration, application-transparent request
+tracking, fair per-request power capping, and heterogeneity-aware request
+distribution -- implemented over a discrete-event simulated hardware/OS
+substrate.
+
+Package layout: :mod:`repro.sim` (event engine), :mod:`repro.hardware`
+(machines/counters/meters), :mod:`repro.kernel` (simulated OS),
+:mod:`repro.core` (the paper's facility), :mod:`repro.workloads`,
+:mod:`repro.server`, :mod:`repro.analysis` (experiment drivers).
+
+Run ``python -m repro list`` for ready-made experiments.
+"""
+
+__version__ = "1.0.0"

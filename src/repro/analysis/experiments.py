@@ -1,0 +1,120 @@
+"""Shared experiment drivers for the paper's figures.
+
+These helpers run the simulated system in the configurations the paper's
+evaluation uses and extract the plotted quantities.  Benchmarks under
+``benchmarks/`` call them and print paper-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.calibration import CalibrationResult
+from repro.hardware.events import RateProfile
+from repro.hardware.specs import MachineSpec, build_machine
+from repro.kernel import Compute, Kernel, Sleep
+from repro.sim.engine import Simulator
+from repro.workloads.base import Workload, WorkloadRun, run_workload
+
+#: The Fig. 1 microbenchmark: a perfectly scaling CPU spinner.
+SPIN_PROFILE = RateProfile(name="fig1-spin", ipc=1.0)
+
+
+def incremental_power_curve(
+    spec: MachineSpec, duration: float = 0.3
+) -> list[float]:
+    """Fig. 1: incremental active power from idle to k busy cores.
+
+    Returns the power *increments* ``[idle->1, 1->2, ..., (n-1)->n]`` under
+    the OS's spread-first placement policy (unpinned spinners).
+    """
+    levels = []
+    for k in range(spec.n_cores + 1):
+        sim = Simulator()
+        machine = build_machine(spec, sim)
+        kernel = Kernel(machine, sim)
+        for i in range(k):
+
+            def spinner():
+                while True:
+                    yield Compute(
+                        cycles=machine.freq_hz * 0.05, profile=SPIN_PROFILE
+                    )
+
+            kernel.spawn(spinner(), f"spin{i}")
+        sim.run_until(duration)
+        machine.checkpoint()
+        levels.append(machine.integrator.active_joules / duration)
+    return [levels[k + 1] - levels[k] for k in range(spec.n_cores)]
+
+
+def measure_workload_power(
+    workload: Workload,
+    spec: MachineSpec,
+    calibration: CalibrationResult,
+    load_fraction: float,
+    duration: float = 6.0,
+    seed: int = 0,
+) -> tuple[float, WorkloadRun]:
+    """Fig. 5: measured active power of a workload at one load level."""
+    run = run_workload(
+        workload, spec, calibration,
+        load_fraction=load_fraction, duration=duration, warmup=0.0, seed=seed,
+    )
+    return run.measured_active_joules / duration, run
+
+
+def request_power_samples(run: WorkloadRun, rtype_prefix: str = "") -> list[float]:
+    """Fig. 6: per-request mean power samples (lifetime-averaged)."""
+    return [
+        r.mean_power(run.facility.primary)
+        for r in run.driver.results
+        if r.rtype.startswith(rtype_prefix) and r.container.stats.cpu_seconds > 0
+    ]
+
+
+def request_energy_samples(run: WorkloadRun, rtype_prefix: str = "") -> list[float]:
+    """Fig. 7: per-request energy samples."""
+    return [
+        r.energy(run.facility.primary)
+        for r in run.driver.results
+        if r.rtype.startswith(rtype_prefix) and r.container.stats.cpu_seconds > 0
+    ]
+
+
+@dataclass
+class BackgroundSplit:
+    """Fig. 9: background vs. request power decomposition."""
+
+    measured_active_watts: float
+    modeled_request_watts: float
+    modeled_background_watts: float
+
+    @property
+    def modeled_total_watts(self) -> float:
+        """Sum of request and background modelled power."""
+        return self.modeled_request_watts + self.modeled_background_watts
+
+    @property
+    def background_fraction(self) -> float:
+        """Share of modelled active power due to background processing."""
+        total = self.modeled_total_watts
+        return self.modeled_background_watts / total if total > 0 else 0.0
+
+
+def gae_background_split(run: WorkloadRun) -> BackgroundSplit:
+    """Decompose a GAE run's modelled power into requests vs background."""
+    approach = run.facility.primary
+    duration = run.duration
+    background = run.facility.registry.background.total_energy(approach)
+    requests = sum(
+        c.total_energy(approach)
+        for c in run.facility.registry.request_containers()
+    )
+    return BackgroundSplit(
+        measured_active_watts=run.measured_active_joules / duration,
+        modeled_request_watts=requests / duration,
+        modeled_background_watts=background / duration,
+    )

@@ -1,0 +1,104 @@
+"""Exporting experiment data to CSV/JSON for downstream analysis.
+
+Benchmarks print paper-style tables; users who want to plot or post-process
+need the raw series.  This module writes:
+
+* per-request records of a run (type, timing, energy, power, duty);
+* the facility's model power trace and a meter's sample series;
+* generic row tables (what :func:`~repro.analysis.reporting.render_table`
+  prints) as CSV.
+
+Only stdlib ``csv``/``json`` are used, so exports work anywhere the library
+does.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.requests import RequestResult
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> Path:
+    """Write a generic row table as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def request_records(
+    results: Iterable[RequestResult], approach: str = "recal"
+) -> list[dict[str, Any]]:
+    """Flatten completed requests into plain dict records."""
+    records = []
+    for result in results:
+        stats = result.container.stats
+        records.append({
+            "request_id": result.request_id,
+            "rtype": result.rtype,
+            "arrival": result.arrival,
+            "completion": result.completion,
+            "response_time": result.response_time,
+            "cpu_seconds": stats.cpu_seconds,
+            "energy_joules": result.energy(approach),
+            "io_energy_joules": stats.io_energy_joules,
+            "mean_power_watts": result.mean_power(approach),
+            "mean_duty_ratio": stats.mean_duty_ratio,
+        })
+    return records
+
+
+def export_requests_csv(
+    path: str | Path,
+    results: Iterable[RequestResult],
+    approach: str = "recal",
+) -> Path:
+    """Write per-request records as CSV."""
+    records = request_records(results, approach)
+    if not records:
+        raise ValueError("no completed requests to export")
+    headers = list(records[0].keys())
+    return write_csv(path, headers, ([r[h] for h in headers] for r in records))
+
+
+def export_requests_json(
+    path: str | Path,
+    results: Iterable[RequestResult],
+    approach: str = "recal",
+) -> Path:
+    """Write per-request records as a JSON array."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(request_records(results, approach), indent=2))
+    return path
+
+
+def export_power_traces_csv(path: str | Path, facility, meter=None) -> Path:
+    """Write the model trace (and optionally aligned meter samples) as CSV.
+
+    Columns: interval-end time, modelled active watts, and -- when a meter
+    is given -- the measured watts of the sample with the same interval end
+    (blank where none exists).
+    """
+    times, watts = facility.model_trace_series()
+    measured_by_end = {}
+    if meter is not None:
+        for sample in meter.all_samples:
+            measured_by_end[round(sample.interval_end, 9)] = sample.watts
+    rows = []
+    for t, w in zip(times, watts):
+        measured = measured_by_end.get(round(float(t), 9), "")
+        rows.append([float(t), float(w), measured])
+    return write_csv(path, ["time", "modeled_watts", "measured_watts"], rows)

@@ -1,0 +1,148 @@
+"""Fig. 10: predicting power at new request compositions.
+
+The validation of Fig. 8 shows measured energy is fully attributed, but not
+that it is attributed to the *right* requests.  The paper closes that gap by
+prediction: learn per-request-type energy profiles from a running system,
+then predict whole-system power under a hypothetical composition (different
+type mix, different rates) and compare against an actual run of that
+composition.  Accurate prediction implies accurate per-request attribution.
+
+Three predictors are compared:
+
+* **power containers** -- per-type energy profiles from our facility;
+* **CPU-utilization-proportional** -- assumes active power scales with CPU
+  utilization (requires per-request CPU profiling, e.g. resource
+  containers, but ignores per-cycle power differences between types);
+* **request-rate-proportional** -- assumes every request contributes the
+  same energy, so power scales with request rate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import relative_error
+from repro.core.calibration import CalibrationResult
+from repro.hardware.specs import MachineSpec
+from repro.workloads.base import Workload, run_workload
+
+
+@dataclass
+class TypeProfile:
+    """Learned per-request-type resource profile."""
+
+    mean_energy_joules: float
+    mean_cpu_seconds: float
+    sample_count: int
+
+
+@dataclass
+class PredictionOutcome:
+    """Prediction accuracy at one new-composition load level."""
+
+    load_fraction: float
+    measured_active_watts: float
+    predictions: dict[str, float]
+    errors: dict[str, float]
+
+
+def learn_type_profiles(run, approach: str) -> dict[str, TypeProfile]:
+    """Per-type mean energy/CPU profiles from a profiling run."""
+    energy: dict[str, list[float]] = defaultdict(list)
+    cpu: dict[str, list[float]] = defaultdict(list)
+    for result in run.driver.results:
+        energy[result.rtype].append(result.container.total_energy(approach))
+        cpu[result.rtype].append(result.container.stats.cpu_seconds)
+    return {
+        rtype: TypeProfile(
+            mean_energy_joules=float(np.mean(energy[rtype])),
+            mean_cpu_seconds=float(np.mean(cpu[rtype])),
+            sample_count=len(energy[rtype]),
+        )
+        for rtype in energy
+    }
+
+
+def predict_at_new_composition(
+    original_workload: Workload,
+    new_workload: Workload,
+    spec: MachineSpec,
+    calibration: CalibrationResult,
+    profiling_load: float = 0.5,
+    new_loads: tuple[float, ...] = (0.5, 0.65, 0.8),
+    duration: float = 8.0,
+    seed: int = 0,
+) -> list[PredictionOutcome]:
+    """Learn profiles on the original workload, predict the new one."""
+    original = run_workload(
+        original_workload, spec, calibration,
+        load_fraction=profiling_load, duration=duration, warmup=0.0, seed=seed,
+    )
+    approach = original.facility.primary
+    profiles = learn_type_profiles(original, approach)
+
+    n_cores = spec.n_cores
+    orig_watts = original.measured_active_joules / duration
+    orig_rate = original.driver.completed / duration
+    background = original.facility.registry.background
+    bg_watts = background.total_energy(approach) / duration
+    bg_cpu_per_sec = background.stats.cpu_seconds / duration
+    total_cpu = sum(
+        c.stats.cpu_seconds
+        for c in original.facility.registry.all_containers()
+    )
+    orig_utilization = total_cpu / (n_cores * duration)
+
+    outcomes = []
+    for load in new_loads:
+        new_run = run_workload(
+            new_workload, spec, calibration,
+            load_fraction=load, duration=duration, warmup=0.0, seed=seed + 1,
+        )
+        measured = new_run.measured_active_joules / duration
+        completed = new_run.driver.results
+        new_rate = len(completed) / duration
+
+        # Power containers: per-type energy profiles.
+        unknown_types = {r.rtype for r in completed} - set(profiles)
+        if unknown_types:
+            raise ValueError(
+                f"new composition contains unprofiled types: {unknown_types}"
+            )
+        container_pred = bg_watts + sum(
+            profiles[r.rtype].mean_energy_joules for r in completed
+        ) / duration
+
+        # CPU-utilization-proportional: predict utilization from per-type
+        # CPU profiles, scale original power by the utilization ratio.
+        predicted_cpu = (
+            sum(profiles[r.rtype].mean_cpu_seconds for r in completed)
+            / duration
+            + bg_cpu_per_sec
+        )
+        predicted_utilization = predicted_cpu / n_cores
+        util_pred = orig_watts * predicted_utilization / orig_utilization
+
+        # Request-rate-proportional.
+        rate_pred = orig_watts * new_rate / orig_rate
+
+        predictions = {
+            "power-containers": container_pred,
+            "cpu-utilization-proportional": util_pred,
+            "request-rate-proportional": rate_pred,
+        }
+        outcomes.append(
+            PredictionOutcome(
+                load_fraction=load,
+                measured_active_watts=measured,
+                predictions=predictions,
+                errors={
+                    name: relative_error(value, measured)
+                    for name, value in predictions.items()
+                },
+            )
+        )
+    return outcomes

@@ -1,0 +1,33 @@
+"""Plain-text rendering of paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table (used by benchmark output)."""
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

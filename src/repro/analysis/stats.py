@@ -1,0 +1,56 @@
+"""Statistics helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def relative_error(estimated: float, measured: float) -> float:
+    """The paper's validation error: |estimated - measured| / measured."""
+    if measured == 0:
+        raise ValueError("measured value must be non-zero")
+    return abs(estimated - measured) / abs(measured)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample set."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values) -> Summary:
+    """Summary statistics of a non-empty sample sequence."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def distribution_histogram(
+    values, bins: int = 30, value_range: tuple[float, float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probability-density histogram (the paper's Fig. 6/7 presentation).
+
+    Returns ``(density, bin_edges)``; densities integrate to 1 so histogram
+    heights carry no standalone meaning, exactly as the paper notes.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot histogram an empty sample set")
+    density, edges = np.histogram(arr, bins=bins, range=value_range, density=True)
+    return density, edges

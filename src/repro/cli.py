@@ -1,0 +1,233 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates individual paper tables/figures without going through pytest.
+``python -m repro list`` shows every available experiment; each command
+prints the same paper-style table its benchmark asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis import render_table
+
+
+def _calibrations(machines=("sandybridge", "woodcrest", "westmere")):
+    from repro.core import calibrate_machine
+    from repro.hardware import spec_by_name
+
+    print("calibrating:", ", ".join(machines), "...", flush=True)
+    return {
+        name: calibrate_machine(spec_by_name(name), duration=0.25)
+        for name in machines
+    }
+
+
+# ----------------------------------------------------------------------
+# Experiment commands
+# ----------------------------------------------------------------------
+def cmd_fig01(_args) -> None:
+    """Regenerate Fig. 1: incremental per-core power."""
+    from repro.analysis import incremental_power_curve
+    from repro.hardware import SANDYBRIDGE, WOODCREST
+
+    rows = []
+    for spec in (SANDYBRIDGE, WOODCREST):
+        increments = incremental_power_curve(spec, duration=0.25)
+        for k, watts in enumerate(increments):
+            rows.append([spec.name, f"{k}->{k + 1} cores", watts])
+    print(render_table(["machine", "step", "incremental watts"], rows,
+                       title="Figure 1: incremental per-core power"))
+
+
+def cmd_calibration(_args) -> None:
+    """Regenerate the Section 4.1 calibration table."""
+    from repro.core import calibrate_machine
+    from repro.hardware import SANDYBRIDGE
+
+    result = calibrate_machine(SANDYBRIDGE, duration=0.25)
+    rows = [["Cidle", result.idle_watts]]
+    for feature, watts in result.cmax_table().items():
+        rows.append([f"C{feature[1:]}", watts])
+    print(render_table(["coefficient (C*Mmax)", "watts"], rows,
+                       title="Section 4.1: SandyBridge calibration"))
+
+
+def cmd_validate(args) -> None:
+    """Regenerate Fig. 8 validation errors for one machine."""
+    from repro.analysis import validate_workload
+    from repro.hardware import spec_by_name
+    from repro.workloads import workload_by_name
+
+    machine = args.machine
+    cals = _calibrations((machine,))
+    spec = spec_by_name(machine)
+    duration = 5.0 if spec.has_package_meter else 12.0
+    rows = []
+    for name in args.workloads:
+        for load in (1.0, 0.5):
+            outcome = validate_workload(
+                workload_by_name(name), spec, cals[machine],
+                load_fraction=load, duration=duration,
+            )
+            rows.append([
+                name, "peak" if load == 1.0 else "half",
+                outcome.measured_active_watts,
+                *(outcome.errors[a] * 100 for a in ("eq1", "eq2", "recal")),
+            ])
+    print(render_table(
+        ["workload", "load", "measured W", "eq1 %", "eq2 %", "recal %"],
+        rows, title=f"Figure 8 (single machine: {machine})",
+        float_format="{:.1f}",
+    ))
+
+
+def cmd_conditioning(_args) -> None:
+    """Regenerate the Fig. 11/12 conditioning comparison."""
+    from repro.analysis import run_conditioning_experiment
+    from repro.hardware import SANDYBRIDGE
+
+    cals = _calibrations(("sandybridge",))
+    rows = []
+    for conditioned in (False, True):
+        outcome = run_conditioning_experiment(
+            SANDYBRIDGE, cals["sandybridge"], conditioned=conditioned,
+            duration=12.0, virus_start=6.0,
+        )
+        rows.append([
+            "conditioned" if conditioned else "original",
+            outcome.mean_power(6.5, 12.0),
+            outcome.peak_power(6.5, 12.0),
+            (1 - outcome.mean_duty(lambda r: r == "virus")) * 100,
+            (1 - outcome.mean_duty(lambda r: r != "virus")) * 100,
+        ])
+    print(render_table(
+        ["system", "mean W", "peak W", "virus slowdown %",
+         "normal slowdown %"],
+        rows, title="Figures 11/12: fair power conditioning",
+        float_format="{:.1f}",
+    ))
+
+
+def cmd_ratios(_args) -> None:
+    """Regenerate Fig. 13 cross-machine energy ratios."""
+    import numpy as np
+    from repro.hardware import spec_by_name
+    from repro.workloads import run_workload, workload_by_name
+
+    cals = _calibrations(("sandybridge", "woodcrest"))
+    rows = []
+    for name in ("rsa-crypto", "solr", "webwork", "stress", "gae-vosao"):
+        energy = {}
+        for machine in ("sandybridge", "woodcrest"):
+            spec = spec_by_name(machine)
+            duration = 6.0 if spec.has_package_meter else 12.0
+            run = run_workload(
+                workload_by_name(name), spec, cals[machine],
+                load_fraction=1.0, duration=duration, warmup=duration * 0.3,
+            )
+            energy[machine] = float(np.mean(
+                [r.energy(run.facility.primary) for r in run.results()]
+            ))
+        rows.append([name, energy["sandybridge"], energy["woodcrest"],
+                     energy["sandybridge"] / energy["woodcrest"]])
+    print(render_table(
+        ["workload", "SandyBridge J", "Woodcrest J", "ratio"], rows,
+        title="Figure 13: cross-machine energy ratio",
+    ))
+
+
+def cmd_sweep(args) -> None:
+    """Run a load sweep of one workload on one machine."""
+    from repro.analysis import load_sweep
+    from repro.hardware import spec_by_name
+    from repro.workloads import workload_by_name
+
+    machine = args.machine
+    cals = _calibrations((machine,))
+    points = load_sweep(
+        workload_by_name(args.workload), spec_by_name(machine),
+        cals[machine], loads=(0.25, 0.5, 0.75, 1.0), duration=4.0,
+    )
+    rows = [
+        [p.load_fraction, p.measured_active_watts,
+         p.mean_response_time * 1e3, p.p95_response_time * 1e3,
+         p.energy_per_request, p.validation_error * 100]
+        for p in points
+    ]
+    print(render_table(
+        ["load", "active W", "mean ms", "p95 ms", "J/request", "val err %"],
+        rows, title=f"load sweep: {args.workload} on {machine}",
+    ))
+
+
+def cmd_distribution(_args) -> None:
+    """Regenerate Fig. 14 / Table 1 dispatch comparison."""
+    from repro.analysis.distribution_experiment import (
+        run_all_distribution_policies,
+    )
+
+    cals = _calibrations(("sandybridge", "woodcrest"))
+    rows = []
+    for name, result in run_all_distribution_policies(cals).items():
+        rows.append([
+            name, result["sb_watts"] + result["wc_watts"],
+            result["rt_vosao"] * 1e3, result["rt_rsa"] * 1e3,
+        ])
+    print(render_table(
+        ["policy", "total W", "Vosao ms", "RSA ms"], rows,
+        title="Figure 14 / Table 1: request distribution",
+        float_format="{:.1f}",
+    ))
+
+
+COMMANDS: dict[str, tuple[Callable, str]] = {
+    "fig01": (cmd_fig01, "Fig. 1: incremental per-core power"),
+    "calibration": (cmd_calibration, "Sec. 4.1: calibration table"),
+    "validate": (cmd_validate, "Fig. 8: validation errors on one machine"),
+    "conditioning": (cmd_conditioning, "Fig. 11/12: fair power capping"),
+    "ratios": (cmd_ratios, "Fig. 13: cross-machine energy ratios"),
+    "distribution": (cmd_distribution, "Fig. 14/Table 1: dispatch policies"),
+    "sweep": (cmd_sweep, "load sweep of one workload on one machine"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate Power Containers (ASPLOS'13) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_fn, help_text) in COMMANDS.items():
+        cmd_parser = sub.add_parser(name, help=help_text)
+        if name == "validate":
+            cmd_parser.add_argument(
+                "--machine", default="sandybridge",
+                choices=("sandybridge", "woodcrest", "westmere"),
+            )
+            cmd_parser.add_argument(
+                "--workloads", nargs="+",
+                default=["solr", "stress", "gae-hybrid"],
+            )
+        elif name == "sweep":
+            cmd_parser.add_argument(
+                "--machine", default="sandybridge",
+                choices=("sandybridge", "woodcrest", "westmere"),
+            )
+            cmd_parser.add_argument("--workload", default="solr")
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        rows = [[name, help_text] for name, (_f, help_text) in COMMANDS.items()]
+        print(render_table(["experiment", "description"], rows,
+                           title="available experiments"))
+        return 0
+    COMMANDS[args.command][0](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,229 @@
+"""Per-core request power accounting (Section 3.3).
+
+Each CPU core gets a :class:`CoreAccountant`.  At every sampling point --
+request context switches on the core, periodic counter-overflow interrupts,
+and in-place binding changes -- the accountant:
+
+1. reads the core's cumulative counters and forms the delta since its last
+   sample (no cross-core synchronization, per Section 3.1);
+2. subtracts the estimated maintenance-induced event counts of its own
+   earlier sampling work (the *observer effect* correction, Section 3.5);
+3. converts the delta to per-elapsed-cycle metrics, estimates the chip
+   maintenance share (Eq. 3), evaluates every configured model approach,
+   and charges ``power * dt`` of energy to the bound container;
+4. posts its fresh utilization to the core's mailbox for sibling reads; and
+5. performs the maintenance work itself: injecting the paper-measured event
+   counts (2948 cycles, 1656 instructions, 16 FLOPs, 3 LLC references) into
+   the counters and the corresponding true energy into ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.chipshare import ChipShareEstimator
+from repro.core.container import PowerContainer
+from repro.core.model import MetricSample, PowerModel
+from repro.core.registry import ContainerRegistry
+from repro.hardware.core import Core
+from repro.hardware.counters import wrapped_delta
+from repro.hardware.events import EventVector
+from repro.hardware.machine import Machine
+
+
+@dataclass(frozen=True)
+class ObserverEffect:
+    """Cost of one container maintenance operation (Section 3.5 numbers)."""
+
+    cycles: float = 2948.0
+    instructions: float = 1656.0
+    flops: float = 16.0
+    cache_refs: float = 3.0
+    mem_trans: float = 0.0
+    #: Wall-clock cost of one maintenance operation.
+    op_seconds: float = 0.95e-6
+
+    def event_vector(self, ops: int = 1) -> EventVector:
+        """Event counts induced by ``ops`` maintenance operations."""
+        return EventVector(
+            nonhalt_cycles=self.cycles * ops,
+            instructions=self.instructions * ops,
+            flops=self.flops * ops,
+            cache_refs=self.cache_refs * ops,
+            mem_trans=self.mem_trans * ops,
+        )
+
+
+@dataclass
+class _Approach:
+    """One accounting approach evaluated in parallel."""
+
+    name: str
+    model: PowerModel
+    chipshare: ChipShareEstimator
+
+
+class CoreAccountant:
+    """Sampling-driven power attribution for one core."""
+
+    def __init__(
+        self,
+        core: Core,
+        machine: Machine,
+        registry: ContainerRegistry,
+        approaches: list[_Approach],
+        primary: str,
+        observer: Optional[ObserverEffect] = None,
+        subtract_observer: bool = True,
+        record_power_history: bool = False,
+    ) -> None:
+        if not approaches:
+            raise ValueError("at least one accounting approach is required")
+        names = [a.name for a in approaches]
+        if primary not in names:
+            raise ValueError(f"primary approach {primary!r} not in {names}")
+        self.core = core
+        self.machine = machine
+        self.registry = registry
+        self.approaches = approaches
+        self.primary = primary
+        self.observer = observer
+        self.subtract_observer = subtract_observer
+        self.record_power_history = record_power_history
+        self.current_container_id: Optional[int] = None
+        #: Name of the process (server stage) currently on the core; used
+        #: for the per-stage breakdown (paper Fig. 4 annotations).
+        self.current_stage: Optional[str] = None
+        #: True while a task occupies the core.  Idle intervals advance the
+        #: snapshot but are not charged to any container (and perform no
+        #: maintenance work -- sampling interrupts stop on idle cores).
+        self.occupied = False
+        self._last_events = core.counters.read()
+        self._last_time = 0.0
+        self._pending_overhead_ops = 0
+        self.samples_taken = 0
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, now: float) -> Optional[MetricSample]:
+        """Account the interval since the last sample on this core.
+
+        Returns the primary-approach metric sample (``None`` for an empty
+        interval), mainly for tests and the conditioning policy.
+        """
+        snapshot = self.core.counters.read()
+        dt = now - self._last_time
+        if dt <= 0.0:
+            self._last_events = snapshot
+            return None
+        if not self.occupied:
+            # Idle interval: nothing ran, nothing to attribute, and no
+            # sampling interrupt would have fired on a real idle core.
+            # Overhead events injected by the previous sample are absorbed
+            # into the new baseline, so the pending correction must reset
+            # with them.
+            self._last_events = snapshot
+            self._last_time = now
+            self._pending_overhead_ops = 0
+            return None
+
+        delta = wrapped_delta(snapshot, self._last_events)
+        if (
+            self.observer is not None
+            and self.subtract_observer
+            and self._pending_overhead_ops > 0
+        ):
+            delta.subtract(
+                self.observer.event_vector(self._pending_overhead_ops), clamp=True
+            )
+        self._pending_overhead_ops = 0
+
+        elapsed_cycles = self.core.freq_hz * dt
+        mcore = min(max(delta.nonhalt_cycles / elapsed_cycles, 0.0), 1.0)
+        base = dict(
+            mcore=mcore,
+            mins=delta.instructions / elapsed_cycles,
+            mfloat=delta.flops / elapsed_cycles,
+            mcache=delta.cache_refs / elapsed_cycles,
+            mmem=delta.mem_trans / elapsed_cycles,
+        )
+
+        container = self.registry.get(self.current_container_id)
+        energy_by_approach: dict[str, float] = {}
+        primary_sample: Optional[MetricSample] = None
+        for approach in self.approaches:
+            share = approach.chipshare.estimate(self.core, mcore)
+            metric = MetricSample(mchipshare=share, **base)
+            watts = approach.model.active_power(metric)
+            energy_by_approach[approach.name] = watts * dt
+            container.observe_power(
+                approach.name,
+                watts,
+                duty_ratio=self.core.duty_ratio,
+                update_ewma=(approach.name == self.primary),
+            )
+            if approach.name == self.primary:
+                primary_sample = metric
+                if self.record_power_history:
+                    container.power_history.append((now, watts))
+
+        container.stats.record_interval(
+            now=now,
+            dt=dt,
+            events=delta,
+            energy_by_approach=energy_by_approach,
+            duty_ratio=self.core.duty_ratio,
+            stage=self.current_stage,
+            primary_approach=self.primary,
+        )
+
+        # Publish fresh utilization for unsynchronized sibling reads (Eq. 3).
+        self.core.mailbox.post(now, mcore)
+
+        self._last_events = snapshot
+        self._last_time = now
+        self.samples_taken += 1
+        self._perform_maintenance_work()
+        return primary_sample
+
+    def sample_and_rebind(
+        self,
+        now: float,
+        container_id: Optional[int],
+        occupied: Optional[bool] = None,
+        stage: Optional[str] = None,
+    ) -> None:
+        """Sample the closing interval, then switch the bound container.
+
+        ``occupied`` updates the core-occupancy flag after the sample:
+        ``True`` on dispatch, ``False`` on undispatch, ``None`` to keep the
+        current state (in-place binding change).  ``stage`` names the
+        incoming process for the per-stage breakdown.
+        """
+        self.sample(now)
+        self.current_container_id = container_id
+        if occupied is not None:
+            self.occupied = occupied
+            self.current_stage = stage if occupied else None
+
+    def _perform_maintenance_work(self) -> None:
+        """Charge the sampling operation's own cost to hardware truth."""
+        if self.observer is None:
+            return
+        overhead = self.observer.event_vector(1)
+        self.core.inject_events(overhead)
+        joules = self.machine.true_model.energy_for_events(
+            overhead, self.core.freq_hz
+        )
+        self.machine.add_impulse_energy(joules, core_index=self.core.index)
+        self._pending_overhead_ops += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bound_container(self) -> PowerContainer:
+        """Container currently charged for this core's activity."""
+        return self.registry.get(self.current_container_id)

@@ -1,0 +1,166 @@
+"""Power anomaly detection: pinpointing power spikes to requests.
+
+The paper motivates power containers with the ability to "pinpoint the
+sources of power spikes and anomalies" (Section 1) -- extreme
+power-consuming tasks ("power viruses") may appear accidentally or be
+devised maliciously, and per-client attribution is what lets the operator
+identify them instead of merely observing a hot machine.
+
+:class:`PowerAnomalyDetector` watches per-request power estimates as the
+facility produces them and maintains a robust baseline (median + MAD of
+recent request power).  A container whose sustained power exceeds the
+baseline by a configurable number of deviations is flagged, with the
+evidence (its power, the population baseline, its event profile) retained
+for the operator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.container import PowerContainer
+from repro.core.registry import BACKGROUND_CONTAINER_ID
+
+
+@dataclass
+class AnomalyReport:
+    """Evidence for one flagged container."""
+
+    container_id: int
+    label: str
+    detected_at: float
+    power_watts: float
+    baseline_watts: float
+    deviations: float
+    meta: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.detected_at:.3f}s] container #{self.container_id} "
+            f"({self.label}): {self.power_watts:.1f} W vs baseline "
+            f"{self.baseline_watts:.1f} W ({self.deviations:.1f} deviations)"
+        )
+
+
+class PowerAnomalyDetector:
+    """Flags requests whose power is anomalous against the recent population.
+
+    Call :meth:`observe` with each fresh per-request power estimate (the
+    facility's conditioner callback path is a natural hook); completed
+    normal requests feed the baseline, and sustained outliers are flagged
+    once per container.
+    """
+
+    def __init__(
+        self,
+        threshold_deviations: float = 5.0,
+        baseline_window: int = 200,
+        min_baseline_samples: int = 20,
+        min_observations: int = 3,
+    ) -> None:
+        if threshold_deviations <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold_deviations = threshold_deviations
+        self.min_baseline_samples = min_baseline_samples
+        self.min_observations = min_observations
+        self._baseline: deque[float] = deque(maxlen=baseline_window)
+        self._suspect_counts: dict[int, int] = {}
+        self.reports: list[AnomalyReport] = []
+        self._flagged: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def baseline_watts(self) -> Optional[float]:
+        """Robust location of the recent request-power population."""
+        if len(self._baseline) < self.min_baseline_samples:
+            return None
+        return float(np.median(self._baseline))
+
+    @property
+    def baseline_mad_watts(self) -> Optional[float]:
+        """Robust scale (median absolute deviation) of the population."""
+        if len(self._baseline) < self.min_baseline_samples:
+            return None
+        arr = np.asarray(self._baseline)
+        mad = float(np.median(np.abs(arr - np.median(arr))))
+        # Floor the scale at the watt level: chip-share attribution makes a
+        # lone request's instantaneous power legitimately swing by a few
+        # watts as siblings come and go.
+        return max(mad, 1.0)
+
+    def observe(
+        self, container: PowerContainer, watts: float, now: float
+    ) -> Optional[AnomalyReport]:
+        """Feed one power observation; returns a report if newly flagged."""
+        if container.id == BACKGROUND_CONTAINER_ID:
+            return None
+        baseline = self.baseline_watts
+        mad = self.baseline_mad_watts
+        if baseline is None or mad is None:
+            self._baseline.append(watts)
+            return None
+        deviations = (watts - baseline) / mad
+        if deviations < self.threshold_deviations:
+            self._baseline.append(watts)
+            self._suspect_counts.pop(container.id, None)
+            return None
+        # Outlier: require sustained evidence before flagging, and flag a
+        # container at most once.  Anomalous samples do NOT join the
+        # baseline (they would poison it).
+        count = self._suspect_counts.get(container.id, 0) + 1
+        self._suspect_counts[container.id] = count
+        if count < self.min_observations or container.id in self._flagged:
+            return None
+        self._flagged.add(container.id)
+        report = AnomalyReport(
+            container_id=container.id,
+            label=container.label,
+            detected_at=now,
+            power_watts=watts,
+            baseline_watts=baseline,
+            deviations=deviations,
+            meta=dict(container.meta),
+        )
+        self.reports.append(report)
+        return report
+
+    def is_flagged(self, container_id: int) -> bool:
+        """True when the container has been reported as anomalous."""
+        return container_id in self._flagged
+
+
+class DetectingConditionerBridge:
+    """Adapter: runs a detector on the facility's conditioning callbacks.
+
+    Install via ``facility.attach_conditioner(bridge)``.  The bridge feeds
+    every per-request power estimate to the detector and, optionally,
+    delegates to a real :class:`~repro.core.conditioning.PowerConditioner`
+    so detection and capping can run together.
+    """
+
+    def __init__(self, detector: PowerAnomalyDetector, simulator,
+                 conditioner=None) -> None:
+        self.detector = detector
+        self.simulator = simulator
+        self.conditioner = conditioner
+
+    def _feed(self, container: PowerContainer) -> None:
+        watts = container.last_power_watts.get("recal")
+        if watts is None and container.last_power_watts:
+            watts = next(iter(container.last_power_watts.values()))
+        if watts is not None and watts > 0:
+            self.detector.observe(container, watts, self.simulator.now)
+
+    def adjust(self, core, container) -> None:
+        self._feed(container)
+        if self.conditioner is not None:
+            self.conditioner.adjust(core, container)
+
+    def on_context_switch(self, core, container) -> None:
+        self._feed(container)
+        if self.conditioner is not None:
+            self.conditioner.on_context_switch(core, container)

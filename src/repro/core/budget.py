@@ -1,0 +1,96 @@
+"""Per-request energy budgets (Cinder-style control, applied to requests).
+
+The paper's related work highlights Cinder's energy abstractions
+(isolation, delegation, subdivision) for mobile devices; power containers
+make the analogous *server-side* control possible at request granularity.
+:class:`EnergyBudgetConditioner` gives each container an energy allowance:
+
+* while a request is within budget it runs at full speed;
+* once its attributed energy exceeds the allowance, its execution is
+  clamped to a low duty-cycle level (it still completes, slowly -- a
+  gentler policy than killing, appropriate for requests that may hold
+  locks or transactions);
+* budgets can be assigned per request type, with delegation: a container
+  may be granted extra budget at runtime.
+
+This composes with the facility exactly like the Section 3.4 conditioner
+(same ``adjust``/``on_context_switch`` interface).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.container import PowerContainer
+from repro.core.registry import BACKGROUND_CONTAINER_ID
+from repro.hardware.core import DUTY_LEVELS, Core
+from repro.kernel import Kernel
+
+
+class EnergyBudgetConditioner:
+    """Throttles requests that exhaust their energy allowance."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        default_budget_joules: float,
+        approach: str = "recal",
+        budget_for: Optional[Callable[[PowerContainer], float]] = None,
+        exhausted_duty_level: int = 1,
+    ) -> None:
+        if default_budget_joules <= 0:
+            raise ValueError("default budget must be positive")
+        if not 1 <= exhausted_duty_level <= DUTY_LEVELS:
+            raise ValueError(
+                f"duty level must be in [1, {DUTY_LEVELS}]"
+            )
+        self.kernel = kernel
+        self.approach = approach
+        self.default_budget_joules = default_budget_joules
+        self.budget_for = budget_for
+        self.exhausted_duty_level = exhausted_duty_level
+        #: Extra budget granted at runtime (delegation), per container id.
+        self._grants: dict[int, float] = {}
+        self.exhausted: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def budget_of(self, container: PowerContainer) -> float:
+        """Total allowance of a container (base + runtime grants)."""
+        base = (
+            self.budget_for(container)
+            if self.budget_for is not None
+            else self.default_budget_joules
+        )
+        return base + self._grants.get(container.id, 0.0)
+
+    def remaining(self, container: PowerContainer) -> float:
+        """Unused allowance (can be negative once exceeded)."""
+        return self.budget_of(container) - container.total_energy(self.approach)
+
+    def grant(self, container: PowerContainer, joules: float) -> None:
+        """Delegate extra energy to a container at runtime."""
+        if joules < 0:
+            raise ValueError("grants must be non-negative")
+        self._grants[container.id] = (
+            self._grants.get(container.id, 0.0) + joules
+        )
+        if self.remaining(container) > 0:
+            self.exhausted.discard(container.id)
+
+    def _level_for(self, container: PowerContainer) -> int:
+        if container.id == BACKGROUND_CONTAINER_ID:
+            return DUTY_LEVELS
+        if self.remaining(container) <= 0.0:
+            self.exhausted.add(container.id)
+            return self.exhausted_duty_level
+        self.exhausted.discard(container.id)
+        return DUTY_LEVELS
+
+    # -- facility conditioner interface ---------------------------------
+    def adjust(self, core: Core, container: PowerContainer) -> None:
+        level = self._level_for(container)
+        if core.duty_level != level:
+            self.kernel.set_core_duty(core, level)
+
+    def on_context_switch(self, core: Core, container: PowerContainer) -> None:
+        self.adjust(core, container)

@@ -1,0 +1,86 @@
+"""Chip-wide DVFS power capping -- the contrast case to power containers.
+
+Before per-request duty-cycle throttling, the standard way to cap a
+multicore server's power was package-level frequency/voltage scaling.  The
+:class:`DvfsConditioner` implements that baseline: a proportional
+controller that steps each chip's P-state down when the machine's estimated
+active power exceeds the target, and back up when there is headroom.
+
+Because the knob is *chip-wide*, every request on the chip slows down when
+a single power virus drives the total up -- the indiscriminate penalty the
+paper's container-specific duty modulation avoids (Section 3.4).  The
+``bench_ablation_dvfs`` benchmark quantifies the fairness difference.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.chip import DVFS_SCALES
+from repro.kernel import Kernel
+
+
+class DvfsConditioner:
+    """Machine power capping via per-chip frequency scaling.
+
+    Plugs into the facility's conditioner interface (``adjust`` /
+    ``on_context_switch``) but ignores the per-request information -- it
+    only looks at the machine-wide power estimate, as a container-oblivious
+    governor would.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        target_active_watts: float,
+        headroom: float = 0.97,
+    ) -> None:
+        if target_active_watts <= 0:
+            raise ValueError("power target must be positive")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.target_active_watts = target_active_watts
+        self.headroom = headroom
+        self.adjustments = 0
+
+    # ------------------------------------------------------------------
+    def _estimated_active_watts(self) -> float:
+        """Machine-wide power estimate from the facility's last samples.
+
+        Sums the per-core bound containers' most recent power estimates --
+        the same information source the fair conditioner uses, aggregated.
+        """
+        facility = self.kernel.hooks
+        total = 0.0
+        for accountant in getattr(facility, "accountants", {}).values():
+            if not accountant.occupied:
+                continue
+            container = accountant.bound_container
+            for watts in container.last_power_watts.values():
+                total += watts
+                break
+        return total
+
+    def _step(self, chip, direction: int) -> None:
+        scales = list(DVFS_SCALES)
+        index = scales.index(chip.freq_scale)
+        new_index = min(max(index + direction, 0), len(scales) - 1)
+        if new_index != index:
+            self.kernel.set_chip_frequency(chip, scales[new_index])
+            self.adjustments += 1
+
+    def _govern(self) -> None:
+        estimate = self._estimated_active_watts()
+        if estimate <= 0:
+            return
+        for chip in self.machine.chips:
+            if estimate > self.target_active_watts:
+                self._step(chip, +1)   # slower P-state
+            elif estimate < self.target_active_watts * self.headroom:
+                self._step(chip, -1)   # faster P-state
+
+    # -- facility conditioner interface ---------------------------------
+    def adjust(self, core, container) -> None:
+        self._govern()
+
+    def on_context_switch(self, core, container) -> None:
+        # Chip-wide governor: nothing request-specific to do at dispatch.
+        pass

@@ -1,0 +1,468 @@
+"""The power-container facility: everything wired onto a kernel.
+
+:class:`PowerContainerFacility` implements the kernel's hook interface and
+assembles the full Section 3 machinery for one machine:
+
+* a :class:`~repro.core.registry.ContainerRegistry` holding per-request
+  containers plus the background container;
+* one :class:`~repro.core.accounting.CoreAccountant` per core, evaluating
+  the configured accounting approaches in parallel (so validation can
+  compare approaches #1/#2/#3 from one run);
+* a machine-level *model tracer* producing the modelled power series that
+  measurement alignment and Fig. 2/3 need;
+* a recalibration manager that aligns delayed meter samples against the
+  model trace via cross-correlation (Eq. 4) and refits the recalibrated
+  approach's coefficients online; and
+* optional request power conditioning (attached separately).
+
+Request drivers use :meth:`create_request_container` to mint a container,
+tag the injected request message with its id, and
+:meth:`complete_request` when the response arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.accounting import CoreAccountant, ObserverEffect, _Approach
+from repro.core.alignment import estimate_delay
+from repro.core.calibration import CalibrationResult
+from repro.core.chipshare import ChipShareEstimator
+from repro.core.container import PowerContainer
+from repro.core.model import (
+    FEATURES_EQ1,
+    FEATURES_EQ2,
+    FEATURES_FULL,
+    MetricSample,
+    PowerModel,
+)
+from repro.core.recalibration import OnlineRecalibrator
+from repro.core.registry import ContainerRegistry
+from repro.hardware.core import Core
+from repro.hardware.counters import wrapped_delta
+from repro.hardware.meters import _PeriodicMeter
+from repro.kernel import Kernel, KernelHooks, Message, Process
+from repro.kernel.sockets import Endpoint
+
+
+@dataclass(frozen=True)
+class ApproachConfig:
+    """Configuration of one accounting approach evaluated in parallel."""
+
+    name: str
+    features: tuple[str, ...]
+    chipshare_mode: str
+    recalibrated: bool = False
+    idle_task_check: bool = True
+
+
+def default_approaches() -> list[ApproachConfig]:
+    """The paper's three validation approaches (Section 4.2).
+
+    Approach #1 models core-level events only (Eq. 1).  Approaches #2/#3
+    use the full-system feature set -- Eq. 2's chip share plus the
+    Section 3.3 peripheral terms -- so device power is not absorbed into
+    CPU coefficients during calibration.  Per-task metric samples carry
+    zero disk/net activity (I/O energy is attributed separately), so the
+    peripheral features do not perturb per-request CPU estimates.
+    """
+    return [
+        ApproachConfig("eq1", FEATURES_EQ1, chipshare_mode="none"),
+        ApproachConfig("eq2", FEATURES_FULL, chipshare_mode="mailbox"),
+        ApproachConfig(
+            "recal", FEATURES_FULL, chipshare_mode="mailbox", recalibrated=True
+        ),
+    ]
+
+
+@dataclass
+class ModelTracePoint:
+    """One machine-level model sample (interval ending at ``time``)."""
+
+    time: float
+    row: np.ndarray  # over FEATURES_FULL
+    watts: float  # primary-model machine active power estimate
+
+
+class PowerContainerFacility(KernelHooks):
+    """Power containers for one machine (attaches itself to the kernel)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        calibration: CalibrationResult,
+        approaches: Optional[list[ApproachConfig]] = None,
+        primary: Optional[str] = None,
+        observer: Optional[ObserverEffect] = ObserverEffect(),
+        subtract_observer: bool = True,
+        meter: Optional[_PeriodicMeter] = None,
+        meter_idle_watts: float = 0.0,
+        meter_covers_peripherals: bool = False,
+        recalib_interval: float = 0.5,
+        max_delay_seconds: float = 2.5,
+        trace_period: Optional[float] = None,
+        os_subsample: float = 1e-3,
+        record_power_history: bool = False,
+        track_user_level_stages: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.simulator = kernel.simulator
+        self.calibration = calibration
+        self.registry = ContainerRegistry()
+        configs = approaches if approaches is not None else default_approaches()
+        self.approach_configs = {c.name: c for c in configs}
+        self.primary = primary if primary is not None else configs[-1].name
+        if self.primary not in self.approach_configs:
+            raise ValueError(f"primary approach {self.primary!r} not configured")
+
+        self.models: dict[str, PowerModel] = {}
+        self.recalibrators: dict[str, OnlineRecalibrator] = {}
+        approach_objs: list[_Approach] = []
+        for config in configs:
+            model = calibration.fit(config.features, label=config.name)
+            self.models[config.name] = model
+            estimator = ChipShareEstimator(
+                mode=config.chipshare_mode,
+                idle_task_check=config.idle_task_check,
+            )
+            approach_objs.append(
+                _Approach(name=config.name, model=model, chipshare=estimator)
+            )
+            if config.recalibrated:
+                indexes = [FEATURES_FULL.index(f) for f in config.features]
+                self.recalibrators[config.name] = OnlineRecalibrator(
+                    model,
+                    calibration.samples[:, indexes],
+                    calibration.active_watts,
+                )
+
+        #: Full-feature model used to attribute peripheral I/O energy.
+        self.io_model = calibration.fit(FEATURES_FULL, label="io")
+
+        self.observer = observer
+        self.accountants: dict[int, CoreAccountant] = {
+            core.index: CoreAccountant(
+                core=core,
+                machine=self.machine,
+                registry=self.registry,
+                approaches=list(approach_objs),
+                primary=self.primary,
+                observer=observer,
+                subtract_observer=subtract_observer,
+                record_power_history=record_power_history,
+            )
+            for core in self.machine.cores
+        }
+
+        # --- model trace + recalibration -------------------------------
+        self.meter = meter
+        self.meter_idle_watts = meter_idle_watts
+        self.meter_covers_peripherals = meter_covers_peripherals
+        self.recalib_interval = recalib_interval
+        self.max_delay_seconds = max_delay_seconds
+        self.trace_period = (
+            trace_period
+            if trace_period is not None
+            else (meter.period if meter is not None else 10e-3)
+        )
+        self.os_subsample = min(os_subsample, self.trace_period)
+        self.trace: list[ModelTracePoint] = []
+        self.estimated_delay_samples: Optional[int] = None
+        #: When true, estimated_delay_samples was set externally (ablation)
+        #: and must not be re-estimated.
+        self._delay_pinned = False
+        self._meter_consumed = 0
+        self._tick_chip_active = [0] * len(self.machine.chips)
+        self._tick_disk = 0
+        self._tick_net = 0
+        self._tick_subsamples = 0
+        self._trace_last_counters = [
+            kernel.effective_counters(core) for core in self.machine.cores
+        ]
+        self._tracing = False
+
+        #: Optional conditioning policy (see attach_conditioner).
+        self.conditioner = None
+
+        #: User-level stage-transfer inference (the paper's future work,
+        #: after Whodunit): learned binding of synchronization-object keys
+        #: to containers.  Off => event-driven servers are mis-attributed,
+        #: exactly the limitation Section 3.3 describes.
+        self.track_user_level_stages = track_user_level_stages
+        self._sync_bindings: dict[Any, int] = {}
+
+        kernel.hooks = self
+
+    # ------------------------------------------------------------------
+    # Request lifecycle API (used by workload drivers)
+    # ------------------------------------------------------------------
+    def create_request_container(
+        self, label: str = "", meta: Optional[dict[str, Any]] = None
+    ) -> PowerContainer:
+        """Mint a container for a new request (holds one driver reference)."""
+        container = self.registry.create(
+            label=label, created_at=self.simulator.now, meta=meta
+        )
+        container.refcount += 1
+        return container
+
+    def complete_request(self, container: PowerContainer) -> None:
+        """Release the driver's reference when the response is delivered."""
+        self.registry.decref(container.id)
+
+    def attach_conditioner(self, conditioner) -> None:
+        """Install a power conditioning policy (Section 3.4)."""
+        self.conditioner = conditioner
+
+    # ------------------------------------------------------------------
+    # Model trace & recalibration
+    # ------------------------------------------------------------------
+    def start_tracing(self) -> None:
+        """Begin the periodic machine-level model trace (and recalibration)."""
+        if self._tracing:
+            return
+        self._tracing = True
+        self._trace_last_counters = [
+            self.kernel.effective_counters(core) for core in self.machine.cores
+        ]
+        self.simulator.schedule(self.os_subsample, self._os_tick)
+        self.simulator.schedule(self.trace_period, self._trace_tick)
+        if self.meter is not None:
+            self.meter.start()
+            self.simulator.schedule(self.recalib_interval, self._recalib_tick)
+
+    def _os_tick(self) -> None:
+        if not self._tracing:
+            return
+        self._tick_subsamples += 1
+        for chip in self.machine.chips:
+            if chip.active:
+                self._tick_chip_active[chip.index] += 1
+        if self.machine.disk.busy:
+            self._tick_disk += 1
+        if self.machine.net.busy:
+            self._tick_net += 1
+        self.simulator.schedule(self.os_subsample, self._os_tick)
+
+    def _trace_tick(self) -> None:
+        if not self._tracing:
+            return
+        now = self.simulator.now
+        elapsed_cycles = self.machine.freq_hz * self.trace_period
+        totals = np.zeros(5)
+        for i, core in enumerate(self.machine.cores):
+            snap = self.kernel.effective_counters(core)
+            delta = wrapped_delta(snap, self._trace_last_counters[i])
+            self._trace_last_counters[i] = snap
+            totals += np.array(
+                [
+                    delta.nonhalt_cycles,
+                    delta.instructions,
+                    delta.flops,
+                    delta.cache_refs,
+                    delta.mem_trans,
+                ]
+            )
+        subs = max(self._tick_subsamples, 1)
+        chipshare = sum(t / subs for t in self._tick_chip_active)
+        mdisk = self._tick_disk / subs
+        mnet = self._tick_net / subs
+        self._tick_chip_active = [0] * len(self.machine.chips)
+        self._tick_disk = 0
+        self._tick_net = 0
+        self._tick_subsamples = 0
+
+        row = np.concatenate([totals / elapsed_cycles, [chipshare, mdisk, mnet]])
+        primary_model = self.models[self.primary]
+        indexes = [FEATURES_FULL.index(f) for f in primary_model.features]
+        watts = float(
+            np.clip(row[indexes] @ primary_model.coefficients, 0.0, None)
+        )
+        self.trace.append(ModelTracePoint(time=now, row=row, watts=watts))
+        self.simulator.schedule(self.trace_period, self._trace_tick)
+
+    def _recalib_tick(self) -> None:
+        if not self._tracing:
+            return
+        self._run_recalibration()
+        self.simulator.schedule(self.recalib_interval, self._recalib_tick)
+
+    def _run_recalibration(self) -> None:
+        """Align newly delivered meter samples and refit the live model."""
+        if self.meter is None or not self.recalibrators:
+            return
+        available = self.meter.samples_available(self.simulator.now)
+        max_delay_samples = int(round(self.max_delay_seconds / self.trace_period))
+        if len(available) < max_delay_samples + 5 or len(self.trace) < 5:
+            return
+        measured = np.array([s.watts - self.meter_idle_watts for s in available])
+        modeled = np.array([p.watts for p in self.trace])
+        if not self._delay_pinned:
+            # Re-estimate with the full series each round (the correlation
+            # over a handful of delays is cheap); the estimate stabilizes
+            # quickly and the lag itself does not change on a machine.
+            self.estimated_delay_samples = estimate_delay(
+                measured, modeled, min(max_delay_samples, len(modeled) - 1)
+            )
+        delay = self.estimated_delay_samples
+
+        new_samples = available[self._meter_consumed:]
+        if not new_samples:
+            return
+        self._meter_consumed = len(available)
+
+        rows = []
+        watts = []
+        for sample in new_samples:
+            # Software sees only the delivery time; shifting it back by the
+            # alignment-estimated delay recovers the interval the reading
+            # actually describes (Section 3.2).
+            observed_index = int(round(sample.available_at / self.trace_period)) - 1
+            model_index = observed_index - delay
+            if model_index < 0 or model_index >= len(self.trace):
+                continue
+            row = self.trace[model_index].row
+            active = sample.watts - self.meter_idle_watts
+            if self.meter_covers_peripherals:
+                # Remove the (offline-modelled) peripheral power so the CPU
+                # model is fitted against CPU active power only.
+                active -= self.io_model.coefficient("mdisk") * row[
+                    FEATURES_FULL.index("mdisk")
+                ]
+                active -= self.io_model.coefficient("mnet") * row[
+                    FEATURES_FULL.index("mnet")
+                ]
+            rows.append(row)
+            watts.append(max(active, 0.0))
+        if not rows:
+            return
+        row_matrix = np.vstack(rows)
+        for name, recalibrator in self.recalibrators.items():
+            features = self.models[name].features
+            indexes = [FEATURES_FULL.index(f) for f in features]
+            recalibrator.add_pairs(row_matrix[:, indexes], np.array(watts))
+            recalibrator.recalibrate()
+
+    # ------------------------------------------------------------------
+    # Kernel hook implementations
+    # ------------------------------------------------------------------
+    def on_dispatch(self, core: Core, process: Process) -> None:
+        accountant = self.accountants[core.index]
+        accountant.sample_and_rebind(
+            self.simulator.now, process.container_id, occupied=True,
+            stage=process.name,
+        )
+        if self.conditioner is not None:
+            self.conditioner.on_context_switch(core, accountant.bound_container)
+
+    def on_undispatch(self, core: Core, process: Process, reason: str) -> None:
+        self.accountants[core.index].sample_and_rebind(
+            self.simulator.now, None, occupied=False
+        )
+
+    def on_overflow(self, core: Core, process: Process) -> None:
+        accountant = self.accountants[core.index]
+        accountant.sample(self.simulator.now)
+        if self.conditioner is not None:
+            self.conditioner.adjust(core, accountant.bound_container)
+
+    def on_binding_change(
+        self, process: Process, old_id: Optional[int], new_id: Optional[int]
+    ) -> None:
+        if process.core_index is not None:
+            self.accountants[process.core_index].sample_and_rebind(
+                self.simulator.now, new_id
+            )
+        if old_id is not None:
+            self.registry.decref(old_id)
+        if new_id is not None:
+            self.registry.incref(new_id)
+
+    def on_fork(self, parent: Process, child: Process) -> None:
+        if child.container_id is not None:
+            self.registry.incref(child.container_id)
+
+    def on_exit(self, process: Process) -> None:
+        if process.container_id is not None:
+            self.registry.decref(process.container_id)
+
+    def on_send(self, process: Process, message: Message, dest: Endpoint) -> None:
+        if message.tag.container_id is not None:
+            self.registry.incref(message.tag.container_id)
+
+    def on_recv(self, process: Process, message: Message, source: Endpoint) -> None:
+        tag = message.tag
+        if tag.carried_stats and tag.container_id is not None:
+            self.registry.get(tag.container_id).stats.merge_carried(
+                tag.carried_stats
+            )
+        if tag.container_id is not None:
+            self.registry.decref(tag.container_id)
+
+    def on_io(self, process: Process, device_name: str, nbytes: float) -> None:
+        container = self.registry.get(process.container_id)
+        device = self.machine.disk if device_name == "disk" else self.machine.net
+        duration = device.transfer_time(nbytes)
+        feature = "mdisk" if device_name == "disk" else "mnet"
+        container.stats.io_energy_joules += (
+            self.io_model.coefficient(feature) * duration
+        )
+        if device_name == "disk":
+            container.stats.events.disk_bytes += nbytes
+        else:
+            container.stats.events.net_bytes += nbytes
+
+    def on_sync(self, process: Process, key: Any) -> None:
+        if not self.track_user_level_stages:
+            return
+        known = self._sync_bindings.get(key)
+        if known is None:
+            # First access under some binding: learn the association (the
+            # lock guards that request's continuation state).
+            if process.container_id is not None:
+                self._sync_bindings[key] = process.container_id
+            return
+        if known != process.container_id:
+            # The process resumed another request's continuation: rebind
+            # (samples the closing interval first, via on_binding_change).
+            self.kernel.rebind(process, known)
+
+    def export_stats(self, process: Process) -> Optional[dict[str, float]]:
+        if process.container_id is None:
+            return None
+        # Bring the container current: account the sender's in-progress
+        # interval so the tagged message carries up-to-date statistics.
+        if process.core_index is not None:
+            self.accountants[process.core_index].sample(self.simulator.now)
+        return self.registry.get(process.container_id).export_carried_delta()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers for experiments
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Force a sample on every core (end-of-experiment accounting)."""
+        now = self.simulator.now
+        for accountant in self.accountants.values():
+            accountant.sample(now)
+
+    def model_trace_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(interval-end times, modelled machine active watts) arrays."""
+        times = np.array([p.time for p in self.trace])
+        watts = np.array([p.watts for p in self.trace])
+        return times, watts
+
+    def pin_delay(self, delay_samples: int) -> None:
+        """Force a fixed measurement delay (alignment ablation)."""
+        self.estimated_delay_samples = delay_samples
+        self._delay_pinned = True
+
+    @property
+    def estimated_delay_seconds(self) -> Optional[float]:
+        """Alignment-estimated meter delay, if computed."""
+        if self.estimated_delay_samples is None:
+            return None
+        return self.estimated_delay_samples * self.trace_period

@@ -1,0 +1,180 @@
+"""The linear event-driven power model (paper Eq. 1 and Eq. 2).
+
+Active power is modelled as a linear function of hardware-event metrics::
+
+    P_active = C_core*M_core + C_ins*M_ins + C_float*M_float
+             + C_cache*M_cache + C_mem*M_mem            (Eq. 1)
+             + C_chipshare*M_chipshare                  (Eq. 2 adds this)
+
+with optional disk/network terms for the full-system model (Section 3.3).
+The same coefficient vector serves both granularities the paper uses:
+
+* **machine-level**, when the metrics sum event rates over all cores (used
+  for calibration fitting and for the model trace compared against meters);
+* **per-task**, when the metrics come from the core the task runs on (used
+  by the per-request accountants).
+
+Models are immutable except through :meth:`PowerModel.update_coefficients`,
+which online recalibration (Section 3.2) uses to swap in refitted values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: All modelled metrics, in canonical coefficient order.
+ALL_FEATURES = (
+    "mcore",
+    "mins",
+    "mfloat",
+    "mcache",
+    "mmem",
+    "mchipshare",
+    "mdisk",
+    "mnet",
+)
+
+#: Eq. 1 features: core-level events only (validation approach #1).
+FEATURES_EQ1 = ("mcore", "mins", "mfloat", "mcache", "mmem")
+
+#: Eq. 2 features: Eq. 1 plus the shared-chip-power share metric.
+FEATURES_EQ2 = FEATURES_EQ1 + ("mchipshare",)
+
+#: Full-system features including peripheral activity.
+FEATURES_FULL = FEATURES_EQ2 + ("mdisk", "mnet")
+
+
+@dataclass
+class MetricSample:
+    """One observation of the modelled metrics.
+
+    ``mcore`` is non-halt cycles per elapsed cycle; ``mins``/``mfloat``/
+    ``mcache``/``mmem`` are events per elapsed cycle; ``mchipshare`` is the
+    Eq. 3 share of chip maintenance power; ``mdisk``/``mnet`` are device
+    utilization fractions.
+    """
+
+    mcore: float = 0.0
+    mins: float = 0.0
+    mfloat: float = 0.0
+    mcache: float = 0.0
+    mmem: float = 0.0
+    mchipshare: float = 0.0
+    mdisk: float = 0.0
+    mnet: float = 0.0
+
+    def as_vector(self, features: tuple[str, ...]) -> np.ndarray:
+        """Project the sample onto a feature subset, in order."""
+        return np.array([getattr(self, name) for name in features], dtype=float)
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view of all metrics."""
+        return {name: getattr(self, name) for name in ALL_FEATURES}
+
+
+class PowerModel:
+    """A calibrated linear active-power model over a feature subset."""
+
+    def __init__(
+        self,
+        features: tuple[str, ...],
+        coefficients: np.ndarray,
+        idle_watts: float = 0.0,
+        label: str = "model",
+    ) -> None:
+        unknown = set(features) - set(ALL_FEATURES)
+        if unknown:
+            raise ValueError(f"unknown features: {sorted(unknown)}")
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape != (len(features),):
+            raise ValueError(
+                f"coefficient shape {coefficients.shape} does not match "
+                f"{len(features)} features"
+            )
+        self.features = tuple(features)
+        self._coef = coefficients.copy()
+        #: Constant idle power measured at calibration time (Cidle).  Not
+        #: part of the active-power estimate; recorded for completeness and
+        #: for converting measured full power to active power.
+        self.idle_watts = idle_watts
+        self.label = label
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Copy of the current coefficient vector (aligned with features)."""
+        return self._coef.copy()
+
+    def coefficient(self, feature: str) -> float:
+        """Coefficient of one feature (0.0 when the feature is not used)."""
+        if feature not in self.features:
+            return 0.0
+        return float(self._coef[self.features.index(feature)])
+
+    def active_power(self, sample: MetricSample) -> float:
+        """Estimated active power for one metric observation, clamped >= 0."""
+        watts = float(self._coef @ sample.as_vector(self.features))
+        return max(watts, 0.0)
+
+    def active_power_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Estimated active power for rows of feature vectors."""
+        samples = np.asarray(samples, dtype=float)
+        return np.clip(samples @ self._coef, 0.0, None)
+
+    def update_coefficients(self, coefficients: np.ndarray) -> None:
+        """Swap in recalibrated coefficients (same feature set)."""
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape != self._coef.shape:
+            raise ValueError("coefficient vector shape mismatch")
+        self._coef = coefficients.copy()
+
+    def copy(self, label: str | None = None) -> "PowerModel":
+        """Independent copy (recalibration never mutates the original)."""
+        return PowerModel(
+            self.features,
+            self._coef,
+            idle_watts=self.idle_watts,
+            label=label if label is not None else self.label,
+        )
+
+    @staticmethod
+    def fit(
+        samples: np.ndarray,
+        active_watts: np.ndarray,
+        features: tuple[str, ...],
+        idle_watts: float = 0.0,
+        label: str = "fitted",
+        sample_weights: np.ndarray | None = None,
+    ) -> "PowerModel":
+        """Least-square-fit a model from (feature-vector, power) pairs.
+
+        ``samples`` is an ``(n, len(features))`` matrix.  Weighted fitting
+        supports the recalibration policy of weighing offline and online
+        samples equally (Section 3.2).  Coefficients are clamped at zero:
+        a negative event-power contribution is physically meaningless and
+        only arises from collinear calibration inputs.
+        """
+        samples = np.asarray(samples, dtype=float)
+        active_watts = np.asarray(active_watts, dtype=float)
+        if samples.ndim != 2 or samples.shape[1] != len(features):
+            raise ValueError("sample matrix shape does not match features")
+        if samples.shape[0] != active_watts.shape[0]:
+            raise ValueError("sample and power counts differ")
+        if samples.shape[0] < len(features):
+            raise ValueError(
+                f"need at least {len(features)} samples, got {samples.shape[0]}"
+            )
+        if sample_weights is not None:
+            weights = np.sqrt(np.asarray(sample_weights, dtype=float))
+            samples = samples * weights[:, None]
+            active_watts = active_watts * weights
+        coef, *_ = np.linalg.lstsq(samples, active_watts, rcond=None)
+        coef = np.clip(coef, 0.0, None)
+        return PowerModel(features, coef, idle_watts=idle_watts, label=label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = ", ".join(
+            f"{name}={c:.3g}" for name, c in zip(self.features, self._coef)
+        )
+        return f"PowerModel({self.label!r}: {terms}, idle={self.idle_watts:.3g})"

@@ -1,0 +1,72 @@
+"""Optional shared-cache/memory contention model.
+
+The paper notes (Section 4.2, prediction discussion) that per-request
+energy profiles transfer across workload conditions *except* for workloads
+"(like Stress) that exhibit dynamic behaviors at different resource
+contention levels on the multicore".  By default this simulation executes
+requests at contention-independent speed; enabling a
+:class:`CacheContentionModel` on a machine makes cache/memory-heavy tasks
+slow each other down on a shared chip:
+
+* each busy core exerts *pressure* proportional to its profile's LLC and
+  memory rates;
+* when a chip's total pressure exceeds the threshold (roughly the
+  bandwidth the uncore can absorb), every busy core's *work per cycle*
+  drops -- stall cycles still burn as non-halt cycles, but fewer
+  instructions (and proportionally fewer cache/memory events) retire per
+  cycle, exactly how contention looks in real hardware counters.
+
+The model is deliberately simple (linear in excess pressure) and is OFF by
+default so the calibrated headline results are unaffected;
+``bench_ablation_contention`` demonstrates the profile-transfer failure it
+induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.chip import Chip
+    from repro.hardware.core import Core
+
+
+@dataclass(frozen=True)
+class CacheContentionModel:
+    """Linear contention: slowdown grows with excess chip pressure."""
+
+    #: Chip pressure (summed weighted event rates) absorbed without any
+    #: slowdown.  A single heavy task (LLC ~0.016/cycle + mem ~0.009/cycle,
+    #: pressure ~0.052) stays un-contended.
+    pressure_threshold: float = 0.06
+    #: Slowdown per unit of excess pressure.
+    alpha: float = 10.0
+    #: Memory transactions pressure weight relative to LLC references
+    #: (a DRAM transaction occupies the shared path far longer).
+    mem_weight: float = 4.0
+
+    def core_pressure(self, core: "Core") -> float:
+        """Pressure one busy core exerts on its chip's shared path."""
+        profile = core.active_profile
+        if profile is None:
+            return 0.0
+        per_cycle = (
+            profile.cache_per_cycle + self.mem_weight * profile.mem_per_cycle
+        )
+        return per_cycle * core.duty_ratio
+
+    def chip_pressure(self, chip: "Chip") -> float:
+        """Total pressure of all busy cores on one chip."""
+        return sum(self.core_pressure(core) for core in chip.cores)
+
+    def work_fraction(self, core: "Core") -> float:
+        """Instructions retired per non-halt cycle, relative to solo run.
+
+        1.0 means un-contended; smaller values mean the core spends part of
+        its cycles stalled on the shared cache/memory path.
+        """
+        excess = self.chip_pressure(core.chip) - self.pressure_threshold
+        if excess <= 0:
+            return 1.0
+        return 1.0 / (1.0 + self.alpha * excess)

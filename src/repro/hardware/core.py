@@ -1,0 +1,152 @@
+"""A simulated CPU core with duty-cycle modulation.
+
+The core exposes exactly the knobs the paper's kernel uses:
+
+* hardware event counters with non-halt-cycle overflow interrupts
+  (:class:`~repro.hardware.counters.CounterBank`),
+* per-core duty-cycle modulation in eighths (Intel's clock modulation MSR
+  supports multipliers of 1/8; Section 3.4), and
+* a "currently running" activity profile that the ground-truth power model
+  reads.
+
+Execution itself is driven by the kernel scheduler: it calls
+:meth:`Core.run_for_cycles` to burn a slice of non-halt cycles for the
+current task.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.hardware.counters import CounterBank, SampleMailbox
+from repro.hardware.events import EventVector, RateProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.chip import Chip
+
+#: Number of duty-cycle steps (Intel clock modulation uses eighths).
+DUTY_LEVELS = 8
+
+
+class Core:
+    """One CPU core: frequency, duty cycle, counters, and current activity."""
+
+    def __init__(
+        self,
+        index: int,
+        chip: "Chip",
+        freq_hz: float,
+        overflow_threshold_cycles: float | None = None,
+    ) -> None:
+        if freq_hz <= 0:
+            raise ValueError("core frequency must be positive")
+        self.index = index
+        self.chip = chip
+        self.freq_hz = freq_hz
+        self.counters = CounterBank(overflow_threshold_cycles)
+        self.mailbox = SampleMailbox()
+        self._duty_level = DUTY_LEVELS
+        #: Profile of the code currently on the core, or ``None`` when idle
+        #: (the OS idle task halts the core).
+        self.active_profile: Optional[RateProfile] = None
+        #: Opaque owner tag set by the scheduler (the running process).
+        self.current_owner: object | None = None
+        #: Work retired per non-halt cycle relative to an un-contended run;
+        #: set by the kernel at slice start when a contention model is
+        #: active (1.0 otherwise).  Stall cycles still count as non-halt.
+        self.current_work_fraction: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Duty-cycle modulation (the power-conditioning actuator, Section 3.4)
+    # ------------------------------------------------------------------
+    @property
+    def duty_level(self) -> int:
+        """Current duty-cycle level, an integer in ``[1, DUTY_LEVELS]``."""
+        return self._duty_level
+
+    def set_duty_level(self, level: int) -> None:
+        """Program the clock-modulation level (1 = slowest, 8 = full speed)."""
+        if not 1 <= level <= DUTY_LEVELS:
+            raise ValueError(f"duty level must be in [1, {DUTY_LEVELS}]")
+        self._duty_level = level
+
+    @property
+    def duty_ratio(self) -> float:
+        """Fraction of cycles the core is allowed to execute."""
+        return self._duty_level / DUTY_LEVELS
+
+    # ------------------------------------------------------------------
+    # Activity state
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True when a non-idle task occupies the core."""
+        return self.active_profile is not None
+
+    @property
+    def effective_hz(self) -> float:
+        """Non-halt cycles per wall second under the current duty level
+        and the chip's DVFS frequency scale."""
+        return self.freq_hz * self.duty_ratio * self.chip.freq_scale
+
+    def begin_activity(self, profile: RateProfile, owner: object | None = None) -> None:
+        """Install a running task's profile (scheduler dispatch)."""
+        self.active_profile = profile
+        self.current_owner = owner
+
+    def end_activity(self) -> None:
+        """Return the core to the halted idle state."""
+        self.active_profile = None
+        self.current_owner = None
+        self.current_work_fraction = 1.0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def seconds_for_cycles(self, nonhalt_cycles: float) -> float:
+        """Wall time needed to execute ``nonhalt_cycles`` at current duty."""
+        if nonhalt_cycles < 0:
+            raise ValueError("cycle count must be non-negative")
+        return nonhalt_cycles / self.effective_hz
+
+    def cycles_for_seconds(self, seconds: float) -> float:
+        """Non-halt cycles executed in ``seconds`` at the current duty level."""
+        if seconds < 0:
+            raise ValueError("duration must be non-negative")
+        return seconds * self.effective_hz
+
+    def run_for_cycles(
+        self, nonhalt_cycles: float, work_fraction: float = 1.0
+    ) -> EventVector:
+        """Burn a slice of non-halt cycles for the active profile.
+
+        ``work_fraction`` < 1 models contention stalls: all
+        ``nonhalt_cycles`` elapse (and count), but only
+        ``nonhalt_cycles * work_fraction`` worth of instructions and
+        cache/memory events retire.
+
+        Returns the generated events, which have already been added to the
+        counter bank.  The caller (kernel) is responsible for advancing
+        simulated time by :meth:`seconds_for_cycles` and for checkpointing
+        the machine energy integrator around activity changes.
+        """
+        if self.active_profile is None:
+            raise RuntimeError(f"core {self.index} is idle; nothing to run")
+        events = self.active_profile.events_for_cycles(
+            nonhalt_cycles * work_fraction
+        )
+        events.nonhalt_cycles = nonhalt_cycles
+        self.counters.accumulate(events)
+        return events
+
+    def inject_events(self, events: EventVector) -> None:
+        """Add out-of-band events (e.g. accounting maintenance work) to the
+        counters without advancing task progress -- the observer effect."""
+        self.counters.accumulate(events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.active_profile.name if self.active_profile else "idle"
+        return (
+            f"Core(#{self.index} chip={self.chip.index} {state} "
+            f"duty={self._duty_level}/{DUTY_LEVELS})"
+        )

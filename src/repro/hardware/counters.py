@@ -1,0 +1,126 @@
+"""Per-core hardware counter banks and the sibling sample mailbox.
+
+A :class:`CounterBank` mimics a core's performance-monitoring unit: it
+accumulates event counts and supports threshold-based overflow interrupts on
+non-halt cycles (the paper configures the local APIC this way so that
+sampling interrupts are suppressed while the core idles).
+
+A :class:`SampleMailbox` holds the most recent utilization sample each core
+posts for its siblings.  Eq. 3's ``Mchipshare`` estimation reads sibling
+mailboxes without synchronization, so an idle sibling's entry can be *stale*
+-- exactly the approximation the paper describes (and corrects with the
+idle-task check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.events import EventVector
+
+
+#: Width of real performance counters; registers wrap at this value.
+COUNTER_WIDTH_BITS = 48
+COUNTER_WRAP = float(1 << COUNTER_WIDTH_BITS)
+
+
+class CounterBank:
+    """Cumulative event counters for one core, with overflow thresholds.
+
+    Like real PMU registers, the architectural read value wraps at
+    ``2**48``; consumers must compute deltas modulo the counter width
+    (see :func:`wrapped_delta`).  Internally an unwrapped running total is
+    kept so the simulation itself never loses precision.
+    """
+
+    def __init__(
+        self,
+        overflow_threshold_cycles: float | None = None,
+        wrap: bool = False,
+    ) -> None:
+        self.totals = EventVector()
+        #: Non-halt cycles after which an overflow interrupt should fire,
+        #: or ``None`` to disable sampling interrupts.
+        self.overflow_threshold_cycles = overflow_threshold_cycles
+        #: When true, :meth:`read` returns architecturally wrapped values.
+        self.wrap = wrap
+        self._cycles_at_last_overflow = 0.0
+
+    def accumulate(self, events: EventVector) -> None:
+        """Add freshly generated events to the cumulative totals."""
+        self.totals.add(events)
+
+    def read(self) -> EventVector:
+        """Return a snapshot of the cumulative counters.
+
+        With ``wrap`` enabled each field is reduced modulo the 48-bit
+        register width, as software would observe on real hardware.
+        """
+        snapshot = self.totals.copy()
+        if self.wrap:
+            for name, value in snapshot.as_dict().items():
+                setattr(snapshot, name, value % COUNTER_WRAP)
+        return snapshot
+
+    def cycles_until_overflow(self) -> float:
+        """Non-halt cycles remaining before the next overflow interrupt.
+
+        Returns ``inf`` when overflow interrupts are disabled.
+        """
+        if self.overflow_threshold_cycles is None:
+            return float("inf")
+        consumed = self.totals.nonhalt_cycles - self._cycles_at_last_overflow
+        remaining = self.overflow_threshold_cycles - consumed
+        return max(remaining, 0.0)
+
+    def acknowledge_overflow(self) -> None:
+        """Re-arm the overflow interrupt from the current cycle count."""
+        self._cycles_at_last_overflow = self.totals.nonhalt_cycles
+
+    def overflow_pending(self, tol_cycles: float = 1e-6) -> bool:
+        """True when the threshold has been reached since the last ack."""
+        return self.cycles_until_overflow() <= tol_cycles
+
+
+def wrapped_delta(later: EventVector, earlier: EventVector) -> EventVector:
+    """Delta between two counter snapshots, correcting 48-bit wraparound.
+
+    When a later reading is numerically smaller than the earlier one, the
+    register wrapped between the reads; the physical delta is recovered by
+    adding one full counter period.  (Valid as long as fewer than ``2**48``
+    events occur between consecutive samples, which millisecond-scale
+    sampling guarantees by ~5 orders of magnitude.)
+    """
+    delta = later.delta_from(earlier)
+    for name, value in delta.as_dict().items():
+        if value < -0.5:
+            setattr(delta, name, value + COUNTER_WRAP)
+        elif value < 0.0:
+            # Sub-event negative residue is floating-point noise, not wrap.
+            setattr(delta, name, 0.0)
+    return delta
+
+
+@dataclass
+class UtilizationSample:
+    """One posted per-core utilization observation."""
+
+    time: float
+    mcore: float
+
+
+class SampleMailbox:
+    """Latest-sample mailbox a core posts for unsynchronized sibling reads."""
+
+    def __init__(self) -> None:
+        self._latest = UtilizationSample(time=0.0, mcore=0.0)
+
+    def post(self, time: float, mcore: float) -> None:
+        """Publish the utilization observed over the last sampling period."""
+        if not 0.0 <= mcore <= 1.0 + 1e-9:
+            raise ValueError(f"mcore out of range: {mcore}")
+        self._latest = UtilizationSample(time=time, mcore=min(mcore, 1.0))
+
+    def peek(self) -> UtilizationSample:
+        """Read the latest posted sample (possibly stale)."""
+        return self._latest

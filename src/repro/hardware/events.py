@@ -1,0 +1,156 @@
+"""Hardware event vectors and per-cycle activity profiles.
+
+The paper's power model (Eq. 1/2) consumes five core-level metrics:
+
+* ``Mcore``  -- non-halt core cycles per elapsed cycle (utilization),
+* ``Mins``   -- retired instructions per elapsed cycle,
+* ``Mfloat`` -- floating-point operations per elapsed cycle,
+* ``Mcache`` -- last-level cache references per elapsed cycle,
+* ``Mmem``   -- memory transactions per elapsed cycle,
+
+plus machine-level disk/network activity terms used in the full-system
+model (Section 3.3 and the Section 4.1 coefficient table).
+
+:class:`EventVector` holds cumulative event *counts*; dividing a count delta
+by elapsed cycles yields the ``M`` metrics.  :class:`RateProfile` describes
+how a running piece of code generates events per non-halt cycle, and carries
+the *hidden power* that core-level counters cannot observe -- the mechanism
+by which production workloads defeat offline-calibrated models (Section 3.2,
+Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+#: Names of the per-core counted events, in canonical order.
+CORE_EVENT_NAMES = (
+    "nonhalt_cycles",
+    "instructions",
+    "flops",
+    "cache_refs",
+    "mem_trans",
+)
+
+#: Names of the machine-level I/O events.
+IO_EVENT_NAMES = ("disk_bytes", "net_bytes")
+
+EVENT_NAMES = CORE_EVENT_NAMES + IO_EVENT_NAMES
+
+
+@dataclass
+class EventVector:
+    """Cumulative hardware event counts.
+
+    Supports in-place accumulation and subtraction so counter banks,
+    per-container statistics, and observer-effect correction can share one
+    representation.
+    """
+
+    nonhalt_cycles: float = 0.0
+    instructions: float = 0.0
+    flops: float = 0.0
+    cache_refs: float = 0.0
+    mem_trans: float = 0.0
+    disk_bytes: float = 0.0
+    net_bytes: float = 0.0
+
+    def copy(self) -> "EventVector":
+        """Return an independent copy."""
+        return EventVector(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def add(self, other: "EventVector") -> None:
+        """In-place ``self += other``."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def subtract(self, other: "EventVector", *, clamp: bool = False) -> None:
+        """In-place ``self -= other``; optionally clamp each field at zero.
+
+        Clamping implements the paper's observer-effect correction safely:
+        subtracting estimated maintenance-induced events must never drive a
+        physical count negative.
+        """
+        for f in fields(self):
+            value = getattr(self, f.name) - getattr(other, f.name)
+            if clamp and value < 0.0:
+                value = 0.0
+            setattr(self, f.name, value)
+
+    def delta_from(self, earlier: "EventVector") -> "EventVector":
+        """Return ``self - earlier`` as a new vector (no clamping)."""
+        out = self.copy()
+        out.subtract(earlier)
+        return out
+
+    def scaled(self, factor: float) -> "EventVector":
+        """Return a new vector with every count multiplied by ``factor``."""
+        return EventVector(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def is_zero(self, tol: float = 0.0) -> bool:
+        """True when every count is within ``tol`` of zero."""
+        return all(abs(getattr(self, f.name)) <= tol for f in fields(self))
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view, e.g. for trace records and reports."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """Event generation rates of running code, per non-halt core cycle.
+
+    ``ipc``, ``flops_per_cycle``, ``cache_per_cycle`` and ``mem_per_cycle``
+    are rates relative to non-halt cycles, so a core running this profile at
+    utilization ``u`` (duty-cycle fraction while scheduled) produces metric
+    values ``Mins = ipc * u`` etc. per *elapsed* cycle.
+
+    ``hidden_watts`` is extra active power, at full-speed execution of this
+    profile on one core, that does **not** correspond to any counted event
+    (e.g. pipeline/port contention effects the paper's Stress and power-virus
+    workloads exhibit).  It scales linearly with utilization and duty cycle.
+    Offline-calibrated models cannot see it; online recalibration (Section
+    3.2) absorbs it into the linear coefficients for the running workload.
+    """
+
+    name: str = "generic"
+    ipc: float = 1.0
+    flops_per_cycle: float = 0.0
+    cache_per_cycle: float = 0.0
+    mem_per_cycle: float = 0.0
+    hidden_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("ipc", "flops_per_cycle", "cache_per_cycle", "mem_per_cycle"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+    def events_for_cycles(self, nonhalt_cycles: float) -> EventVector:
+        """Event counts produced by ``nonhalt_cycles`` of execution."""
+        return EventVector(
+            nonhalt_cycles=nonhalt_cycles,
+            instructions=self.ipc * nonhalt_cycles,
+            flops=self.flops_per_cycle * nonhalt_cycles,
+            cache_refs=self.cache_per_cycle * nonhalt_cycles,
+            mem_trans=self.mem_per_cycle * nonhalt_cycles,
+        )
+
+    def blended(self, other: "RateProfile", weight: float) -> "RateProfile":
+        """Linear blend ``(1-weight)*self + weight*other`` of two profiles."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight must be in [0, 1]")
+        w0, w1 = 1.0 - weight, weight
+        return RateProfile(
+            name=f"blend({self.name},{other.name},{weight:.2f})",
+            ipc=w0 * self.ipc + w1 * other.ipc,
+            flops_per_cycle=w0 * self.flops_per_cycle + w1 * other.flops_per_cycle,
+            cache_per_cycle=w0 * self.cache_per_cycle + w1 * other.cache_per_cycle,
+            mem_per_cycle=w0 * self.mem_per_cycle + w1 * other.mem_per_cycle,
+            hidden_watts=w0 * self.hidden_watts + w1 * other.hidden_watts,
+        )
+
+
+#: Profile of the OS idle task: the core halts, producing no events.
+IDLE_PROFILE = RateProfile(name="idle", ipc=0.0)

@@ -1,0 +1,207 @@
+"""The simulated machine: chips, peripheral devices, energy integration.
+
+A :class:`Machine` aggregates one or more :class:`~repro.hardware.chip.Chip`
+packages, a disk and a network device, the ground-truth power model, and an
+:class:`~repro.hardware.power.EnergyIntegrator`.  The kernel must call
+:meth:`Machine.checkpoint` before mutating any power-affecting state so the
+integrator closes the elapsed interval at the correct (pre-mutation) power.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hardware.chip import Chip
+from repro.hardware.core import Core
+from repro.hardware.power import EnergyIntegrator, PowerBreakdown, TruePowerModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class _Device:
+    """Shared behaviour of peripheral devices with in-flight transfers."""
+
+    def __init__(
+        self,
+        name: str,
+        machine: "Machine",
+        bandwidth_bytes_per_sec: float,
+        base_latency_sec: float,
+    ) -> None:
+        if bandwidth_bytes_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.name = name
+        self.machine = machine
+        self.bandwidth_bytes_per_sec = bandwidth_bytes_per_sec
+        self.base_latency_sec = base_latency_sec
+        self.inflight = 0
+        self.total_bytes = 0.0
+
+    @property
+    def busy(self) -> bool:
+        """True while at least one transfer is outstanding."""
+        return self.inflight > 0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Latency of one transfer of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return self.base_latency_sec + nbytes / self.bandwidth_bytes_per_sec
+
+    def begin_transfer(self, nbytes: float) -> float:
+        """Start a transfer; returns its duration.  Checkpoints energy."""
+        self.machine.checkpoint()
+        self.inflight += 1
+        self.total_bytes += nbytes
+        return self.transfer_time(nbytes)
+
+    def end_transfer(self) -> None:
+        """Complete one outstanding transfer.  Checkpoints energy."""
+        if self.inflight <= 0:
+            raise RuntimeError(f"{self.name}: no transfer in flight")
+        self.machine.checkpoint()
+        self.inflight -= 1
+
+
+class DiskDevice(_Device):
+    """Simulated disk with a fixed active power draw while transferring."""
+
+
+class NetDevice(_Device):
+    """Simulated NIC with a fixed active power draw while transferring."""
+
+
+class Machine:
+    """One multicore server machine."""
+
+    def __init__(
+        self,
+        name: str,
+        arch: str,
+        simulator: "Simulator",
+        true_model: TruePowerModel,
+        n_chips: int,
+        cores_per_chip: int,
+        freq_hz: float,
+        overflow_threshold_cycles: float | None = None,
+        disk_bandwidth: float = 100e6,
+        disk_latency: float = 4e-3,
+        net_bandwidth: float = 125e6,
+        net_latency: float = 100e-6,
+    ) -> None:
+        self.name = name
+        self.arch = arch
+        self.simulator = simulator
+        self.true_model = true_model
+        self.freq_hz = freq_hz
+        self._core_counter = 0
+        self.chips = [
+            Chip(
+                index=i,
+                machine=self,
+                n_cores=cores_per_chip,
+                freq_hz=freq_hz,
+                overflow_threshold_cycles=overflow_threshold_cycles,
+            )
+            for i in range(n_chips)
+        ]
+        self.cores: list[Core] = [core for chip in self.chips for core in chip.cores]
+        self.disk = DiskDevice("disk", self, disk_bandwidth, disk_latency)
+        self.net = NetDevice("net", self, net_bandwidth, net_latency)
+        self.integrator = EnergyIntegrator(self)
+        #: The OS kernel driving this machine; set by Kernel.__init__ so
+        #: cross-machine message delivery lands on the right kernel.
+        self.kernel = None
+        #: Optional shared-cache contention model (see
+        #: :mod:`repro.hardware.contention`); ``None`` disables contention.
+        self.contention = None
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def next_core_index(self) -> int:
+        """Allocate the next machine-global core index (used by chips)."""
+        index = self._core_counter
+        self._core_counter += 1
+        return index
+
+    @property
+    def n_cores(self) -> int:
+        """Total cores across all chips."""
+        return sum(chip.n_cores for chip in self.chips)
+
+    def core_by_index(self, index: int) -> Core:
+        """Look up a core by machine-global index."""
+        return self.cores[index]
+
+    @property
+    def busy_core_count(self) -> int:
+        """Number of busy cores machine-wide."""
+        return sum(1 for core in self.cores if core.busy)
+
+    # ------------------------------------------------------------------
+    # Ground-truth power
+    # ------------------------------------------------------------------
+    def power_breakdown(self) -> PowerBreakdown:
+        """Instantaneous ground-truth power decomposition."""
+        model = self.true_model
+        per_core = []
+        maintenance = []
+        package = []
+        for chip in self.chips:
+            chip_core_watts = 0.0
+            for core in chip.cores:
+                profile = core.active_profile
+                if profile is None:
+                    watts = 0.0
+                else:
+                    # Contention stalls retire fewer events per non-halt
+                    # cycle, shrinking the event-driven power accordingly.
+                    wf = core.current_work_fraction
+                    watts = model.core_active_watts(
+                        utilization=core.duty_ratio,
+                        ipc=profile.ipc * wf,
+                        flops_per_cycle=profile.flops_per_cycle * wf,
+                        cache_per_cycle=profile.cache_per_cycle * wf,
+                        mem_per_cycle=profile.mem_per_cycle * wf,
+                        hidden_watts=profile.hidden_watts,
+                    ) * chip.dynamic_power_factor
+                per_core.append(watts)
+                chip_core_watts += watts
+            maint = (
+                model.maintenance_watts * chip.static_power_factor
+                if chip.active
+                else 0.0
+            )
+            maintenance.append(maint)
+            package.append(chip_core_watts + maint + model.package_idle_watts)
+        peripheral = 0.0
+        if self.disk.busy:
+            peripheral += model.disk_active_watts
+        if self.net.busy:
+            peripheral += model.net_active_watts
+        active = sum(per_core) + sum(maintenance) + peripheral
+        return PowerBreakdown(
+            machine_watts=model.idle_machine_watts + active,
+            active_watts=active,
+            package_watts=package,
+            per_core_watts=per_core,
+            maintenance_watts=maintenance,
+            peripheral_watts=peripheral,
+            idle_watts=model.idle_machine_watts,
+        )
+
+    def checkpoint(self) -> None:
+        """Close the current energy interval at the present simulated time."""
+        self.integrator.checkpoint(self.simulator.now)
+
+    def add_impulse_energy(self, joules: float, core_index: int | None = None) -> None:
+        """Charge instantaneous energy to ground truth (observer effect)."""
+        self.integrator.add_impulse(joules, core_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.name!r}, arch={self.arch}, "
+            f"{len(self.chips)}x{self.chips[0].n_cores} cores)"
+        )

@@ -1,0 +1,150 @@
+"""Specifications of the paper's three testbed machines.
+
+The paper evaluates on:
+
+* **Woodcrest** -- two dual-core Intel Xeon 5160 3.0 GHz chips (2006, 65 nm),
+  poor energy proportionality, shared 4 MB L2 per chip;
+* **Westmere** -- two six-core Intel Xeon L5640 2.26 GHz low-power chips
+  (2010, 32 nm), 12 MB L3 per chip;
+* **SandyBridge** -- one quad-core Intel Xeon E31220 3.10 GHz chip (2011,
+  32 nm), 8 MB L3, with an on-chip package power meter.
+
+Ground-truth coefficients are chosen so the *published* Section 4.1
+calibration table is reproduced on SandyBridge (idle 26.1 W; maximum active
+contributions 33.1 W core, 12.4 W instructions, 13.9 W cache, 8.2 W memory,
+5.6 W chip-share, 1.7 W disk, 5.8 W network) and so Fig. 1's incremental
+power shape holds on both SandyBridge (large idle→1-core step) and Woodcrest
+(two large steps, one per chip, under the spread-first scheduling policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.machine import Machine
+from repro.hardware.power import TruePowerModel
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Buildable description of one machine model."""
+
+    name: str
+    arch: str
+    n_chips: int
+    cores_per_chip: int
+    freq_hz: float
+    true_model: TruePowerModel
+    #: Whether the package exposes an on-chip power meter (SandyBridge only).
+    has_package_meter: bool
+    #: Default counter-overflow sampling interval, in non-halt cycles
+    #: (about 1 ms of busy execution, per Section 3.5).
+    overflow_threshold_cycles: float
+    release_year: int
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count."""
+        return self.n_chips * self.cores_per_chip
+
+    def with_overrides(self, **kwargs) -> "MachineSpec":
+        """Return a modified copy (for ablations and what-if experiments)."""
+        return replace(self, **kwargs)
+
+
+SANDYBRIDGE = MachineSpec(
+    name="sandybridge",
+    arch="sandybridge",
+    n_chips=1,
+    cores_per_chip=4,
+    freq_hz=3.10e9,
+    true_model=TruePowerModel(
+        idle_machine_watts=26.1,
+        package_idle_watts=2.2,
+        maintenance_watts=5.6,
+        w_core=8.275,   # 33.1 W at 4 fully-busy cores
+        w_ins=1.24,     # 12.4 W at machine Mins max of 10 (4 cores, ipc 2.5)
+        w_flop=0.75,
+        w_cache=173.75,  # 13.9 W at machine Mcache max of 0.08
+        w_mem=205.0,     # 8.2 W at machine Mmem max of 0.04
+        disk_active_watts=1.7,
+        net_active_watts=5.8,
+    ),
+    has_package_meter=True,
+    overflow_threshold_cycles=3.1e6,
+    release_year=2011,
+)
+
+WOODCREST = MachineSpec(
+    name="woodcrest",
+    arch="woodcrest",
+    n_chips=2,
+    cores_per_chip=2,
+    freq_hz=3.00e9,
+    true_model=TruePowerModel(
+        idle_machine_watts=175.0,
+        package_idle_watts=14.0,
+        maintenance_watts=5.5,
+        w_core=10.0,
+        w_ins=1.9,
+        w_flop=1.1,
+        w_cache=210.0,
+        w_mem=240.0,
+        disk_active_watts=8.0,
+        net_active_watts=6.5,
+    ),
+    has_package_meter=False,
+    overflow_threshold_cycles=3.0e6,
+    release_year=2006,
+)
+
+WESTMERE = MachineSpec(
+    name="westmere",
+    arch="westmere",
+    n_chips=2,
+    cores_per_chip=6,
+    freq_hz=2.26e9,
+    true_model=TruePowerModel(
+        idle_machine_watts=120.0,
+        package_idle_watts=5.0,
+        maintenance_watts=4.0,
+        w_core=4.6,
+        w_ins=0.95,
+        w_flop=0.55,
+        w_cache=150.0,
+        w_mem=185.0,
+        disk_active_watts=6.0,
+        net_active_watts=5.0,
+    ),
+    has_package_meter=False,
+    overflow_threshold_cycles=2.26e6,
+    release_year=2010,
+)
+
+ALL_SPECS = (WOODCREST, WESTMERE, SANDYBRIDGE)
+
+_SPECS_BY_NAME = {spec.name: spec for spec in ALL_SPECS}
+
+
+def spec_by_name(name: str) -> MachineSpec:
+    """Look up a testbed machine spec by name."""
+    try:
+        return _SPECS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_SPECS_BY_NAME))
+        raise KeyError(f"unknown machine {name!r}; known: {known}") from None
+
+
+def build_machine(spec: MachineSpec, simulator: Simulator, name: str | None = None) -> Machine:
+    """Instantiate a :class:`Machine` from a spec on a simulator."""
+    return Machine(
+        name=name if name is not None else spec.name,
+        arch=spec.arch,
+        simulator=simulator,
+        true_model=spec.true_model,
+        n_chips=spec.n_chips,
+        cores_per_chip=spec.cores_per_chip,
+        freq_hz=spec.freq_hz,
+        overflow_threshold_cycles=spec.overflow_threshold_cycles,
+    )

@@ -1,0 +1,59 @@
+"""Simulated operating system kernel.
+
+The kernel interprets *process programs* -- Python generators that yield
+:mod:`actions <repro.kernel.process>` such as ``Compute``, ``Send``,
+``Recv``, ``Fork`` -- and schedules them onto the simulated machine's cores.
+It reproduces the OS mechanisms the paper's power containers hook into:
+
+* per-core scheduling with a performance-first (chip-spreading) wakeup
+  policy, preemption, and context-switch notifications;
+* non-halt-cycle counter-overflow interrupts delivered per core;
+* sockets whose buffered segments are individually tagged with the sender's
+  request context (Section 3.3's persistent-connection-safe design);
+* ``fork``/``wait``/``exit`` with context inheritance; and
+* blocking disk/network I/O charged to the requesting context.
+
+The power-container facility (:mod:`repro.core`) attaches to the kernel via
+the :class:`~repro.kernel.kernel.KernelHooks` observer interface; the kernel
+itself knows nothing about power.
+"""
+
+from repro.kernel.process import (
+    Compute,
+    DiskIO,
+    Exit,
+    Fork,
+    NetIO,
+    Process,
+    ProcessState,
+    Recv,
+    Send,
+    Sleep,
+    SyncAccess,
+    WaitChild,
+)
+from repro.kernel.sockets import ContextTag, Endpoint, Message, SocketPair
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.kernel import Kernel, KernelHooks
+
+__all__ = [
+    "Compute",
+    "DiskIO",
+    "Exit",
+    "Fork",
+    "NetIO",
+    "Process",
+    "ProcessState",
+    "Recv",
+    "Send",
+    "Sleep",
+    "SyncAccess",
+    "WaitChild",
+    "ContextTag",
+    "Endpoint",
+    "Message",
+    "SocketPair",
+    "Scheduler",
+    "Kernel",
+    "KernelHooks",
+]

@@ -1,0 +1,213 @@
+"""Processes and the actions their programs yield.
+
+A *program* is a Python generator.  Each ``yield`` hands the kernel one
+action object; the kernel performs it (possibly blocking the process) and
+resumes the generator with the action's result.  This coroutine style keeps
+workload models readable::
+
+    def handler(sock):
+        while True:
+            msg = yield Recv(sock)
+            yield Compute(cycles=2e6, profile=PHP_PROFILE)
+            yield Send(msg.reply_to, nbytes=2048)
+
+Programs run until they return (or yield :class:`Exit`), at which point the
+process becomes a zombie until its parent reaps it with
+:class:`WaitChild` -- mirroring the fork/wait4/exit flows the paper's
+request-tracking follows (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.hardware.events import RateProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.sockets import Endpoint
+
+
+# ----------------------------------------------------------------------
+# Actions a program may yield
+# ----------------------------------------------------------------------
+@dataclass
+class Compute:
+    """Execute ``cycles`` non-halt cycles with the given activity profile."""
+
+    cycles: float
+    profile: RateProfile
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("cycle count must be non-negative")
+
+
+@dataclass
+class Send:
+    """Send ``nbytes`` over a socket endpoint (non-blocking).
+
+    The kernel tags the message with the sender's current request context
+    (Section 3.3).  ``payload`` travels with the message; ``reply_to`` names
+    the endpoint a receiver should answer on.
+    """
+
+    endpoint: "Endpoint"
+    nbytes: float = 0.0
+    payload: Any = None
+    reply_to: Optional["Endpoint"] = None
+
+
+@dataclass
+class Recv:
+    """Receive on a socket endpoint; result is a Message.
+
+    Receiving a tagged segment rebinds the caller to the segment's request
+    context -- the in-band propagation mechanism of Section 3.3.  With
+    ``blocking=False`` an empty buffer yields ``None`` immediately instead
+    of blocking (event-driven servers poll this way).
+    """
+
+    endpoint: "Endpoint"
+    blocking: bool = True
+
+
+@dataclass
+class Fork:
+    """Spawn a child process running ``program``; result is the child.
+
+    The child inherits the parent's request-context binding, as the paper's
+    containers propagate across ``fork`` (Fig. 4's latex/dvipng helpers).
+    """
+
+    program: Generator
+    name: str = "child"
+
+
+@dataclass
+class WaitChild:
+    """Block until the given child exits; result is its exit value."""
+
+    child: "Process"
+
+
+@dataclass
+class Sleep:
+    """Block for a fixed simulated duration (think time, timers)."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("sleep duration must be non-negative")
+
+
+@dataclass
+class DiskIO:
+    """Blocking disk transfer of ``nbytes`` (charged to the caller's context)."""
+
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+
+
+@dataclass
+class NetIO:
+    """Blocking raw network transfer of ``nbytes`` outside the socket layer."""
+
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+
+
+@dataclass
+class SyncAccess:
+    """Touch a user-level synchronization object (futex-style syscall).
+
+    Event-driven servers multiplex many requests inside one process; the
+    OS cannot see those user-level stage transfers through sockets or
+    scheduling.  The paper's future-work suggestion (after Whodunit [11])
+    is to trap accesses to critical synchronization data structures: each
+    request's continuation guards its state with a request-private lock,
+    so the lock address identifies the request being resumed.  Yielding
+    ``SyncAccess(key)`` models that trapped access; the facility learns the
+    key's context binding on first sight and rebinds the process on every
+    later access.
+    """
+
+    key: Any
+
+
+@dataclass
+class Exit:
+    """Terminate the process with an exit value."""
+
+    value: Any = None
+
+
+Action = (Compute, Send, Recv, Fork, WaitChild, Sleep, DiskIO, NetIO,
+          SyncAccess, Exit)
+
+
+# ----------------------------------------------------------------------
+# Process
+# ----------------------------------------------------------------------
+class ProcessState(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    ZOMBIE = "zombie"
+    DEAD = "dead"
+
+
+@dataclass
+class Process:
+    """One schedulable simulated process (or thread)."""
+
+    pid: int
+    name: str
+    program: Generator
+    state: ProcessState = ProcessState.READY
+    #: Request-context container identifier currently bound to the process,
+    #: or ``None`` for untracked (background) activity.
+    container_id: Optional[int] = None
+    #: Core index this process is pinned to, or ``None`` for any core.
+    pinned_core: Optional[int] = None
+    parent: Optional["Process"] = None
+    children: list["Process"] = field(default_factory=list)
+    exit_value: Any = None
+    #: Action currently being executed/waited on.
+    current_action: Any = None
+    #: Remaining non-halt cycles of the current Compute action.
+    compute_remaining: float = 0.0
+    #: Value to send into the generator on next resume.
+    pending_result: Any = None
+    #: Core the process is currently running on (while RUNNING).
+    core_index: Optional[int] = None
+    #: Cumulative scheduled CPU time (seconds of non-idle occupancy).
+    cpu_seconds: float = 0.0
+    spawned_at: float = 0.0
+
+    def __hash__(self) -> int:
+        return self.pid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    @property
+    def alive(self) -> bool:
+        """True until the process has exited."""
+        return self.state not in (ProcessState.ZOMBIE, ProcessState.DEAD)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Process(pid={self.pid}, {self.name!r}, {self.state.value}, "
+            f"ctx={self.container_id})"
+        )

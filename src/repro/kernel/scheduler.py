@@ -1,0 +1,100 @@
+"""Run queues and the core-selection (wakeup) policy.
+
+The paper observes (Fig. 1, Woodcrest) that Linux's performance-maximizing
+policy spreads runnable tasks across *chips* before doubling up cores on one
+chip -- which is why both sockets' maintenance power turns on at two busy
+cores.  :meth:`Scheduler.select_idle_core` reproduces that spread-first
+policy; everything else is plain FIFO run queues with optional per-core
+pinning (used by the calibration microbenchmarks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, TYPE_CHECKING
+
+from repro.hardware.core import Core
+from repro.hardware.machine import Machine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.process import Process
+
+
+class Scheduler:
+    """FIFO run queues with a chip-spreading idle-core selection policy."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.global_queue: deque["Process"] = deque()
+        self.pinned_queues: dict[int, deque["Process"]] = {
+            core.index: deque() for core in machine.cores
+        }
+        #: Core indexes currently executing a slice (set by the kernel).
+        self.occupied: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Core selection
+    # ------------------------------------------------------------------
+    def idle_cores(self) -> list[Core]:
+        """Cores with no slice in progress."""
+        return [c for c in self.machine.cores if c.index not in self.occupied]
+
+    def select_idle_core(self, process: "Process") -> Optional[Core]:
+        """Pick an idle core for a waking process, or ``None``.
+
+        Unpinned processes go to the idle core on the chip with the fewest
+        busy cores (spread-first), tie-broken by chip then core index.
+        Pinned processes only ever run on their pinned core.
+        """
+        if process.pinned_core is not None:
+            core = self.machine.core_by_index(process.pinned_core)
+            return core if core.index not in self.occupied else None
+        idle = self.idle_cores()
+        if not idle:
+            return None
+        return min(
+            idle,
+            key=lambda c: (c.chip.busy_core_count, c.chip.index, c.index),
+        )
+
+    # ------------------------------------------------------------------
+    # Queueing
+    # ------------------------------------------------------------------
+    def enqueue(self, process: "Process") -> None:
+        """Append a ready process to the appropriate queue."""
+        if process.pinned_core is not None:
+            self.pinned_queues[process.pinned_core].append(process)
+        else:
+            self.global_queue.append(process)
+
+    def next_for_core(self, core: Core) -> Optional["Process"]:
+        """Pop the next process this core should run, or ``None``."""
+        pinned = self.pinned_queues[core.index]
+        if pinned:
+            return pinned.popleft()
+        if self.global_queue:
+            return self.global_queue.popleft()
+        return None
+
+    def has_waiting_for(self, core: Core) -> bool:
+        """True when some ready process could use this core."""
+        return bool(self.pinned_queues[core.index]) or bool(self.global_queue)
+
+    def remove(self, process: "Process") -> None:
+        """Drop a process from any queue it sits in (e.g. killed)."""
+        try:
+            self.global_queue.remove(process)
+        except ValueError:
+            pass
+        if process.pinned_core is not None:
+            try:
+                self.pinned_queues[process.pinned_core].remove(process)
+            except ValueError:
+                pass
+
+    @property
+    def ready_count(self) -> int:
+        """Total queued (not yet running) ready processes."""
+        return len(self.global_queue) + sum(
+            len(q) for q in self.pinned_queues.values()
+        )

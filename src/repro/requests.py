@@ -1,0 +1,57 @@
+"""Request-level value types shared by workloads, drivers, and dispatchers.
+
+Kept free of workload/server dependencies so the server package and the
+workload package can both use them without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.container import PowerContainer
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One sampled request: its type plus handler parameters."""
+
+    rtype: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RequestResult:
+    """A completed request observed by a driver or dispatcher."""
+
+    request_id: int
+    rtype: str
+    arrival: float
+    completion: float
+    container: PowerContainer
+
+    @property
+    def response_time(self) -> float:
+        """Wall-clock latency seen by the client."""
+        return self.completion - self.arrival
+
+    def mean_power(self, approach: str = "recal") -> float:
+        """Mean power over the request's *lifetime* (paper Fig. 6).
+
+        The paper defines a request's mean power as its average consumption
+        over the course of the request execution, i.e. energy divided by
+        first-to-last-activity duration (blocking waits included).
+        """
+        stats = self.container.stats
+        if stats.first_activity is None or stats.last_activity is None:
+            return 0.0
+        span = stats.last_activity - stats.first_activity
+        if span <= 0.0:
+            span = stats.cpu_seconds
+        if span <= 0.0:
+            return 0.0
+        return self.container.total_energy(approach) / span
+
+    def energy(self, approach: str = "recal") -> float:
+        """Estimated request energy (paper Fig. 7)."""
+        return self.container.total_energy(approach)

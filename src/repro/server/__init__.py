@@ -1,0 +1,34 @@
+"""Multi-stage server substrate and cluster assembly.
+
+:mod:`~repro.server.stages` provides worker pools (Apache-style request
+pooling on long-lived worker processes) and thread-per-connection
+sub-services (MySQL-style) over persistent tagged sockets.
+:mod:`~repro.server.cluster` assembles heterogeneous multi-machine clusters,
+and :mod:`~repro.server.dispatch` implements the three request-distribution
+policies of Section 4.4.
+"""
+
+from repro.server.stages import CallbackEndpoint, Server, SubService
+from repro.server.cluster import ClusterMachine, HeterogeneousCluster
+from repro.server.dispatch import (
+    Dispatcher,
+    MachineHeterogeneityAwarePolicy,
+    SimpleLoadBalancePolicy,
+    WorkloadHeterogeneityAwarePolicy,
+)
+from repro.server.inband import InBandDispatcher
+from repro.server.eventdriven import EventDrivenServer
+
+__all__ = [
+    "CallbackEndpoint",
+    "Server",
+    "SubService",
+    "ClusterMachine",
+    "HeterogeneousCluster",
+    "Dispatcher",
+    "SimpleLoadBalancePolicy",
+    "MachineHeterogeneityAwarePolicy",
+    "WorkloadHeterogeneityAwarePolicy",
+    "InBandDispatcher",
+    "EventDrivenServer",
+]

@@ -1,0 +1,108 @@
+"""Heterogeneous cluster assembly (Section 4.4).
+
+A :class:`HeterogeneousCluster` runs several simulated machines -- each with
+its own kernel and power-container facility -- on one shared simulator, and
+builds every component workload's server on every machine so the dispatcher
+can place any request anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.calibration import CalibrationResult
+from repro.core.facility import PowerContainerFacility
+from repro.hardware.machine import Machine
+from repro.hardware.specs import MachineSpec, build_machine
+from repro.kernel import Kernel
+from repro.server.stages import Server
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.base import Workload
+
+
+@dataclass
+class ClusterMachine:
+    """One cluster member: machine + kernel + facility + per-workload servers."""
+
+    spec: MachineSpec
+    machine: Machine
+    kernel: Kernel
+    facility: PowerContainerFacility
+    servers: dict[str, Server] = field(default_factory=dict)
+    #: Active energy at the start of the measurement window.
+    energy_mark: float = 0.0
+
+    @property
+    def name(self) -> str:
+        """Cluster-unique machine name."""
+        return self.machine.name
+
+    def utilization(self) -> float:
+        """Instantaneous fraction of busy cores (OS-visible)."""
+        return self.machine.busy_core_count / self.machine.n_cores
+
+    def mark_energy(self) -> None:
+        """Start the measurement window for this machine."""
+        self.machine.checkpoint()
+        self.energy_mark = self.machine.integrator.active_joules
+
+    def active_joules_since_mark(self) -> float:
+        """Active energy accumulated since :meth:`mark_energy`."""
+        self.machine.checkpoint()
+        return self.machine.integrator.active_joules - self.energy_mark
+
+
+class HeterogeneousCluster:
+    """A set of machines serving the same workload components."""
+
+    def __init__(self, simulator: Optional[Simulator] = None) -> None:
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.machines: list[ClusterMachine] = []
+
+    def add_machine(
+        self,
+        spec: MachineSpec,
+        calibration: CalibrationResult,
+        name: Optional[str] = None,
+        facility_kwargs: Optional[dict] = None,
+    ) -> ClusterMachine:
+        """Add one machine built from a spec and its calibration."""
+        machine = build_machine(spec, self.simulator, name=name)
+        kernel = Kernel(machine, self.simulator)
+        kwargs = dict(facility_kwargs) if facility_kwargs else {}
+        facility = PowerContainerFacility(kernel, calibration, **kwargs)
+        member = ClusterMachine(
+            spec=spec, machine=machine, kernel=kernel, facility=facility
+        )
+        self.machines.append(member)
+        return member
+
+    def build_workload(self, workload: "Workload") -> None:
+        """Build the workload's server topology on every machine."""
+        for member in self.machines:
+            if workload.name in member.servers:
+                raise ValueError(
+                    f"workload {workload.name!r} already built on {member.name}"
+                )
+            member.servers[workload.name] = workload.build_server(
+                member.kernel, member.facility
+            )
+
+    def by_name(self, name: str) -> ClusterMachine:
+        """Look up a member machine by name."""
+        for member in self.machines:
+            if member.name == name:
+                return member
+        raise KeyError(f"no machine named {name!r} in cluster")
+
+    def mark_energy(self) -> None:
+        """Start the energy measurement window on every machine."""
+        for member in self.machines:
+            member.mark_energy()
+
+    def total_active_joules_since_mark(self) -> float:
+        """Combined active energy of all machines since the mark."""
+        return sum(m.active_joules_since_mark() for m in self.machines)

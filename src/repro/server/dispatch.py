@@ -1,0 +1,287 @@
+"""Request distribution policies over a heterogeneous cluster (Section 4.4).
+
+Three policies, matching the paper's comparison:
+
+* :class:`SimpleLoadBalancePolicy` -- equal load to each machine, oblivious
+  to heterogeneity;
+* :class:`MachineHeterogeneityAwarePolicy` -- load the more energy-efficient
+  machine to a healthy utilization (~70%) before spilling to the other, but
+  spill the *same request composition*;
+* :class:`WorkloadHeterogeneityAwarePolicy` -- additionally use the power
+  containers' per-request-type energy profiles: when spilling, displace the
+  request types with the highest cross-machine energy ratio (cheapest to
+  move) and keep high-affinity types on the efficient machine.
+
+The :class:`Dispatcher` plays the paper's dispatcher machine: it mints a
+container per request on the serving machine, injects the tagged request,
+collects replies, and feeds completed-request energies into the
+:class:`~repro.core.distribution.EnergyProfileTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.distribution import EnergyProfileTable
+from repro.kernel import ContextTag, Message
+from repro.requests import RequestResult, RequestSpec
+from repro.server.cluster import ClusterMachine, HeterogeneousCluster
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.base import Workload
+
+
+class DispatchPolicy:
+    """Chooses the serving machine for each arriving request."""
+
+    def choose(
+        self, workload: Workload, spec: RequestSpec, dispatcher: "Dispatcher"
+    ) -> ClusterMachine:
+        raise NotImplementedError
+
+
+class SimpleLoadBalancePolicy(DispatchPolicy):
+    """Round-robin: equal request volume to every machine."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, workload, spec, dispatcher) -> ClusterMachine:
+        machine = dispatcher.cluster.machines[self._next]
+        self._next = (self._next + 1) % len(dispatcher.cluster.machines)
+        return machine
+
+
+class MachineHeterogeneityAwarePolicy(DispatchPolicy):
+    """Fill the preferred (efficient) machine to ~70% before spilling."""
+
+    def __init__(
+        self, preferred: str, fallback: str, utilization_threshold: float = 0.70
+    ) -> None:
+        self.preferred = preferred
+        self.fallback = fallback
+        self.utilization_threshold = utilization_threshold
+
+    def choose(self, workload, spec, dispatcher) -> ClusterMachine:
+        if dispatcher.smoothed_utilization(self.preferred) < self.utilization_threshold:
+            return dispatcher.cluster.by_name(self.preferred)
+        return dispatcher.cluster.by_name(self.fallback)
+
+
+class WorkloadHeterogeneityAwarePolicy(MachineHeterogeneityAwarePolicy):
+    """Spill preferentially the request types cheapest to displace.
+
+    Until energy profiles exist for a type on both machines, it behaves like
+    the machine-aware policy (the profiling bootstrap).  Once profiles are
+    known, spilled load consists of the types whose cross-machine energy
+    ratio is highest; types that benefit most from the efficient machine
+    stay there unless it is severely overloaded.
+    """
+
+    def __init__(
+        self,
+        preferred: str,
+        fallback: str,
+        utilization_threshold: float = 0.70,
+        overload_threshold: float = 0.92,
+        ratio_split: float = 0.5,
+    ) -> None:
+        super().__init__(preferred, fallback, utilization_threshold)
+        self.overload_threshold = overload_threshold
+        #: Types with a ratio above this fraction of the known ratio range
+        #: are considered displaceable.
+        self.ratio_split = ratio_split
+
+    def _displaceable(self, profile_key: str, dispatcher: "Dispatcher") -> bool:
+        profiles = dispatcher.profiles
+        if not (
+            profiles.has_profile(self.preferred, profile_key)
+            and profiles.has_profile(self.fallback, profile_key)
+        ):
+            return True  # unknown affinity: free to displace (bootstrap)
+        ratios = {}
+        for known in profiles.known_types(self.preferred):
+            if profiles.has_profile(self.fallback, known):
+                ratios[known] = profiles.ratio(known, self.preferred, self.fallback)
+        if len(ratios) <= 1:
+            return True
+        lo, hi = min(ratios.values()), max(ratios.values())
+        if hi - lo < 1e-9:
+            return True
+        threshold = lo + self.ratio_split * (hi - lo)
+        return ratios[profile_key] >= threshold
+
+    def choose(self, workload, spec, dispatcher) -> ClusterMachine:
+        util = dispatcher.smoothed_utilization(self.preferred)
+        if util < self.utilization_threshold:
+            return dispatcher.cluster.by_name(self.preferred)
+        profile_key = f"{workload.name}:{spec.rtype}"
+        if util < self.overload_threshold and not self._displaceable(
+            profile_key, dispatcher
+        ):
+            return dispatcher.cluster.by_name(self.preferred)
+        return dispatcher.cluster.by_name(self.fallback)
+
+
+@dataclass
+class ClusterRequestResult(RequestResult):
+    """A completed cluster request, annotated with its serving machine."""
+
+    machine_name: str = ""
+    workload_name: str = ""
+
+
+class Dispatcher:
+    """Open-loop request dispatcher over a heterogeneous cluster."""
+
+    def __init__(
+        self,
+        cluster: HeterogeneousCluster,
+        components: list[tuple[Workload, float]],
+        policy: DispatchPolicy,
+        request_rate: float,
+        rng: np.random.Generator,
+        utilization_sample_period: float = 5e-3,
+        utilization_ewma_alpha: float = 0.12,
+    ) -> None:
+        if request_rate <= 0:
+            raise ValueError("request rate must be positive")
+        total_share = sum(share for _, share in components)
+        if total_share <= 0:
+            raise ValueError("component shares must sum to a positive value")
+        self.cluster = cluster
+        self.components = [(w, share / total_share) for w, share in components]
+        self.policy = policy
+        self.request_rate = request_rate
+        self.rng = rng
+        self.profiles = EnergyProfileTable()
+        self.results: list[ClusterRequestResult] = []
+        self.inflight: dict[int, tuple] = {}
+        self.dispatched_to: dict[str, int] = {
+            m.name: 0 for m in cluster.machines
+        }
+        self._next_request_id = 0
+        self._deadline: Optional[float] = None
+        self._util_ewma: dict[str, float] = {m.name: 0.0 for m in cluster.machines}
+        self._util_period = utilization_sample_period
+        self._util_alpha = utilization_ewma_alpha
+        for member in cluster.machines:
+            for server in member.servers.values():
+                server.client_side.on_message = self._make_reply_handler(member)
+
+    # ------------------------------------------------------------------
+    def start(self, duration: float) -> None:
+        """Begin Poisson arrivals and utilization sampling."""
+        sim = self.cluster.simulator
+        self._deadline = sim.now + duration
+        sim.schedule(self._util_period, self._sample_utilization)
+        self._schedule_next_arrival()
+
+    def smoothed_utilization(self, machine_name: str) -> float:
+        """EWMA utilization of one machine (the policy input)."""
+        return self._util_ewma[machine_name]
+
+    def _sample_utilization(self) -> None:
+        sim = self.cluster.simulator
+        for member in self.cluster.machines:
+            current = member.utilization()
+            previous = self._util_ewma[member.name]
+            self._util_ewma[member.name] = (
+                (1 - self._util_alpha) * previous + self._util_alpha * current
+            )
+        if self._deadline is None or sim.now < self._deadline:
+            sim.schedule(self._util_period, self._sample_utilization)
+
+    def _schedule_next_arrival(self) -> None:
+        sim = self.cluster.simulator
+        gap = float(self.rng.exponential(1.0 / self.request_rate))
+        if self._deadline is not None and sim.now + gap > self._deadline:
+            return
+        sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        workload = self._pick_component()
+        spec = workload.sample_request(self.rng)
+        member = self.policy.choose(workload, spec, self)
+        self._inject(workload, spec, member)
+        self._schedule_next_arrival()
+
+    def _pick_component(self) -> Workload:
+        shares = [share for _, share in self.components]
+        index = int(self.rng.choice(len(self.components), p=shares))
+        return self.components[index][0]
+
+    def _inject(
+        self, workload: Workload, spec: RequestSpec, member: ClusterMachine
+    ) -> None:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        container = member.facility.create_request_container(
+            label=f"{workload.name}:{spec.rtype}",
+            meta={
+                "rtype": spec.rtype,
+                "workload": workload.name,
+                "params": dict(spec.params),
+            },
+        )
+        member.facility.registry.incref(container.id)  # in-flight message ref
+        now = self.cluster.simulator.now
+        self.inflight[request_id] = (workload, spec, now, container, member)
+        self.dispatched_to[member.name] += 1
+        member.servers[workload.name].inject(
+            Message(
+                nbytes=workload.request_bytes(),
+                payload=(request_id, spec),
+                tag=ContextTag(container_id=container.id),
+            )
+        )
+
+    def _make_reply_handler(self, member: ClusterMachine):
+        def on_reply(message: Message) -> None:
+            (request_id, _spec), _result = message.payload
+            workload, spec, arrival, container, served_by = self.inflight.pop(
+                request_id
+            )
+            now = self.cluster.simulator.now
+            result = ClusterRequestResult(
+                request_id=request_id,
+                rtype=spec.rtype,
+                arrival=arrival,
+                completion=now,
+                container=container,
+                machine_name=served_by.name,
+                workload_name=workload.name,
+            )
+            self.results.append(result)
+            served_by.facility.registry.decref(container.id)
+            served_by.facility.complete_request(container)
+            self.profiles.record(
+                served_by.name,
+                f"{workload.name}:{spec.rtype}",
+                container.total_energy(served_by.facility.primary),
+            )
+
+        return on_reply
+
+    # ------------------------------------------------------------------
+    def mean_response_time(
+        self, workload_name: Optional[str] = None, since: float = 0.0
+    ) -> float:
+        """Mean response time, optionally per component workload."""
+        pool = [
+            r
+            for r in self.results
+            if r.arrival >= since
+            and (workload_name is None or r.workload_name == workload_name)
+        ]
+        if not pool:
+            return 0.0
+        return float(np.mean([r.response_time for r in pool]))
+
+    @property
+    def completed(self) -> int:
+        """Requests completed so far."""
+        return len(self.results)

@@ -1,0 +1,96 @@
+"""An event-driven server: one process multiplexing many requests.
+
+Section 3.3 names event-driven servers as the limitation of OS-only request
+tracking: request stage transfers happen in user space (continuations
+switched inside one process), invisible to sockets, fork, or scheduling.
+The paper's future-work remedy -- trapping accesses to critical
+synchronization data structures (after Whodunit) -- is implemented in this
+reproduction: each continuation guards its state with a request-private
+lock, every resume touches that lock (``SyncAccess``), and the facility
+infers the stage transfer from the trapped access.
+
+:class:`EventDrivenServer` serves requests in round-robin *turns* of a few
+hundred microseconds each, the way an event loop interleaves callbacks.
+With ``track_user_level_stages=True`` (the facility default) attribution is
+correct; with it off, whole turns are charged to whichever request last
+rebound the process -- the mis-attribution the paper warns about.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.hardware.events import RateProfile
+from repro.kernel import Compute, Endpoint, Kernel, Recv, Send, SocketPair, SyncAccess
+from repro.server.stages import CallbackEndpoint
+
+
+class EventDrivenServer:
+    """Single-process event-loop server with user-level continuations."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        profile: RateProfile,
+        cycles_for: Callable[[object], float],
+        turn_cycles: float = 1e6,
+        reply_bytes: float = 2048.0,
+    ) -> None:
+        """``cycles_for(payload)`` gives a request's total compute demand;
+        the loop executes it in ``turn_cycles`` slices."""
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.name = name
+        self.profile = profile
+        self.cycles_for = cycles_for
+        self.turn_cycles = turn_cycles
+        self.reply_bytes = reply_bytes
+        self.client_side = CallbackEndpoint(self.machine, f"{name}.client")
+        self.listener = Endpoint(self.machine, f"{name}.listener")
+        SocketPair(self.listener, self.client_side)
+        self.requests_served = 0
+        self.process = kernel.spawn(self._loop(), f"{name}-eventloop")
+
+    def inject(self, message) -> None:
+        """Deliver an externally generated (tagged) request message."""
+        self.kernel.inject(self.listener, message)
+
+    def _loop(self):
+        #: Active continuations: (sync key, message, remaining cycles).
+        continuations: deque = deque()
+        while True:
+            # Accept every buffered request; block only when fully idle.
+            while self.listener.has_data or not continuations:
+                message = yield Recv(self.listener, blocking=bool(
+                    not continuations
+                ))
+                if message is None:
+                    break
+                key = f"{self.name}:req{message.payload[0]}"
+                continuations.append(
+                    [key, message, self.cycles_for(message.payload)]
+                )
+                # Creating the continuation initializes its lock while the
+                # process is still bound to the arriving request's context
+                # -- the access that teaches the OS the lock's identity.
+                yield SyncAccess(key)
+            # Run one turn of the next continuation.  Resuming it touches
+            # the request's lock -- the OS-trappable stage transfer.
+            entry = continuations.popleft()
+            key, message, remaining = entry
+            yield SyncAccess(key)
+            slice_cycles = min(self.turn_cycles, remaining)
+            yield Compute(cycles=slice_cycles, profile=self.profile)
+            remaining -= slice_cycles
+            if remaining > 1e-3:
+                entry[2] = remaining
+                continuations.append(entry)
+            else:
+                self.requests_served += 1
+                yield Send(
+                    self.listener,
+                    nbytes=self.reply_bytes,
+                    payload=(message.payload, "done"),
+                )

@@ -1,0 +1,145 @@
+"""Multi-stage server building blocks.
+
+The paper's workloads run on high-throughput servers where each worker
+process repeatedly serves many requests (request pooling) and stages talk
+over *persistent* socket connections -- precisely the setting that motivates
+per-segment context tagging (Section 3.3).
+
+* :class:`Server` -- a pool of long-lived worker processes sharing a
+  listener endpoint (an accept queue).  Each worker loops: receive a tagged
+  request, run the workload handler inline (``yield from``), reply.
+* :class:`SubService` -- a thread-per-connection backend (MySQL-style).
+  Each front-end worker gets a dedicated persistent connection to its own
+  service thread.
+* :class:`CallbackEndpoint` -- a client-side endpoint whose deliveries
+  invoke a Python callback, letting (non-process) request drivers observe
+  replies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.core.facility import PowerContainerFacility
+from repro.kernel import Endpoint, Kernel, Message, Recv, Send, SocketPair
+
+
+class CallbackEndpoint(Endpoint):
+    """An endpoint that hands delivered messages to a callback.
+
+    Used by request drivers: replies sent on the front-end connection land
+    here and complete the in-flight request synchronously.
+    """
+
+    def __init__(self, machine, name: str = "client") -> None:
+        super().__init__(machine, name)
+        self.on_message: Optional[Callable[[Message], None]] = None
+
+    def enqueue(self, message: Message) -> None:
+        if self.on_message is not None:
+            self.on_message(message)
+        else:  # pragma: no cover - misconfiguration guard
+            super().enqueue(message)
+
+
+#: A handler factory turns a request message into the generator that serves
+#: it; the worker runs the generator inline and sends its return value back.
+HandlerFactory = Callable[[Message], Generator]
+
+
+class Server:
+    """A pool of worker processes pooling request executions."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        handler_factory: Optional[HandlerFactory] = None,
+        n_workers: int = 8,
+        reply_bytes: float = 2048.0,
+        worker_factory: Optional[Callable[[int], HandlerFactory]] = None,
+    ) -> None:
+        """Either ``handler_factory`` (shared by all workers) or
+        ``worker_factory`` (called once per worker so each worker holds
+        private state such as a persistent database connection) must be
+        given."""
+        if n_workers <= 0:
+            raise ValueError("a server needs at least one worker")
+        if (handler_factory is None) == (worker_factory is None):
+            raise ValueError(
+                "exactly one of handler_factory/worker_factory is required"
+            )
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.name = name
+        self.reply_bytes = reply_bytes
+        # Front-end connection: requests are injected at `listener`; replies
+        # sent on `listener` arrive at `client_side` (the peer).
+        self.client_side = CallbackEndpoint(self.machine, f"{name}.client")
+        self.listener = Endpoint(self.machine, f"{name}.listener")
+        SocketPair(self.listener, self.client_side)
+        self.workers = []
+        for i in range(n_workers):
+            factory = (
+                handler_factory if worker_factory is None else worker_factory(i)
+            )
+            self.workers.append(
+                kernel.spawn(self._worker_program(factory), f"{name}-worker{i}")
+            )
+        self.requests_served = 0
+
+    def _worker_program(self, handler_factory: HandlerFactory) -> Generator:
+        while True:
+            message = yield Recv(self.listener)
+            handler = handler_factory(message)
+            result = yield from handler
+            self.requests_served += 1
+            yield Send(
+                self.listener,
+                nbytes=self.reply_bytes,
+                payload=(message.payload, result),
+            )
+
+    def inject(self, message: Message) -> None:
+        """Deliver an externally generated (tagged) request message."""
+        self.kernel.inject(self.listener, message)
+
+
+class SubService:
+    """Thread-per-connection backend stage (e.g. a database).
+
+    ``connect()`` creates one persistent connection and a dedicated service
+    thread for it, returning the front-end side endpoint.  The service
+    thread inherits request contexts from the tagged segments it reads --
+    the PHP-to-MySQL propagation of Section 3.3.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        handler_factory: HandlerFactory,
+        reply_bytes: float = 1024.0,
+    ) -> None:
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.name = name
+        self.handler_factory = handler_factory
+        self.reply_bytes = reply_bytes
+        self.threads = []
+
+    def connect(self) -> Endpoint:
+        """Create a persistent connection; returns the client-side end."""
+        pair = SocketPair.local(self.machine, f"{self.name}.conn{len(self.threads)}")
+        thread = self.kernel.spawn(
+            self._thread_program(pair.b), f"{self.name}-thread{len(self.threads)}"
+        )
+        self.threads.append(thread)
+        return pair.a
+
+    def _thread_program(self, service_end: Endpoint) -> Generator:
+        while True:
+            message = yield Recv(service_end)
+            handler = self.handler_factory(message)
+            result = yield from handler
+            yield Send(service_end, nbytes=self.reply_bytes, payload=result)

@@ -1,0 +1,169 @@
+"""Deterministic discrete-event simulation core.
+
+The :class:`Simulator` keeps a priority queue of timestamped callbacks.
+Events at equal timestamps fire in scheduling order (FIFO), which makes every
+run fully deterministic for a given seed and schedule -- a requirement for
+reproducible experiments and for the resumable accounting logic built on top.
+
+Time is measured in simulated **seconds** as a float.  Sub-microsecond
+activity (e.g. a container maintenance operation that takes 0.95 us) is
+representable without special handling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the simulation engine."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+@dataclass
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    time: float
+    callback: Callable[..., None]
+    args: tuple
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time arrives."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A discrete-event simulator with a float-seconds virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._event_count
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"non-finite event time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = ScheduledEvent(time=time, callback=callback, args=args, label=label)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), event))
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is drained."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Execute the next live event.  Returns ``False`` when none remain."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return False
+        entry = heapq.heappop(self._queue)
+        self._now = entry.time
+        self._event_count += 1
+        entry.event.callback(*entry.event.args)
+        return True
+
+    def run_until(self, time: float) -> None:
+        """Run events with timestamps ``<= time``; advance the clock to it.
+
+        The clock ends exactly at ``time`` even if the queue drains earlier,
+        so fixed-horizon experiments always cover the same duration.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time}")
+        self._guard_reentry()
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = time
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event queue is empty (bounded by ``max_events``)."""
+        self._guard_reentry()
+        self._running = True
+        try:
+            executed = 0
+            while self.step():
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+        finally:
+            self._running = False
+
+    def _guard_reentry(self) -> None:
+        if self._running:
+            raise SimulationError("simulator is not reentrant; already running")
+
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and self._queue[0].event.cancelled:
+            heapq.heappop(self._queue)

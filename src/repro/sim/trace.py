@@ -1,0 +1,62 @@
+"""Lightweight simulation trace recording.
+
+The kernel and the power-container facility emit trace events (context
+switches, socket sends, fork/exit, throttle changes).  Traces back the
+request-flow figure (paper Fig. 4) and several tests that assert causality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence at a simulated time."""
+
+    time: float
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:.6f}] {self.kind}({parts})"
+
+
+class TraceRecorder:
+    """Append-only store of :class:`TraceEvent` with simple filtering."""
+
+    def __init__(self, enabled: bool = True, capacity: int = 1_000_000) -> None:
+        self.enabled = enabled
+        self._capacity = capacity
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **detail: Any) -> None:
+        """Record one event (no-op when disabled or at capacity)."""
+        if not self.enabled or len(self._events) >= self._capacity:
+            return
+        self._events.append(TraceEvent(time=time, kind=kind, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        """All events whose kind is one of ``kinds``, in time order."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def matching(self, **detail: Any) -> list[TraceEvent]:
+        """All events whose detail contains every given key/value pair."""
+        return [
+            e
+            for e in self._events
+            if all(e.detail.get(k) == v for k, v in detail.items())
+        ]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()

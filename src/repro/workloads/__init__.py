@@ -1,0 +1,56 @@
+"""Server and cloud workload models (Section 4.2).
+
+Each workload models the paper's corresponding application as request
+programs over the simulated kernel: per-microarchitecture activity profiles
+and cycle demands, multi-stage flows (sockets, fork/wait, disk I/O), and --
+for the GAE workloads -- untracked background processing and power viruses.
+"""
+
+from repro.workloads.base import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    RequestResult,
+    RequestSpec,
+    Workload,
+    WorkloadRun,
+    run_workload,
+)
+from repro.workloads.rsa import RsaCryptoWorkload
+from repro.workloads.solr import SolrWorkload
+from repro.workloads.webwork import WeBWorKWorkload
+from repro.workloads.stress import StressWorkload
+from repro.workloads.gae import GaeVosaoWorkload, GaeHybridWorkload
+from repro.workloads.synthetic import StageSpec, SyntheticWorkload
+from repro.workloads.eventloop import EventDrivenSolrWorkload
+from repro.workloads.replay import (
+    TraceEntry,
+    TraceReplayDriver,
+    load_trace_csv,
+    save_trace_csv,
+)
+from repro.workloads.catalog import WORKLOADS, workload_by_name
+
+__all__ = [
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "RequestResult",
+    "RequestSpec",
+    "Workload",
+    "WorkloadRun",
+    "run_workload",
+    "RsaCryptoWorkload",
+    "SolrWorkload",
+    "WeBWorKWorkload",
+    "StressWorkload",
+    "GaeVosaoWorkload",
+    "GaeHybridWorkload",
+    "StageSpec",
+    "SyntheticWorkload",
+    "EventDrivenSolrWorkload",
+    "TraceEntry",
+    "TraceReplayDriver",
+    "load_trace_csv",
+    "save_trace_csv",
+    "WORKLOADS",
+    "workload_by_name",
+]

@@ -1,0 +1,33 @@
+"""Catalog of the evaluation workloads (the six of Fig. 5)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Workload
+from repro.workloads.gae import GaeHybridWorkload, GaeVosaoWorkload
+from repro.workloads.rsa import RsaCryptoWorkload
+from repro.workloads.solr import SolrWorkload
+from repro.workloads.stress import StressWorkload
+from repro.workloads.webwork import WeBWorKWorkload
+
+#: Factories for fresh instances of every evaluation workload, in the
+#: paper's figure order.
+WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "rsa-crypto": RsaCryptoWorkload,
+    "solr": SolrWorkload,
+    "webwork": WeBWorKWorkload,
+    "stress": StressWorkload,
+    "gae-vosao": GaeVosaoWorkload,
+    "gae-hybrid": GaeHybridWorkload,
+}
+
+
+def workload_by_name(name: str) -> Workload:
+    """Instantiate a fresh workload by its catalog name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(WORKLOADS)
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return factory()

@@ -1,0 +1,103 @@
+"""An event-driven workload: Solr-style search on a single-process loop.
+
+Wraps :class:`~repro.server.eventdriven.EventDrivenServer` in the standard
+:class:`~repro.workloads.base.Workload` interface so the drivers,
+validation, and distribution machinery all work on an event-driven
+deployment.  One event-loop process per core keeps the machine utilized
+(as nginx/node deployments run one worker per core).
+
+Request tracking works through the future-work sync-trap inference; with
+``track_user_level_stages=False`` on the facility, this workload is the
+paper's worst case for OS-only tracking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.facility import PowerContainerFacility
+from repro.hardware.events import RateProfile
+from repro.kernel import Endpoint, Kernel, Message, SocketPair
+from repro.server.eventdriven import EventDrivenServer
+from repro.server.stages import CallbackEndpoint
+from repro.workloads.base import RequestSpec, Workload
+
+_PROFILE = RateProfile(
+    name="event-solr", ipc=1.3, flops_per_cycle=0.02,
+    cache_per_cycle=0.011, mem_per_cycle=0.004,
+)
+_BASE_MEAN_CYCLES = 40e6
+_BASE_MIN_CYCLES = 5e6
+_ARCH_DEMAND_SCALE = {"sandybridge": 1.0, "westmere": 1.25, "woodcrest": 1.55}
+
+
+class _LoopGroup:
+    """Facade over one event loop per core, Server-compatible."""
+
+    def __init__(self, loops: list[EventDrivenServer], machine) -> None:
+        self.loops = loops
+        self.machine = machine
+        self._next = 0
+        self.client_side = CallbackEndpoint(machine, "event-solr.client")
+        for loop in loops:
+            loop.client_side.on_message = (
+                lambda message: self.client_side.enqueue(message)
+            )
+
+    @property
+    def requests_served(self) -> int:
+        return sum(loop.requests_served for loop in self.loops)
+
+    def inject(self, message: Message) -> None:
+        """Round-robin requests over the per-core event loops."""
+        loop = self.loops[self._next]
+        self._next = (self._next + 1) % len(self.loops)
+        loop.inject(message)
+
+
+class EventDrivenSolrWorkload(Workload):
+    """Search queries served by per-core event-loop processes."""
+
+    name = "event-solr"
+
+    def __init__(self, turn_cycles: float = 1e6) -> None:
+        self.turn_cycles = turn_cycles
+
+    def request_types(self) -> list[str]:
+        return ["search"]
+
+    def sample_request(self, rng: np.random.Generator) -> RequestSpec:
+        extra = float(rng.exponential(1.0))
+        return RequestSpec(rtype="search", params={"work_factor": extra})
+
+    def demand_cycles(self, work_factor: float, arch: str) -> float:
+        base = _BASE_MIN_CYCLES + work_factor * (
+            _BASE_MEAN_CYCLES - _BASE_MIN_CYCLES
+        )
+        return base * _ARCH_DEMAND_SCALE[arch]
+
+    def mean_demand_seconds(self, arch: str) -> float:
+        freq = {"sandybridge": 3.10e9, "westmere": 2.26e9,
+                "woodcrest": 3.00e9}[arch]
+        return _BASE_MEAN_CYCLES * _ARCH_DEMAND_SCALE[arch] / freq
+
+    def request_bytes(self) -> float:
+        return 256.0
+
+    def build_server(
+        self, kernel: Kernel, facility: PowerContainerFacility
+    ) -> _LoopGroup:
+        arch = kernel.machine.arch
+
+        def cycles_for(payload) -> float:
+            _request_id, spec = payload
+            return self.demand_cycles(spec.params["work_factor"], arch)
+
+        loops = [
+            EventDrivenServer(
+                kernel, f"{self.name}-{i}", _PROFILE, cycles_for,
+                turn_cycles=self.turn_cycles, reply_bytes=4096.0,
+            )
+            for i in range(kernel.machine.n_cores)
+        ]
+        return _LoopGroup(loops, kernel.machine)

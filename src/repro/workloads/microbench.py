@@ -1,0 +1,10 @@
+"""Calibration microbenchmarks (re-exported from :mod:`repro.core.calibration`).
+
+The Section 4.1 suite lives beside the calibration driver so the core
+package is self-contained; this module re-exports it under the workloads
+namespace for discoverability.
+"""
+
+from repro.core.calibration import Microbenchmark, calibration_microbenchmarks
+
+__all__ = ["Microbenchmark", "calibration_microbenchmarks"]

@@ -1,0 +1,121 @@
+"""RSA-crypto: synthetic security-processing workload (Section 4.2).
+
+Each request runs RSA encryption/decryption with one of three key sizes
+(the three example keys shipped with OpenSSL).  The work is pure
+high-instruction-rate CPU: no I/O, no downstream stages.
+
+Cross-machine behaviour: RSA benefits enormously from the newer
+microarchitecture (wide issue, fast multipliers), so SandyBridge executes a
+request in far fewer cycles than Woodcrest -- this workload anchors the low
+end (0.22) of the paper's Fig. 13 energy-ratio range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.facility import PowerContainerFacility
+from repro.hardware.events import RateProfile
+from repro.kernel import Compute, Kernel, Message
+from repro.server.stages import Server
+from repro.workloads.base import RequestSpec, Workload
+
+#: Cycle cost of one request per key type, on SandyBridge.
+_BASE_DEMAND_CYCLES = {
+    "key-small": 37e6,    # ~12 ms at 3.1 GHz
+    "key-medium": 74e6,   # ~24 ms
+    "key-large": 150e6,   # ~48 ms
+}
+
+#: Relative cycle inflation per microarchitecture (RSA is the paper's most
+#: architecture-sensitive workload).
+_ARCH_DEMAND_SCALE = {
+    "sandybridge": 1.0,
+    "westmere": 1.7,
+    "woodcrest": 3.2,
+}
+
+#: Per-key activity profiles: larger keys have bigger operand working sets,
+#: so their per-cycle cache/memory traffic (and hence power) is higher --
+#: the compositional power difference that defeats CPU-utilization-
+#: proportional prediction in Fig. 10.
+_PROFILES = {
+    "key-small": RateProfile(
+        name="rsa-small", ipc=2.6, flops_per_cycle=0.02,
+        cache_per_cycle=0.0005, mem_per_cycle=0.0001,
+    ),
+    "key-medium": RateProfile(
+        name="rsa-medium", ipc=2.4, flops_per_cycle=0.05,
+        cache_per_cycle=0.001, mem_per_cycle=0.0003,
+    ),
+    "key-large": RateProfile(
+        name="rsa-large", ipc=2.0, flops_per_cycle=0.30,
+        cache_per_cycle=0.018, mem_per_cycle=0.008,
+    ),
+}
+
+
+class RsaCryptoWorkload(Workload):
+    """Three request types, one per OpenSSL example key."""
+
+    name = "rsa-crypto"
+
+    def __init__(
+        self,
+        mix: dict[str, float] | None = None,
+        n_workers: int = 12,
+        demand_jitter: float = 0.05,
+    ) -> None:
+        self.mix = mix if mix is not None else {
+            "key-small": 1 / 3, "key-medium": 1 / 3, "key-large": 1 / 3
+        }
+        unknown = set(self.mix) - set(_BASE_DEMAND_CYCLES)
+        if unknown:
+            raise ValueError(f"unknown request types: {sorted(unknown)}")
+        total = sum(self.mix.values())
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        self.mix = {k: v / total for k, v in self.mix.items()}
+        self.n_workers = n_workers
+        self.demand_jitter = demand_jitter
+        self._rng = np.random.default_rng(1234)
+
+    def request_types(self) -> list[str]:
+        return list(_BASE_DEMAND_CYCLES)
+
+    def sample_request(self, rng: np.random.Generator) -> RequestSpec:
+        names = list(self.mix)
+        weights = [self.mix[n] for n in names]
+        rtype = names[rng.choice(len(names), p=weights)]
+        jitter = float(rng.normal(1.0, self.demand_jitter))
+        return RequestSpec(rtype=rtype, params={"jitter": max(jitter, 0.5)})
+
+    def demand_cycles(self, rtype: str, arch: str) -> float:
+        """Cycle cost of one request of a type on an architecture."""
+        return _BASE_DEMAND_CYCLES[rtype] * _ARCH_DEMAND_SCALE[arch]
+
+    def mean_demand_seconds(self, arch: str) -> float:
+        spec_freq = {"sandybridge": 3.10e9, "westmere": 2.26e9,
+                     "woodcrest": 3.00e9}[arch]
+        mean_cycles = sum(
+            self.mix[t] * self.demand_cycles(t, arch) for t in self.mix
+        )
+        return mean_cycles / spec_freq
+
+    def build_server(
+        self, kernel: Kernel, facility: PowerContainerFacility
+    ) -> Server:
+        arch = kernel.machine.arch
+
+        def handler_factory(message: Message):
+            _request_id, spec = message.payload
+            cycles = self.demand_cycles(spec.rtype, arch) * spec.params["jitter"]
+            profile = _PROFILES[spec.rtype]
+
+            def handler():
+                yield Compute(cycles=cycles, profile=profile)
+                return "ok"
+
+            return handler()
+
+        return Server(kernel, self.name, handler_factory, self.n_workers)

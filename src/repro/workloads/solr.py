@@ -1,0 +1,88 @@
+"""Solr: full-text search over an in-memory Wikipedia index (Section 4.2).
+
+The search server (Lucene inside Tomcat) is cache/memory-intensive --
+walking posting lists and scoring documents -- with highly variable
+per-query work (query length, hit counts).  The index fits in memory, so
+there is no disk I/O; responses are a few kilobytes.
+
+The wide execution-time spread produces the paper's spread-out request
+energy distribution (Fig. 7) while the per-request *power* stays fairly
+uniform (Fig. 6, left).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.facility import PowerContainerFacility
+from repro.hardware.events import RateProfile
+from repro.kernel import Compute, Kernel, Message
+from repro.server.stages import Server
+from repro.workloads.base import RequestSpec, Workload
+
+#: Mean cycle cost of a query on SandyBridge (~13 ms).
+_BASE_MEAN_CYCLES = 40e6
+#: Floor cost (query parsing, servlet overhead).
+_BASE_MIN_CYCLES = 5e6
+
+_ARCH_DEMAND_SCALE = {
+    "sandybridge": 1.0,
+    "westmere": 1.25,
+    "woodcrest": 1.55,
+}
+
+_PROFILE = RateProfile(
+    name="solr", ipc=1.3, flops_per_cycle=0.02, cache_per_cycle=0.011,
+    mem_per_cycle=0.004,
+)
+
+
+class SolrWorkload(Workload):
+    """Search queries with exponentially distributed work."""
+
+    name = "solr"
+
+    def __init__(self, n_workers: int = 16) -> None:
+        self.n_workers = n_workers
+
+    def request_types(self) -> list[str]:
+        return ["search"]
+
+    def sample_request(self, rng: np.random.Generator) -> RequestSpec:
+        # Work beyond the floor is exponential: most queries are cheap, a
+        # long tail of expensive ones (popular multi-term article queries).
+        extra = float(rng.exponential(1.0))
+        return RequestSpec(rtype="search", params={"work_factor": extra})
+
+    def demand_cycles(self, work_factor: float, arch: str) -> float:
+        """Cycle cost of one query given its sampled work factor."""
+        base = _BASE_MIN_CYCLES + work_factor * (_BASE_MEAN_CYCLES - _BASE_MIN_CYCLES)
+        return base * _ARCH_DEMAND_SCALE[arch]
+
+    def mean_demand_seconds(self, arch: str) -> float:
+        spec_freq = {"sandybridge": 3.10e9, "westmere": 2.26e9,
+                     "woodcrest": 3.00e9}[arch]
+        return _BASE_MEAN_CYCLES * _ARCH_DEMAND_SCALE[arch] / spec_freq
+
+    def request_bytes(self) -> float:
+        return 256.0
+
+    def build_server(
+        self, kernel: Kernel, facility: PowerContainerFacility
+    ) -> Server:
+        arch = kernel.machine.arch
+
+        def handler_factory(message: Message):
+            _request_id, spec = message.payload
+            cycles = self.demand_cycles(spec.params["work_factor"], arch)
+
+            def handler():
+                yield Compute(cycles=cycles, profile=_PROFILE)
+                return "hits"
+
+            return handler()
+
+        return Server(
+            kernel, self.name, handler_factory, self.n_workers,
+            reply_bytes=4096.0,
+        )

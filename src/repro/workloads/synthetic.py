@@ -1,0 +1,180 @@
+"""Configurable synthetic workloads: build your own request pipeline.
+
+The six evaluation workloads model specific applications; downstream users
+of the library usually want to sketch *their* service instead.  A
+:class:`SyntheticWorkload` is assembled from :class:`StageSpec` entries --
+each stage either runs on the front-end worker, on a thread-per-connection
+sub-service (over a persistent tagged socket), or in a forked helper
+process -- so arbitrary Fig. 4-style topologies can be described in a few
+lines:
+
+    workload = SyntheticWorkload(
+        name="my-api",
+        stages=[
+            StageSpec("parse", cycles=2e6, profile=light),
+            StageSpec("db", cycles=8e6, profile=dbish, kind="service",
+                      io_bytes=8192),
+            StageSpec("render", cycles=5e6, profile=fpu, kind="fork"),
+        ],
+        demand_jitter=0.2,
+    )
+
+All power-container machinery (tracking, accounting, conditioning,
+distribution) works on synthetic workloads unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.facility import PowerContainerFacility
+from repro.hardware.events import RateProfile
+from repro.kernel import Compute, DiskIO, Fork, Kernel, Message, Recv, Send, WaitChild
+from repro.server.stages import Server, SubService
+from repro.workloads.base import RequestSpec, Workload
+
+_VALID_KINDS = ("inline", "service", "fork")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a synthetic request pipeline.
+
+    ``kind`` selects where the stage runs: ``"inline"`` on the front-end
+    worker, ``"service"`` on a dedicated thread reached over a persistent
+    socket, ``"fork"`` in a freshly forked child that is waited on.
+    ``io_bytes`` adds a blocking disk transfer after the stage's compute.
+    """
+
+    name: str
+    cycles: float
+    profile: RateProfile
+    kind: str = "inline"
+    io_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"stage kind must be one of {_VALID_KINDS}, got {self.kind!r}"
+            )
+        if self.cycles < 0 or self.io_bytes < 0:
+            raise ValueError("cycles and io_bytes must be non-negative")
+
+
+class SyntheticWorkload(Workload):
+    """A request pipeline assembled from :class:`StageSpec` entries."""
+
+    def __init__(
+        self,
+        name: str,
+        stages: list[StageSpec],
+        demand_jitter: float = 0.1,
+        n_workers: int = 8,
+        arch_demand_scale: dict[str, float] | None = None,
+        request_nbytes: float = 512.0,
+        reply_nbytes: float = 2048.0,
+    ) -> None:
+        if not stages:
+            raise ValueError("a synthetic workload needs at least one stage")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ValueError("stage names must be unique")
+        self.name = name
+        self.stages = list(stages)
+        self.demand_jitter = demand_jitter
+        self.n_workers = n_workers
+        self.arch_demand_scale = arch_demand_scale or {
+            "sandybridge": 1.0, "westmere": 1.25, "woodcrest": 1.5,
+        }
+        self._request_nbytes = request_nbytes
+        self._reply_nbytes = reply_nbytes
+
+    # ------------------------------------------------------------------
+    def request_types(self) -> list[str]:
+        return ["request"]
+
+    def sample_request(self, rng: np.random.Generator) -> RequestSpec:
+        jitter = max(float(rng.normal(1.0, self.demand_jitter)), 0.3)
+        return RequestSpec(rtype="request", params={"jitter": jitter})
+
+    def total_cycles(self, arch: str, jitter: float = 1.0) -> float:
+        """Summed cycle demand across all stages on one architecture."""
+        scale = self.arch_demand_scale[arch]
+        return sum(s.cycles for s in self.stages) * scale * jitter
+
+    def mean_demand_seconds(self, arch: str) -> float:
+        freq = {"sandybridge": 3.10e9, "westmere": 2.26e9,
+                "woodcrest": 3.00e9}[arch]
+        return self.total_cycles(arch) / freq
+
+    def request_bytes(self) -> float:
+        return self._request_nbytes
+
+    # ------------------------------------------------------------------
+    def build_server(
+        self, kernel: Kernel, facility: PowerContainerFacility
+    ) -> Server:
+        arch = kernel.machine.arch
+        scale = self.arch_demand_scale[arch]
+
+        # One SubService per "service" stage; shared by all workers via
+        # per-worker persistent connections.
+        services: dict[str, SubService] = {}
+        for stage in self.stages:
+            if stage.kind != "service":
+                continue
+
+            def service_factory(message, stage=stage):
+                def handler():
+                    yield Compute(cycles=message.payload,
+                                  profile=stage.profile)
+                    if stage.io_bytes:
+                        yield DiskIO(nbytes=stage.io_bytes)
+                    return "ok"
+                return handler()
+
+            services[stage.name] = SubService(
+                kernel, f"{self.name}-{stage.name}", service_factory
+            )
+
+        def worker_factory(worker_index: int):
+            endpoints = {
+                name: service.connect() for name, service in services.items()
+            }
+
+            def handler_factory(message: Message):
+                _request_id, spec = message.payload
+                jitter = spec.params["jitter"]
+
+                def handler():
+                    for stage in self.stages:
+                        cycles = stage.cycles * scale * jitter
+                        if stage.kind == "inline":
+                            yield Compute(cycles=cycles, profile=stage.profile)
+                            if stage.io_bytes:
+                                yield DiskIO(nbytes=stage.io_bytes)
+                        elif stage.kind == "service":
+                            endpoint = endpoints[stage.name]
+                            yield Send(endpoint, nbytes=256, payload=cycles)
+                            yield Recv(endpoint)
+                        else:  # fork
+                            def helper(cycles=cycles, stage=stage):
+                                yield Compute(cycles=cycles,
+                                              profile=stage.profile)
+                                if stage.io_bytes:
+                                    yield DiskIO(nbytes=stage.io_bytes)
+
+                            child = yield Fork(helper(), name=stage.name)
+                            yield WaitChild(child)
+                    return "done"
+
+                return handler()
+
+            return handler_factory
+
+        return Server(
+            kernel, self.name, n_workers=self.n_workers,
+            reply_bytes=self._reply_nbytes, worker_factory=worker_factory,
+        )

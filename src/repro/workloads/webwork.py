@@ -1,0 +1,200 @@
+"""WeBWorK: the multi-stage online homework application (Section 4.2).
+
+The paper's Fig. 4 shows a captured WeBWorK request execution flowing
+through Apache PHP processing, a MySQL thread over a persistent socket,
+and forked ``latex``/``dvipng`` helper processes for content and image
+rendering.  This model reproduces that exact topology:
+
+    apache worker --(socket)--> mysql thread
+        |--fork--> latex  --wait4/exit-->
+        |--fork--> dvipng --wait4/exit-->
+        `--> reply to client
+
+Request context must survive the socket hop and both forks for the
+per-request energy in Fig. 4's annotations to be attributable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.facility import PowerContainerFacility
+from repro.hardware.events import RateProfile
+from repro.kernel import Compute, DiskIO, Fork, Kernel, Message, Recv, Send, WaitChild
+from repro.server.stages import Server, SubService
+from repro.workloads.base import RequestSpec, Workload
+
+_ARCH_DEMAND_SCALE = {
+    "sandybridge": 1.0,
+    "westmere": 1.3,
+    "woodcrest": 1.65,
+}
+
+#: Stage cycle costs on SandyBridge (problem rendering is PHP-heavy).
+_STAGE_CYCLES = {
+    "php": 50e6,      # ~16 ms: Perl/PHP problem processing
+    "mysql": 9e6,     # ~3 ms: problem set and user state queries
+    "latex": 24e6,    # ~8 ms: content rendering
+    "dvipng": 15e6,   # ~5 ms: image rendering
+}
+
+PHP_PROFILE = RateProfile(
+    name="webwork-php", ipc=1.5, flops_per_cycle=0.01,
+    cache_per_cycle=0.006, mem_per_cycle=0.002,
+)
+MYSQL_PROFILE = RateProfile(
+    name="webwork-mysql", ipc=0.9, cache_per_cycle=0.012, mem_per_cycle=0.005,
+)
+LATEX_PROFILE = RateProfile(
+    name="webwork-latex", ipc=1.2, flops_per_cycle=0.30,
+    cache_per_cycle=0.012, mem_per_cycle=0.005,
+)
+DVIPNG_PROFILE = RateProfile(
+    name="webwork-dvipng", ipc=1.1, flops_per_cycle=0.10,
+    cache_per_cycle=0.014, mem_per_cycle=0.007,
+)
+
+
+class WeBWorKWorkload(Workload):
+    """Problem-solving requests through the four-stage pipeline."""
+
+    name = "webwork"
+
+    def __init__(
+        self,
+        n_workers: int = 10,
+        n_problem_sets: int = 3000,
+        popular_only: bool = False,
+        db_bytes: float = 8192.0,
+    ) -> None:
+        self.n_workers = n_workers
+        self.n_problem_sets = n_problem_sets
+        #: When set, requests draw only from the 10 most popular problem
+        #: sets (the paper's Fig. 10 "new composition" for WeBWorK).
+        self.popular_only = popular_only
+        self.db_bytes = db_bytes
+
+    #: Fraction of site traffic hitting the ten most popular problem sets
+    #: (real request logs are heavily skewed).
+    POPULAR_TRAFFIC_SHARE = 0.3
+    #: Probability a popular problem's rendered image is already cached, so
+    #: the dvipng stage is skipped.
+    POPULAR_IMAGE_CACHE_HIT = 0.8
+    STANDARD_IMAGE_CACHE_HIT = 0.1
+
+    def request_types(self) -> list[str]:
+        return ["popular", "standard"]
+
+    def sample_request(self, rng: np.random.Generator) -> RequestSpec:
+        popular = self.popular_only or bool(
+            rng.random() < self.POPULAR_TRAFFIC_SHARE
+        )
+        if popular:
+            problem_set = int(rng.integers(0, 10))
+            # Popular problems skew simpler (pre-calculus end of the range).
+            difficulty = 0.55 + 0.1 * float(rng.random())
+            cached = bool(rng.random() < self.POPULAR_IMAGE_CACHE_HIT)
+        else:
+            problem_set = int(rng.integers(10, self.n_problem_sets))
+            # Problem sets range pre-calculus .. differential equations.
+            difficulty = 0.5 + 1.0 * float(rng.random())
+            cached = bool(rng.random() < self.STANDARD_IMAGE_CACHE_HIT)
+        return RequestSpec(
+            rtype="popular" if popular else "standard",
+            params={
+                "problem_set": problem_set,
+                "difficulty": difficulty,
+                "image_cached": cached,
+            },
+        )
+
+    def stage_cycles(self, stage: str, difficulty: float, arch: str) -> float:
+        """Cycle cost of one stage for a problem of given difficulty."""
+        return _STAGE_CYCLES[stage] * difficulty * _ARCH_DEMAND_SCALE[arch]
+
+    def mean_demand_seconds(self, arch: str) -> float:
+        spec_freq = {"sandybridge": 3.10e9, "westmere": 2.26e9,
+                     "woodcrest": 3.00e9}[arch]
+        if self.popular_only:
+            mean_difficulty = 0.6
+            dvipng_weight = 1.0 - self.POPULAR_IMAGE_CACHE_HIT
+        else:
+            share = self.POPULAR_TRAFFIC_SHARE
+            mean_difficulty = share * 0.6 + (1 - share) * 1.0
+            dvipng_weight = share * (1 - self.POPULAR_IMAGE_CACHE_HIT) + (
+                1 - share
+            ) * (1 - self.STANDARD_IMAGE_CACHE_HIT)
+        total = (
+            _STAGE_CYCLES["php"]
+            + _STAGE_CYCLES["mysql"]
+            + _STAGE_CYCLES["latex"]
+            + _STAGE_CYCLES["dvipng"] * dvipng_weight
+        ) * mean_difficulty
+        return total * _ARCH_DEMAND_SCALE[arch] / spec_freq
+
+    def build_server(
+        self, kernel: Kernel, facility: PowerContainerFacility
+    ) -> Server:
+        arch = kernel.machine.arch
+        workload = self
+
+        def mysql_handler_factory(message: Message):
+            difficulty = message.payload
+
+            def handler():
+                yield Compute(
+                    cycles=workload.stage_cycles("mysql", difficulty, arch),
+                    profile=MYSQL_PROFILE,
+                )
+                yield DiskIO(nbytes=workload.db_bytes)
+                return "rows"
+
+            return handler()
+
+        mysql = SubService(kernel, "mysql", mysql_handler_factory)
+
+        def make_front_handler_factory(worker_index: int):
+            # One persistent MySQL connection per Apache worker.
+            db_endpoint = mysql.connect()
+
+            def handler_factory(message: Message):
+                _request_id, spec = message.payload
+                difficulty = spec.params["difficulty"]
+
+                def latex_program():
+                    yield Compute(
+                        cycles=workload.stage_cycles("latex", difficulty, arch),
+                        profile=LATEX_PROFILE,
+                    )
+
+                def dvipng_program():
+                    yield Compute(
+                        cycles=workload.stage_cycles("dvipng", difficulty, arch),
+                        profile=DVIPNG_PROFILE,
+                    )
+
+                def handler():
+                    # Apache/PHP processing, split around the DB call.
+                    php = workload.stage_cycles("php", difficulty, arch)
+                    yield Compute(cycles=php * 0.6, profile=PHP_PROFILE)
+                    yield Send(db_endpoint, nbytes=512, payload=difficulty)
+                    yield Recv(db_endpoint)
+                    yield Compute(cycles=php * 0.4, profile=PHP_PROFILE)
+                    latex = yield Fork(latex_program(), name="latex")
+                    yield WaitChild(latex)
+                    if not spec.params["image_cached"]:
+                        dvipng = yield Fork(dvipng_program(), name="dvipng")
+                        yield WaitChild(dvipng)
+                    return "page"
+
+                return handler()
+
+            return handler_factory
+
+        return Server(
+            kernel,
+            self.name,
+            n_workers=self.n_workers,
+            reply_bytes=6144.0,
+            worker_factory=make_front_handler_factory,
+        )

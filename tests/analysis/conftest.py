@@ -1,0 +1,16 @@
+"""Shared fixtures for analysis tests."""
+
+import pytest
+
+from repro.core import calibrate_machine
+from repro.hardware import SANDYBRIDGE, WOODCREST
+
+
+@pytest.fixture(scope="session")
+def sb_cal():
+    return calibrate_machine(SANDYBRIDGE, duration=0.2)
+
+
+@pytest.fixture(scope="session")
+def wc_cal():
+    return calibrate_machine(WOODCREST, duration=0.2)

@@ -1,0 +1,72 @@
+"""Tests for the Fig. 11/12 conditioning experiment driver."""
+
+import pytest
+
+from repro.analysis import run_conditioning_experiment
+from repro.analysis.conditioning_experiment import (
+    ConditioningOutcome,
+    RequestThrottleSample,
+)
+from repro.hardware import SANDYBRIDGE
+
+
+@pytest.fixture(scope="module")
+def short_runs(sb_cal):
+    return {
+        conditioned: run_conditioning_experiment(
+            SANDYBRIDGE, sb_cal, conditioned=conditioned,
+            duration=6.0, virus_start=3.0,
+        )
+        for conditioned in (False, True)
+    }
+
+
+def test_outcome_structure(short_runs):
+    outcome = short_runs[True]
+    assert isinstance(outcome, ConditioningOutcome)
+    assert outcome.conditioned
+    assert outcome.power_trace
+    assert all(isinstance(s, RequestThrottleSample) for s in outcome.scatter)
+
+
+def test_viruses_appear_only_after_start(short_runs):
+    outcome = short_runs[False]
+    virus_arrivals = [
+        r.arrival for r in outcome.run.driver.results if r.rtype == "virus"
+    ]
+    assert virus_arrivals
+    assert min(virus_arrivals) >= outcome.virus_start
+
+
+def test_original_system_spikes(short_runs):
+    outcome = short_runs[False]
+    before = outcome.mean_power(1.0, outcome.virus_start)
+    spike = outcome.peak_power(outcome.virus_start + 0.3, 6.0)
+    assert spike > before + 4.0
+
+
+def test_conditioned_system_caps(short_runs):
+    outcome = short_runs[True]
+    assert outcome.peak_power(outcome.virus_start + 0.3, 6.0) \
+        < outcome.target_active_watts * 1.07
+
+
+def test_selective_throttling(short_runs):
+    outcome = short_runs[True]
+    assert outcome.mean_duty(lambda r: r == "virus") < 0.8
+    assert outcome.mean_duty(lambda r: r != "virus") > 0.95
+
+
+def test_power_helpers_on_empty_window(short_runs):
+    outcome = short_runs[True]
+    assert outcome.mean_power(100.0, 200.0) == 0.0
+    assert outcome.peak_power(100.0, 200.0) == 0.0
+    assert outcome.mean_duty(lambda r: r == "no-such-type") == 1.0
+
+
+def test_deterministic(sb_cal):
+    a = run_conditioning_experiment(SANDYBRIDGE, sb_cal, conditioned=True,
+                                    duration=3.0, virus_start=1.5, seed=4)
+    b = run_conditioning_experiment(SANDYBRIDGE, sb_cal, conditioned=True,
+                                    duration=3.0, virus_start=1.5, seed=4)
+    assert [w for _t, w in a.power_trace] == [w for _t, w in b.power_trace]

@@ -1,0 +1,67 @@
+"""Tests for statistics helpers and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    distribution_histogram,
+    relative_error,
+    render_table,
+    summarize,
+)
+
+
+def test_relative_error_basic():
+    assert relative_error(110, 100) == pytest.approx(0.1)
+    assert relative_error(90, 100) == pytest.approx(0.1)
+    with pytest.raises(ValueError):
+        relative_error(1.0, 0.0)
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.median == pytest.approx(2.5)
+    assert s.minimum == 1.0
+    assert s.maximum == 4.0
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_histogram_is_density():
+    density, edges = distribution_histogram(np.random.default_rng(0).normal(10, 2, 500))
+    widths = np.diff(edges)
+    assert float((density * widths).sum()) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        distribution_histogram([])
+
+
+def test_histogram_with_range():
+    density, edges = distribution_histogram([1, 2, 3], bins=4, value_range=(0, 4))
+    assert edges[0] == 0 and edges[-1] == 4
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["workload", "watts"], [["solr", 31.5], ["stress", 43.221]],
+        title="Fig 5",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Fig 5"
+    assert "workload" in lines[1]
+    assert "31.50" in text
+    assert "43.22" in text
+
+
+def test_render_table_empty_rows():
+    text = render_table(["a", "b"], [])
+    assert "a" in text
+
+
+@given(st.floats(min_value=0.1, max_value=1e6),
+       st.floats(min_value=-0.99, max_value=10))
+def test_property_relative_error_definition(measured, bias):
+    estimated = measured * (1 + bias)
+    assert relative_error(estimated, measured) == pytest.approx(abs(bias), rel=1e-9)

@@ -1,0 +1,129 @@
+"""Tests for the Fig. 8 validation and Fig. 10 prediction drivers."""
+
+import pytest
+
+from repro.analysis import (
+    gae_background_split,
+    incremental_power_curve,
+    measure_workload_power,
+    predict_at_new_composition,
+    request_energy_samples,
+    request_power_samples,
+    validate_workload,
+)
+from repro.hardware import SANDYBRIDGE, WOODCREST
+from repro.workloads import (
+    GaeHybridWorkload,
+    GaeVosaoWorkload,
+    RsaCryptoWorkload,
+    SolrWorkload,
+    StressWorkload,
+)
+
+
+def test_validation_outcome_structure(sb_cal):
+    outcome = validate_workload(
+        SolrWorkload(), SANDYBRIDGE, sb_cal, load_fraction=0.5, duration=3.0,
+    )
+    assert set(outcome.errors) == {"eq1", "eq2", "recal"}
+    assert outcome.measured_active_watts > 5
+    for approach, watts in outcome.estimated_watts.items():
+        assert watts > 0
+        assert outcome.error(approach) == pytest.approx(
+            abs(watts - outcome.measured_active_watts)
+            / outcome.measured_active_watts
+        )
+
+
+def test_validation_recal_beats_eq1_on_stress(sb_cal):
+    """The Fig. 8 headline: recalibration fixes hidden-power workloads."""
+    outcome = validate_workload(
+        StressWorkload(), SANDYBRIDGE, sb_cal, load_fraction=1.0, duration=4.0,
+    )
+    assert outcome.error("recal") < outcome.error("eq2")
+    assert outcome.error("recal") < 0.10
+    assert outcome.error("eq2") > 0.10  # hidden power invisible offline
+
+
+def test_validation_accurate_on_calibration_like_workload(sb_cal):
+    outcome = validate_workload(
+        SolrWorkload(), SANDYBRIDGE, sb_cal, load_fraction=0.5, duration=3.0,
+    )
+    assert outcome.error("recal") < 0.08
+    assert outcome.error("eq2") < 0.12
+
+
+def test_incremental_power_first_step_largest_sandybridge():
+    """Fig. 1 left: idle->1 core includes the chip maintenance power."""
+    increments = incremental_power_curve(SANDYBRIDGE, duration=0.2)
+    assert len(increments) == 4
+    assert increments[0] > increments[1] * 1.3
+    assert increments[1] == pytest.approx(increments[2], rel=0.05)
+    assert increments[1] == pytest.approx(increments[3], rel=0.05)
+
+
+def test_incremental_power_two_large_steps_woodcrest():
+    """Fig. 1 right: the spread policy activates both chips by two cores."""
+    increments = incremental_power_curve(WOODCREST, duration=0.2)
+    assert len(increments) == 4
+    assert increments[0] > increments[2] * 1.2
+    assert increments[1] > increments[2] * 1.2
+    assert increments[2] == pytest.approx(increments[3], rel=0.05)
+
+
+def test_measure_workload_power_scales_with_load(sb_cal):
+    half, _ = measure_workload_power(
+        SolrWorkload(), SANDYBRIDGE, sb_cal, 0.5, duration=2.5,
+    )
+    peak, _ = measure_workload_power(
+        SolrWorkload(), SANDYBRIDGE, sb_cal, 1.0, duration=2.5,
+    )
+    assert peak > half
+
+
+def test_request_power_and_energy_samples(sb_cal):
+    _, run = measure_workload_power(
+        GaeHybridWorkload(), SANDYBRIDGE, sb_cal, 0.5, duration=4.0,
+    )
+    powers = request_power_samples(run)
+    energies = request_energy_samples(run)
+    assert len(powers) == len(energies) > 30
+    virus_powers = request_power_samples(run, rtype_prefix="virus")
+    assert virus_powers
+    # Fig. 6: viruses form the high-power mass.
+    import numpy as np
+    assert np.mean(virus_powers) > np.mean(powers)
+
+
+def test_gae_background_split_about_one_third(sb_cal):
+    _, run = measure_workload_power(
+        GaeVosaoWorkload(), SANDYBRIDGE, sb_cal, 1.0, duration=3.0,
+    )
+    split = gae_background_split(run)
+    assert 0.2 < split.background_fraction < 0.45
+    assert split.modeled_total_watts == pytest.approx(
+        split.measured_active_watts, rel=0.15
+    )
+
+
+def test_prediction_ordering_matches_paper(sb_cal):
+    outcomes = predict_at_new_composition(
+        RsaCryptoWorkload(),
+        RsaCryptoWorkload(mix={"key-large": 1.0}),
+        SANDYBRIDGE, sb_cal,
+        profiling_load=0.5, new_loads=(0.65,), duration=4.0,
+    )
+    errors = outcomes[0].errors
+    assert errors["power-containers"] < errors["request-rate-proportional"]
+    assert errors["power-containers"] < 0.11  # the paper's bound
+    assert errors["request-rate-proportional"] > 0.25
+
+
+def test_prediction_rejects_unprofiled_types(sb_cal):
+    with pytest.raises(ValueError):
+        predict_at_new_composition(
+            RsaCryptoWorkload(mix={"key-small": 1.0}),  # only small profiled
+            RsaCryptoWorkload(mix={"key-large": 1.0}),
+            SANDYBRIDGE, sb_cal,
+            profiling_load=0.4, new_loads=(0.5,), duration=2.0,
+        )

@@ -1,0 +1,18 @@
+"""Shared fixtures for core-layer tests."""
+
+import pytest
+
+from repro.core import calibrate_machine
+from repro.hardware import SANDYBRIDGE, WOODCREST
+
+
+@pytest.fixture(scope="session")
+def sb_cal():
+    """Session-cached SandyBridge calibration."""
+    return calibrate_machine(SANDYBRIDGE, duration=0.2)
+
+
+@pytest.fixture(scope="session")
+def wc_cal():
+    """Session-cached Woodcrest calibration."""
+    return calibrate_machine(WOODCREST, duration=0.2)

@@ -1,0 +1,131 @@
+"""Tests for power anomaly (power virus) detection."""
+
+import pytest
+
+from repro.core.anomaly import (
+    AnomalyReport,
+    DetectingConditionerBridge,
+    PowerAnomalyDetector,
+)
+from repro.core.container import PowerContainer
+from repro.core.registry import BACKGROUND_CONTAINER_ID
+
+
+def _feed_baseline(detector, n=30, watts=10.0):
+    for i in range(n):
+        c = PowerContainer(1000 + i, label=f"normal-{i}")
+        detector.observe(c, watts + (i % 5) * 0.2, now=float(i))
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        PowerAnomalyDetector(threshold_deviations=0)
+
+
+def test_no_flags_before_baseline_established():
+    detector = PowerAnomalyDetector(min_baseline_samples=20)
+    virus = PowerContainer(1, label="virus")
+    for i in range(10):
+        assert detector.observe(virus, 50.0, now=float(i)) is None
+    assert not detector.is_flagged(1)
+
+
+def test_normal_requests_never_flagged():
+    detector = PowerAnomalyDetector()
+    _feed_baseline(detector)
+    normal = PowerContainer(1, label="normal")
+    for i in range(10):
+        assert detector.observe(normal, 10.5, now=float(i)) is None
+    assert detector.reports == []
+
+
+def test_power_virus_flagged_after_sustained_evidence():
+    detector = PowerAnomalyDetector(min_observations=3)
+    _feed_baseline(detector)
+    virus = PowerContainer(1, label="virus", meta={"rtype": "virus"})
+    assert detector.observe(virus, 25.0, now=100.0) is None
+    assert detector.observe(virus, 25.0, now=100.1) is None
+    report = detector.observe(virus, 25.0, now=100.2)
+    assert isinstance(report, AnomalyReport)
+    assert report.container_id == 1
+    assert report.meta["rtype"] == "virus"
+    assert detector.is_flagged(1)
+
+
+def test_container_flagged_only_once():
+    detector = PowerAnomalyDetector(min_observations=1)
+    _feed_baseline(detector)
+    virus = PowerContainer(1, label="virus")
+    first = detector.observe(virus, 30.0, now=1.0)
+    second = detector.observe(virus, 30.0, now=2.0)
+    assert first is not None
+    assert second is None
+    assert len(detector.reports) == 1
+
+
+def test_single_spike_not_flagged():
+    """One outlier sample is not sustained evidence."""
+    detector = PowerAnomalyDetector(min_observations=3)
+    _feed_baseline(detector)
+    flaky = PowerContainer(2, label="flaky")
+    assert detector.observe(flaky, 28.0, now=1.0) is None
+    # Back to normal: the suspicion counter resets.
+    assert detector.observe(flaky, 10.0, now=1.1) is None
+    assert detector.observe(flaky, 28.0, now=1.2) is None
+    assert detector.observe(flaky, 28.0, now=1.3) is None
+    assert not detector.is_flagged(2)
+
+
+def test_anomalous_samples_do_not_poison_baseline():
+    detector = PowerAnomalyDetector(min_observations=1)
+    _feed_baseline(detector)
+    baseline_before = detector.baseline_watts
+    virus = PowerContainer(1, label="virus")
+    for i in range(50):
+        detector.observe(virus, 40.0, now=float(i))
+    assert detector.baseline_watts == pytest.approx(baseline_before, abs=0.5)
+
+
+def test_background_container_ignored():
+    detector = PowerAnomalyDetector(min_observations=1)
+    _feed_baseline(detector)
+    bg = PowerContainer(BACKGROUND_CONTAINER_ID, label="background")
+    assert detector.observe(bg, 100.0, now=1.0) is None
+
+
+def test_report_str_is_informative():
+    report = AnomalyReport(
+        container_id=7, label="gae:virus", detected_at=1.5,
+        power_watts=22.0, baseline_watts=11.0, deviations=9.3,
+    )
+    text = str(report)
+    assert "gae:virus" in text and "22.0" in text
+
+
+def test_bridge_detects_viruses_in_live_run(sb_cal):
+    """End-to-end: the bridge on a GAE-Hybrid run flags virus containers
+    and not Vosao containers."""
+    from repro.workloads import GaeHybridWorkload, run_workload
+    from repro.hardware import SANDYBRIDGE
+
+    detector = PowerAnomalyDetector(threshold_deviations=5.0)
+
+    def bridge_factory(kernel):
+        return DetectingConditionerBridge(detector, kernel.simulator)
+
+    run = run_workload(
+        GaeHybridWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.6, duration=5.0, warmup=0.0,
+        conditioner_factory=bridge_factory,
+    )
+    virus_ids = {
+        r.container.id for r in run.driver.results if r.rtype == "virus"
+    }
+    vosao_ids = {
+        r.container.id for r in run.driver.results if r.rtype != "virus"
+    }
+    flagged = {report.container_id for report in detector.reports}
+    assert virus_ids, "the hybrid run must contain viruses"
+    # Most viruses detected; no normal request falsely flagged.
+    assert len(flagged & virus_ids) >= len(virus_ids) * 0.6
+    assert not (flagged & vosao_ids)

@@ -1,0 +1,113 @@
+"""Tests for per-request energy budgets."""
+
+import pytest
+
+from repro.core import PowerContainerFacility
+from repro.core.budget import EnergyBudgetConditioner
+from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+from repro.kernel import Compute, Kernel
+from repro.sim import Simulator
+
+WORK = RateProfile(name="work", ipc=1.0)
+
+
+def _world(sb_cal, budget, **kwargs):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    conditioner = EnergyBudgetConditioner(
+        kernel, default_budget_joules=budget, **kwargs
+    )
+    facility.attach_conditioner(conditioner)
+    return sim, machine, kernel, facility, conditioner
+
+
+def _spin(machine, seconds):
+    def program():
+        yield Compute(cycles=machine.freq_hz * seconds, profile=WORK)
+    return program()
+
+
+def test_parameter_validation(sb_cal):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    with pytest.raises(ValueError):
+        EnergyBudgetConditioner(kernel, default_budget_joules=0.0)
+    with pytest.raises(ValueError):
+        EnergyBudgetConditioner(kernel, 1.0, exhausted_duty_level=0)
+
+
+def test_request_within_budget_runs_full_speed(sb_cal):
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, budget=100.0)
+    c = facility.create_request_container("cheap")
+    kernel.spawn(_spin(machine, 0.05), "w", container_id=c.id)
+    sim.run_until(0.2)
+    facility.flush()
+    assert c.stats.mean_duty_ratio == pytest.approx(1.0)
+    assert c.id not in conditioner.exhausted
+
+
+def test_exhausted_request_gets_clamped(sb_cal):
+    """A ~15 W request with a 0.3 J budget exhausts it after ~20 ms and is
+    clamped to the minimum duty level for the rest of its execution."""
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, budget=0.3)
+    c = facility.create_request_container("hog")
+    kernel.spawn(_spin(machine, 0.1), "w", container_id=c.id)
+    sim.run_until(2.0)
+    facility.flush()
+    assert c.id in conditioner.exhausted
+    assert c.stats.mean_duty_ratio < 0.5
+    # The request still completed all its cycles, just slowly.
+    assert c.stats.events.nonhalt_cycles == pytest.approx(
+        machine.freq_hz * 0.1, rel=1e-3
+    )
+
+
+def test_grant_restores_full_speed(sb_cal):
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, budget=0.3)
+    c = facility.create_request_container("hog")
+    kernel.spawn(_spin(machine, 0.1), "w", container_id=c.id)
+    sim.run_until(0.05)  # exhausted by now
+    container = facility.registry.get(c.id)
+    assert conditioner.remaining(container) < 0
+    conditioner.grant(container, 100.0)  # delegation
+    assert c.id not in conditioner.exhausted
+    sim.run_until(2.0)
+    facility.flush()
+    # After the grant the remaining execution ran at full speed, so the
+    # average duty is well above the clamped level.
+    assert c.stats.mean_duty_ratio > 0.6
+
+
+def test_per_type_budgets(sb_cal):
+    budgets = {"gold": 100.0, "bronze": 0.2}
+    sim, machine, kernel, facility, conditioner = _world(
+        sb_cal, budget=1.0,
+        budget_for=lambda c: budgets[c.meta["tier"]],
+    )
+    gold = facility.create_request_container("g", meta={"tier": "gold"})
+    bronze = facility.create_request_container("b", meta={"tier": "bronze"})
+    kernel.spawn(_spin(machine, 0.08), "g", container_id=gold.id)
+    kernel.spawn(_spin(machine, 0.08), "b", container_id=bronze.id)
+    sim.run_until(2.0)
+    facility.flush()
+    assert gold.stats.mean_duty_ratio == pytest.approx(1.0)
+    assert bronze.stats.mean_duty_ratio < 0.6
+
+
+def test_grant_validation(sb_cal):
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, budget=1.0)
+    c = facility.create_request_container("r")
+    with pytest.raises(ValueError):
+        conditioner.grant(facility.registry.get(c.id), -1.0)
+
+
+def test_background_unthrottled(sb_cal):
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, budget=0.01)
+    kernel.spawn(_spin(machine, 0.1), "daemon")  # background, no container
+    sim.run_until(0.5)
+    facility.flush()
+    bg = facility.registry.background
+    assert bg.stats.mean_duty_ratio == pytest.approx(1.0)

@@ -1,0 +1,113 @@
+"""Tests for the Eq. 3 chip-share estimator."""
+
+import pytest
+
+from repro.core import ChipShareEstimator
+from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+from repro.sim import Simulator
+
+SPIN = RateProfile(name="spin", ipc=1.0)
+
+
+@pytest.fixture
+def machine():
+    return build_machine(SANDYBRIDGE, Simulator())
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        ChipShareEstimator(mode="psychic")
+
+
+def test_none_mode_always_zero(machine):
+    est = ChipShareEstimator(mode="none")
+    machine.cores[0].begin_activity(SPIN)
+    assert est.estimate(machine.cores[0], 1.0) == 0.0
+
+
+def test_sole_busy_core_gets_full_share(machine):
+    est = ChipShareEstimator(mode="mailbox")
+    core = machine.cores[0]
+    core.begin_activity(SPIN)
+    # Siblings idle with zeroed mailboxes.
+    assert est.estimate(core, 1.0) == pytest.approx(1.0)
+
+
+def test_two_busy_cores_split_evenly_with_fresh_samples(machine):
+    est = ChipShareEstimator(mode="mailbox")
+    a, b = machine.cores[0], machine.cores[1]
+    a.begin_activity(SPIN)
+    b.begin_activity(SPIN)
+    b.mailbox.post(1.0, 1.0)
+    assert est.estimate(a, 1.0) == pytest.approx(0.5)
+
+
+def test_four_busy_cores_quarter_share(machine):
+    est = ChipShareEstimator(mode="mailbox")
+    for core in machine.cores:
+        core.begin_activity(SPIN)
+        core.mailbox.post(1.0, 1.0)
+    assert est.estimate(machine.cores[0], 1.0) == pytest.approx(0.25)
+
+
+def test_idle_task_check_zeroes_stale_sibling(machine):
+    """A sibling that went idle posts nothing more; its stale sample must be
+    ignored when the OS schedules the idle task there."""
+    est = ChipShareEstimator(mode="mailbox", idle_task_check=True)
+    a, b = machine.cores[0], machine.cores[1]
+    a.begin_activity(SPIN)
+    b.mailbox.post(0.5, 1.0)  # stale: b was busy earlier
+    # b is now idle (no active profile).
+    assert est.estimate(a, 1.0) == pytest.approx(1.0)
+
+
+def test_without_idle_task_check_stale_sample_pollutes(machine):
+    est = ChipShareEstimator(mode="mailbox", idle_task_check=False)
+    a, b = machine.cores[0], machine.cores[1]
+    a.begin_activity(SPIN)
+    b.mailbox.post(0.5, 1.0)  # stale
+    assert est.estimate(a, 1.0) == pytest.approx(0.5)  # wrongly halved
+
+
+def test_partial_utilization_scales_share(machine):
+    est = ChipShareEstimator(mode="mailbox")
+    core = machine.cores[0]
+    core.begin_activity(SPIN)
+    assert est.estimate(core, 0.5) == pytest.approx(0.5)
+
+
+def test_zero_utilization_gets_no_share(machine):
+    est = ChipShareEstimator(mode="mailbox")
+    assert est.estimate(machine.cores[0], 0.0) == 0.0
+
+
+def test_share_capped_at_one(machine):
+    est = ChipShareEstimator(mode="mailbox")
+    core = machine.cores[0]
+    core.begin_activity(SPIN)
+    assert est.estimate(core, 1.0) <= 1.0
+
+
+def test_oracle_mode_counts_busy_cores(machine):
+    est = ChipShareEstimator(mode="oracle")
+    for core in machine.cores[:3]:
+        core.begin_activity(SPIN)
+    assert est.estimate(machine.cores[0], 1.0) == pytest.approx(1.0 / 3.0)
+
+
+def test_oracle_counts_own_core_when_sampled_after_block(machine):
+    """Oracle share for a task sampled just after its core went idle still
+    counts that core as busy for the period being accounted."""
+    est = ChipShareEstimator(mode="oracle")
+    machine.cores[1].begin_activity(SPIN)
+    # cores[0] idle at sampling time, but it ran the task this period.
+    assert est.estimate(machine.cores[0], 1.0) == pytest.approx(0.5)
+
+
+def test_shares_sum_to_one_when_all_busy(machine):
+    est = ChipShareEstimator(mode="mailbox")
+    for core in machine.cores:
+        core.begin_activity(SPIN)
+        core.mailbox.post(1.0, 1.0)
+    total = sum(est.estimate(c, 1.0) for c in machine.cores)
+    assert total == pytest.approx(1.0)

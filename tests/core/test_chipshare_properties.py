@@ -1,0 +1,86 @@
+"""Property-based tests on Eq. 3 chip-share conservation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ChipShareEstimator
+from repro.hardware import RateProfile, SANDYBRIDGE, WESTMERE, build_machine
+from repro.sim import Simulator
+
+SPIN = RateProfile(name="spin", ipc=1.0)
+
+
+@settings(max_examples=40)
+@given(
+    busy_mask=st.lists(st.booleans(), min_size=4, max_size=4),
+    utils=st.lists(st.floats(min_value=0.05, max_value=1.0),
+                   min_size=4, max_size=4),
+)
+def test_property_fresh_sample_shares_sum_to_at_most_one(busy_mask, utils):
+    """With fresh mailbox samples, the busy cores' shares never overshoot
+    the single chip's worth of maintenance power."""
+    machine = build_machine(SANDYBRIDGE, Simulator())
+    est = ChipShareEstimator(mode="mailbox")
+    for core, busy, util in zip(machine.cores, busy_mask, utils):
+        if busy:
+            core.begin_activity(SPIN)
+            core.mailbox.post(1.0, util)
+    total = sum(
+        est.estimate(core, util)
+        for core, busy, util in zip(machine.cores, busy_mask, utils)
+        if busy
+    )
+    assert total <= 1.0 + 1e-9
+
+
+@settings(max_examples=40)
+@given(n_busy=st.integers(min_value=1, max_value=4))
+def test_property_full_utilization_shares_sum_to_one(n_busy):
+    machine = build_machine(SANDYBRIDGE, Simulator())
+    est = ChipShareEstimator(mode="mailbox")
+    for core in machine.cores[:n_busy]:
+        core.begin_activity(SPIN)
+        core.mailbox.post(1.0, 1.0)
+    total = sum(est.estimate(c, 1.0) for c in machine.cores[:n_busy])
+    assert total == pytest.approx(1.0)
+
+
+@settings(max_examples=30)
+@given(
+    busy_per_chip=st.tuples(st.integers(min_value=0, max_value=6),
+                            st.integers(min_value=0, max_value=6)),
+)
+def test_property_multichip_shares_bounded_per_chip(busy_per_chip):
+    """On the dual-chip Westmere, each chip's shares are independent and
+    each sums to at most 1 (one maintenance domain per chip)."""
+    machine = build_machine(WESTMERE, Simulator())
+    est = ChipShareEstimator(mode="mailbox")
+    for chip, n_busy in zip(machine.chips, busy_per_chip):
+        for core in chip.cores[:n_busy]:
+            core.begin_activity(SPIN)
+            core.mailbox.post(1.0, 1.0)
+    for chip, n_busy in zip(machine.chips, busy_per_chip):
+        total = sum(est.estimate(c, 1.0) for c in chip.cores[:n_busy])
+        if n_busy:
+            assert total == pytest.approx(1.0)
+        else:
+            assert total == 0.0
+
+
+@settings(max_examples=30)
+@given(
+    stale=st.floats(min_value=0.0, max_value=1.0),
+    own=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_property_stale_sample_bounds(stale, own):
+    """However stale the sibling sample, the share stays in (0, 1]."""
+    machine = build_machine(SANDYBRIDGE, Simulator())
+    est = ChipShareEstimator(mode="mailbox", idle_task_check=False)
+    a, b = machine.cores[0], machine.cores[1]
+    a.begin_activity(SPIN)
+    b.mailbox.post(0.0, stale)
+    share = est.estimate(a, own)
+    assert 0.0 < share <= 1.0
+    # A stale busy-looking sibling can only shrink the share, never
+    # inflate it beyond the own utilization.
+    assert share <= own + 1e-12

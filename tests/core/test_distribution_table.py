@@ -1,0 +1,69 @@
+"""Unit tests for the cross-machine energy profile table."""
+
+import pytest
+
+from repro.core import EnergyProfileTable
+
+
+@pytest.fixture
+def table():
+    t = EnergyProfileTable()
+    for _ in range(4):
+        t.record("sandybridge", "rsa", 0.4)
+        t.record("woodcrest", "rsa", 1.8)
+        t.record("sandybridge", "stress", 2.0)
+        t.record("woodcrest", "stress", 2.2)
+    return t
+
+
+def test_mean_energy(table):
+    assert table.mean_energy("sandybridge", "rsa") == pytest.approx(0.4)
+    assert table.sample_count("sandybridge", "rsa") == 4
+
+
+def test_negative_energy_rejected(table):
+    with pytest.raises(ValueError):
+        table.record("sandybridge", "rsa", -1.0)
+
+
+def test_missing_profile_raises(table):
+    assert not table.has_profile("westmere", "rsa")
+    with pytest.raises(KeyError):
+        table.mean_energy("westmere", "rsa")
+
+
+def test_ratio(table):
+    assert table.ratio("rsa", "sandybridge", "woodcrest") == pytest.approx(
+        0.4 / 1.8
+    )
+    assert table.ratio("stress", "sandybridge", "woodcrest") == pytest.approx(
+        2.0 / 2.2
+    )
+
+
+def test_ratio_zero_denominator():
+    t = EnergyProfileTable()
+    t.record("a", "x", 1.0)
+    t.record("b", "x", 0.0)
+    with pytest.raises(ValueError):
+        t.ratio("x", "a", "b")
+
+
+def test_affinity_order(table):
+    # RSA gains most from SandyBridge: it comes first (keep), stress last
+    # (cheapest to displace).
+    order = table.affinity_order(["stress", "rsa"], "sandybridge", "woodcrest")
+    assert order == ["rsa", "stress"]
+
+
+def test_affinity_order_unknown_types_neutral(table):
+    order = table.affinity_order(
+        ["stress", "mystery", "rsa"], "sandybridge", "woodcrest"
+    )
+    assert order[0] == "rsa"
+    assert order[-1] == "mystery" or order[-1] == "stress"
+
+
+def test_known_types(table):
+    assert table.known_types("sandybridge") == ["rsa", "stress"]
+    assert table.known_types("westmere") == []

@@ -1,0 +1,89 @@
+"""Tests for the chip-wide DVFS capping baseline."""
+
+import pytest
+
+from repro.core.dvfs import DvfsConditioner
+from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+from repro.core import PowerContainerFacility
+from repro.kernel import Compute, Kernel
+from repro.sim import Simulator
+
+VIRUS = RateProfile(name="virus", ipc=2.2, cache_per_cycle=0.018,
+                    mem_per_cycle=0.012)
+NORMAL = RateProfile(name="normal", ipc=0.3)
+
+
+def _world(sb_cal, target):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    conditioner = DvfsConditioner(kernel, target_active_watts=target)
+    facility.attach_conditioner(conditioner)
+    return sim, machine, kernel, facility, conditioner
+
+
+def _spin(machine, seconds, profile):
+    def program():
+        yield Compute(cycles=machine.freq_hz * seconds, profile=profile)
+    return program()
+
+
+def test_target_validation(sb_cal):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    with pytest.raises(ValueError):
+        DvfsConditioner(kernel, target_active_watts=0.0)
+
+
+def test_dvfs_caps_power_under_heavy_load(sb_cal):
+    target = 40.0
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, target)
+    for i in range(4):
+        c = facility.create_request_container(f"v{i}")
+        kernel.spawn(_spin(machine, 0.4, VIRUS), f"v{i}", container_id=c.id)
+    sim.run_until(0.1)
+    machine.checkpoint()
+    start = machine.integrator.active_joules
+    sim.run_until(0.4)
+    machine.checkpoint()
+    watts = (machine.integrator.active_joules - start) / 0.3
+    assert watts < target * 1.10
+    assert conditioner.adjustments > 0
+    assert machine.chips[0].freq_scale < 1.0
+
+
+def test_dvfs_leaves_light_load_at_full_speed(sb_cal):
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, 40.0)
+    c = facility.create_request_container("n")
+    kernel.spawn(_spin(machine, 0.2, NORMAL), "n", container_id=c.id)
+    sim.run_until(0.3)
+    assert machine.chips[0].freq_scale == 1.0
+
+
+def test_dvfs_punishes_everyone_not_just_the_virus(sb_cal):
+    """The fairness contrast: with one virus among normals, chip-wide DVFS
+    slows the normal requests almost as much as the virus."""
+    target = 44.0
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, target)
+    normal_ids = []
+    for i in range(3):
+        c = facility.create_request_container(f"n{i}")
+        normal_ids.append(c.id)
+        kernel.spawn(_spin(machine, 0.2, NORMAL), f"n{i}", container_id=c.id)
+    virus = facility.create_request_container("virus")
+    kernel.spawn(_spin(machine, 0.2, VIRUS), "virus", container_id=virus.id)
+    sim.run_until(1.0)
+    facility.flush()
+    # All four tasks requested 0.2 s of nominal-frequency cycles; under a
+    # chip-wide slowdown everyone's wall time stretches together.
+    normals = [
+        p for p in kernel.processes.values() if p.name.startswith("n")
+    ]
+    virus_proc = next(
+        p for p in kernel.processes.values() if p.name == "virus"
+    )
+    assert virus_proc.cpu_seconds > 0.21  # the virus was slowed...
+    for proc in normals:
+        assert proc.cpu_seconds > 0.21  # ...and so was everyone else

@@ -1,0 +1,144 @@
+"""Failure-injection tests: the facility degrades gracefully.
+
+A real deployment sees flaky meters, noisy measurements, and workloads with
+pathological shapes; the accounting layer must keep producing sane numbers
+(falling back to the offline model) rather than crash or corrupt state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerContainerFacility
+from repro.hardware import (
+    PackageMeter,
+    RateProfile,
+    SANDYBRIDGE,
+    WallMeter,
+    build_machine,
+)
+from repro.kernel import Compute, Kernel, Sleep
+from repro.sim import Simulator
+
+HOT = RateProfile(name="hot", ipc=1.2, cache_per_cycle=0.012,
+                  mem_per_cycle=0.007, hidden_watts=5.0)
+
+
+def _world(sb_cal, meter=None, **kwargs):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    if meter == "package":
+        kwargs.setdefault("meter", PackageMeter(machine, sim, period=1e-3,
+                                                delay=1e-3))
+        kwargs.setdefault("meter_idle_watts", sb_cal.package_idle_watts)
+        kwargs.setdefault("trace_period", 1e-3)
+        kwargs.setdefault("recalib_interval", 0.1)
+        kwargs.setdefault("max_delay_seconds", 0.01)
+    facility = PowerContainerFacility(kernel, sb_cal, **kwargs)
+    return sim, machine, kernel, facility
+
+
+def _busy_program(machine, duration):
+    def program():
+        elapsed = 0.0
+        while elapsed < duration:
+            yield Compute(cycles=machine.freq_hz * 0.02, profile=HOT)
+            yield Sleep(0.005)
+            elapsed += 0.025
+    return program()
+
+
+def test_meter_outage_mid_run_degrades_gracefully(sb_cal):
+    """The meter dies mid-run: recalibration stops improving, accounting
+    keeps running on the last recalibrated model, nothing crashes."""
+    sim, machine, kernel, facility = _world(sb_cal, meter="package")
+    facility.start_tracing()
+    container = facility.create_request_container("r")
+    kernel.spawn(_busy_program(machine, 2.0), "w", container_id=container.id)
+    sim.schedule(1.0, facility.meter.stop)
+    sim.run_until(2.0)
+    facility.flush()
+    machine.checkpoint()
+    measured = machine.integrator.active_joules
+    estimated = facility.registry.total_energy("recal")
+    # Recalibration ran during the first second, so the estimate is good.
+    assert abs(estimated - measured) / measured < 0.12
+    samples_at_death = len(facility.meter.all_samples)
+    assert samples_at_death < 1100  # sampling genuinely stopped
+
+
+def test_facility_without_meter_never_recalibrates(sb_cal):
+    sim, machine, kernel, facility = _world(sb_cal)
+    facility.start_tracing()
+    kernel.spawn(_busy_program(machine, 1.0), "w")
+    sim.run_until(1.0)
+    assert facility.recalibrators["recal"].recalibration_count == 0
+    assert facility.estimated_delay_samples is None
+
+
+def test_noisy_meter_still_recalibrates(sb_cal):
+    """Heavy measurement noise (2 W std) slows but does not break
+    recalibration: the refit stays within a sane band."""
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    noisy = PackageMeter(machine, sim, period=1e-3, delay=1e-3,
+                         noise_std_watts=2.0,
+                         rng=np.random.default_rng(1))
+    facility = PowerContainerFacility(
+        kernel, sb_cal, meter=noisy,
+        meter_idle_watts=sb_cal.package_idle_watts,
+        trace_period=1e-3, recalib_interval=0.1, max_delay_seconds=0.01,
+    )
+    facility.start_tracing()
+    container = facility.create_request_container("r")
+    kernel.spawn(_busy_program(machine, 2.0), "w", container_id=container.id)
+    sim.run_until(2.0)
+    facility.flush()
+    machine.checkpoint()
+    measured = machine.integrator.active_joules
+    estimated = facility.registry.total_energy("recal")
+    assert abs(estimated - measured) / measured < 0.15
+    assert (facility.models["recal"].coefficients >= 0).all()
+
+
+def test_empty_run_produces_no_nans(sb_cal):
+    sim, machine, kernel, facility = _world(sb_cal, meter="package")
+    facility.start_tracing()
+    sim.run_until(0.5)  # machine idle the whole time
+    facility.flush()
+    _times, watts = facility.model_trace_series()
+    assert np.isfinite(watts).all()
+    assert facility.registry.total_energy("recal") == 0.0
+
+
+def test_zero_length_requests_are_harmless(sb_cal):
+    sim, machine, kernel, facility = _world(sb_cal)
+    container = facility.create_request_container("empty")
+
+    def program():
+        yield Compute(cycles=0, profile=HOT)
+
+    kernel.spawn(program(), "w", container_id=container.id)
+    sim.run_until(0.01)
+    facility.flush()
+    assert container.mean_power("recal") == 0.0
+    assert container.energy("recal") == 0.0
+
+
+def test_wall_meter_with_delay_longer_than_run(sb_cal):
+    """If the run ends before any sample is delivered, recalibration simply
+    never fires -- no crash, offline accounting intact."""
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    meter = WallMeter(machine, sim, period=0.25, delay=60.0)
+    facility = PowerContainerFacility(
+        kernel, sb_cal, meter=meter, meter_idle_watts=sb_cal.idle_watts,
+        meter_covers_peripherals=True, trace_period=0.25,
+        recalib_interval=0.5, max_delay_seconds=2.0,
+    )
+    facility.start_tracing()
+    kernel.spawn(_busy_program(machine, 1.5), "w")
+    sim.run_until(1.5)
+    assert facility.recalibrators["recal"].recalibration_count == 0

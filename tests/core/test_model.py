@@ -1,0 +1,121 @@
+"""Tests for the linear power model (Eq. 1/2) and its fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import MetricSample, PowerModel, FEATURES_EQ1, FEATURES_EQ2
+
+
+def test_active_power_is_linear_combination():
+    model = PowerModel(("mcore", "mins"), np.array([10.0, 2.0]))
+    sample = MetricSample(mcore=0.5, mins=1.0)
+    assert model.active_power(sample) == pytest.approx(10.0 * 0.5 + 2.0)
+
+
+def test_active_power_clamped_at_zero():
+    model = PowerModel(("mcore",), np.array([0.0]))
+    assert model.active_power(MetricSample(mcore=1.0)) == 0.0
+
+
+def test_unknown_feature_rejected():
+    with pytest.raises(ValueError):
+        PowerModel(("mcore", "bogus"), np.array([1.0, 2.0]))
+
+
+def test_coefficient_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        PowerModel(("mcore",), np.array([1.0, 2.0]))
+
+
+def test_coefficient_lookup():
+    model = PowerModel(("mcore", "mmem"), np.array([3.0, 7.0]))
+    assert model.coefficient("mmem") == 7.0
+    assert model.coefficient("mins") == 0.0  # not in feature set
+
+
+def test_eq1_excludes_chipshare():
+    assert "mchipshare" not in FEATURES_EQ1
+    assert "mchipshare" in FEATURES_EQ2
+
+
+def test_fit_recovers_known_coefficients():
+    rng = np.random.default_rng(0)
+    truth = np.array([8.0, 1.5, 170.0])
+    features = ("mcore", "mins", "mcache")
+    X = rng.uniform(0, 1, size=(50, 3)) * np.array([1.0, 2.5, 0.02])
+    y = X @ truth
+    model = PowerModel.fit(X, y, features)
+    assert np.allclose(model.coefficients, truth, rtol=1e-8)
+
+
+def test_fit_clamps_negative_coefficients():
+    # Degenerate target forcing a negative coefficient in the raw fit.
+    X = np.array([[1.0, 1.0], [1.0, 0.5], [1.0, 0.0], [1.0, 0.75]])
+    y = np.array([1.0, 1.5, 2.0, 1.25])  # decreasing in second feature
+    model = PowerModel.fit(X, y, ("mcore", "mins"))
+    assert (model.coefficients >= 0).all()
+
+
+def test_fit_requires_enough_samples():
+    with pytest.raises(ValueError):
+        PowerModel.fit(np.ones((1, 2)), np.ones(1), ("mcore", "mins"))
+
+
+def test_fit_shape_validation():
+    with pytest.raises(ValueError):
+        PowerModel.fit(np.ones((5, 3)), np.ones(5), ("mcore", "mins"))
+    with pytest.raises(ValueError):
+        PowerModel.fit(np.ones((5, 2)), np.ones(4), ("mcore", "mins"))
+
+
+def test_weighted_fit_prefers_heavier_samples():
+    features = ("mcore",)
+    X = np.array([[1.0], [1.0]])
+    y = np.array([10.0, 20.0])
+    heavy_first = PowerModel.fit(X, y, features, sample_weights=np.array([100.0, 1.0]))
+    heavy_second = PowerModel.fit(X, y, features, sample_weights=np.array([1.0, 100.0]))
+    assert heavy_first.coefficient("mcore") < heavy_second.coefficient("mcore")
+
+
+def test_update_coefficients_swaps_values():
+    model = PowerModel(("mcore",), np.array([1.0]))
+    model.update_coefficients(np.array([5.0]))
+    assert model.coefficient("mcore") == 5.0
+    with pytest.raises(ValueError):
+        model.update_coefficients(np.array([1.0, 2.0]))
+
+
+def test_copy_is_independent():
+    model = PowerModel(("mcore",), np.array([1.0]), label="a")
+    clone = model.copy(label="b")
+    clone.update_coefficients(np.array([9.0]))
+    assert model.coefficient("mcore") == 1.0
+    assert clone.label == "b"
+
+
+def test_batch_matches_scalar_path():
+    model = PowerModel(("mcore", "mins"), np.array([10.0, 2.0]))
+    rows = np.array([[0.5, 1.0], [1.0, 2.5], [0.0, 0.0]])
+    batch = model.active_power_batch(rows)
+    for row, watts in zip(rows, batch):
+        sample = MetricSample(mcore=row[0], mins=row[1])
+        assert watts == pytest.approx(model.active_power(sample))
+
+
+def test_metric_sample_vector_projection_order():
+    sample = MetricSample(mcore=1.0, mins=2.0, mcache=3.0)
+    vec = sample.as_vector(("mcache", "mcore"))
+    assert list(vec) == [3.0, 1.0]
+
+
+@given(
+    coef=st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=2),
+    m=st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=2),
+)
+def test_property_power_nonnegative_and_monotone_in_metrics(coef, m):
+    model = PowerModel(("mcore", "mins"), np.array(coef))
+    base = model.active_power(MetricSample(mcore=m[0], mins=m[1]))
+    bigger = model.active_power(MetricSample(mcore=m[0] + 0.1, mins=m[1]))
+    assert base >= 0
+    assert bigger >= base

@@ -1,0 +1,66 @@
+"""Tests for the facility's machine-level model trace."""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerContainerFacility
+from repro.core.model import FEATURES_FULL
+from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+from repro.kernel import Compute, Kernel, Sleep
+from repro.sim import Simulator
+
+WORK = RateProfile(name="w", ipc=1.0, cache_per_cycle=0.008)
+
+
+@pytest.fixture
+def traced(sb_cal):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal, trace_period=5e-3)
+    facility.start_tracing()
+
+    def program():
+        for _ in range(10):
+            yield Compute(cycles=machine.freq_hz * 10e-3, profile=WORK)
+            yield Sleep(5e-3)
+
+    kernel.spawn(program(), "w")
+    sim.run_until(0.2)
+    return sim, machine, facility
+
+
+def test_trace_period_spacing(traced):
+    _sim, _machine, facility = traced
+    times, _watts = facility.model_trace_series()
+    gaps = np.diff(times)
+    assert np.allclose(gaps, 5e-3)
+
+
+def test_trace_rows_have_full_feature_width(traced):
+    _sim, _machine, facility = traced
+    for point in facility.trace[:10]:
+        assert point.row.shape == (len(FEATURES_FULL),)
+        assert (point.row >= -1e-9).all()
+
+
+def test_trace_watts_track_activity(traced):
+    _sim, _machine, facility = traced
+    _times, watts = facility.model_trace_series()
+    # The duty pattern (10 ms on, 5 ms off) shows up in the series.
+    assert watts.max() > 10.0
+    assert watts.min() < 2.0
+
+
+def test_trace_mcore_never_exceeds_core_count(traced):
+    _sim, _machine, facility = traced
+    mcore_index = FEATURES_FULL.index("mcore")
+    for point in facility.trace:
+        assert point.row[mcore_index] <= 4.0 + 0.05
+
+
+def test_trace_chipshare_bounded_by_chip_count(traced):
+    _sim, _machine, facility = traced
+    index = FEATURES_FULL.index("mchipshare")
+    for point in facility.trace:
+        assert 0.0 <= point.row[index] <= 1.0 + 1e-9

@@ -1,0 +1,169 @@
+"""End-to-end request-context tracking tests (Section 3.3 scenarios)."""
+
+import pytest
+
+from repro.core import PowerContainerFacility
+from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+from repro.kernel import (
+    Compute,
+    ContextTag,
+    Kernel,
+    Message,
+    Recv,
+    Send,
+    SocketPair,
+)
+from repro.server import SubService
+from repro.sim import Simulator
+
+WORK = RateProfile(name="work", ipc=1.0)
+
+
+@pytest.fixture
+def world(sb_cal):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    return sim, machine, kernel, facility
+
+
+def test_interleaved_requests_on_persistent_connection(world):
+    """The paper's central tracking hazard, end to end: two requests'
+    work flows through ONE persistent worker->service connection; each
+    container must be charged exactly its own service-side work."""
+    sim, machine, kernel, facility = world
+    cycles_by_request = {1: 4e6, 2: 12e6}
+
+    def service_factory(message):
+        def handler():
+            yield Compute(cycles=message.payload, profile=WORK)
+            return "done"
+        return handler()
+
+    service = SubService(kernel, "db", service_factory)
+    endpoint = service.connect()
+    c1 = facility.create_request_container("req1")
+    c2 = facility.create_request_container("req2")
+
+    def worker():
+        # Request 1 arrives; send its query but DO NOT read the reply yet.
+        msg1 = yield Recv(worker_inbox.b)
+        yield Send(endpoint, nbytes=64, payload=cycles_by_request[1])
+        # Request 2 arrives on the same worker (pooling).
+        msg2 = yield Recv(worker_inbox.b)
+        yield Send(endpoint, nbytes=64, payload=cycles_by_request[2])
+        # Now read both replies, in order.
+        yield Recv(endpoint)
+        yield Recv(endpoint)
+
+    worker_inbox = SocketPair.local(machine, "inbox")
+    kernel.spawn(worker(), "worker")
+    kernel.inject(worker_inbox.b, Message(
+        nbytes=1, tag=ContextTag(container_id=c1.id)))
+    sim.run_until(0.001)
+    kernel.inject(worker_inbox.b, Message(
+        nbytes=1, tag=ContextTag(container_id=c2.id)))
+    sim.run_until(0.2)
+    facility.flush()
+
+    freq = machine.freq_hz
+    # The service thread processed query 1 under context 1 and query 2
+    # under context 2, even though both flowed on one connection.
+    assert c1.stats.cpu_seconds == pytest.approx(
+        cycles_by_request[1] / freq, rel=0.02
+    )
+    assert c2.stats.cpu_seconds == pytest.approx(
+        cycles_by_request[2] / freq, rel=0.02
+    )
+
+
+def test_cross_machine_stats_merge_on_dispatcher(sb_cal):
+    """Section 3.4: response messages piggy-back cumulative stats; the
+    dispatcher-side container accumulates the remote execution cost."""
+    sim = Simulator()
+    dispatcher_machine = build_machine(SANDYBRIDGE, sim, name="dispatcher")
+    server_machine = build_machine(SANDYBRIDGE, sim, name="server")
+    k_disp = Kernel(dispatcher_machine, sim)
+    k_srv = Kernel(server_machine, sim)
+    f_disp = PowerContainerFacility(k_disp, sb_cal)
+    f_srv = PowerContainerFacility(k_srv, sb_cal)
+
+    conn = SocketPair.remote(dispatcher_machine, server_machine, latency=1e-4)
+    container = f_disp.create_request_container("cluster-req")
+
+    def server_program():
+        while True:
+            msg = yield Recv(conn.b)
+            yield Compute(cycles=8e6, profile=WORK)
+            yield Send(conn.b, nbytes=256, payload="reply")
+
+    def dispatcher_program():
+        yield Send(conn.a, nbytes=128, payload="request")
+        yield Recv(conn.a)
+
+    k_srv.spawn(server_program(), "server")
+    k_disp.spawn(
+        dispatcher_program(), "dispatcher", container_id=container.id
+    )
+    sim.run_until(0.5)
+    f_srv.flush()
+    f_disp.flush()
+
+    # The server-side container (same id, remote registry) holds the work...
+    remote = f_srv.registry.get(container.id)
+    assert remote.stats.cpu_seconds == pytest.approx(8e6 / 3.1e9, rel=0.02)
+    # ...but the reply's carried stats ALSO landed on the dispatcher side.
+    assert container.stats.cpu_seconds >= remote.stats.cpu_seconds * 0.95
+    assert container.energy(f_disp.primary) > 0
+
+
+def test_unknown_remote_container_materialized(world):
+    sim, machine, kernel, facility = world
+    sock = SocketPair.local(machine)
+
+    def receiver():
+        yield Recv(sock.b)
+        yield Compute(cycles=1e6, profile=WORK)
+
+    kernel.spawn(receiver(), "rx")
+    kernel.inject(sock.b, Message(nbytes=1, tag=ContextTag(container_id=777)))
+    sim.run_until(0.1)
+    facility.flush()
+    remote = facility.registry.get(777)
+    assert remote.stats.cpu_seconds > 0
+
+
+def test_flush_is_idempotent(world):
+    sim, machine, kernel, facility = world
+    c = facility.create_request_container("r")
+
+    def program():
+        yield Compute(cycles=5e6, profile=WORK)
+
+    kernel.spawn(program(), "w", container_id=c.id)
+    sim.run_until(0.1)
+    facility.flush()
+    first = c.energy(facility.primary)
+    facility.flush()
+    facility.flush()
+    assert c.energy(facility.primary) == first
+
+
+def test_untagged_messages_keep_receiver_context(world):
+    """A message without a context tag must not clobber the receiver's
+    current binding."""
+    sim, machine, kernel, facility = world
+    c = facility.create_request_container("r")
+    sock = SocketPair.local(machine)
+
+    def receiver():
+        yield Recv(sock.b)
+        yield Compute(cycles=2e6, profile=WORK)
+
+    rx = kernel.spawn(receiver(), "rx", container_id=c.id)
+    kernel.inject(sock.b, Message(nbytes=1))  # untagged
+    sim.run_until(0.1)
+    facility.flush()
+    assert rx.container_id == c.id
+    assert c.stats.cpu_seconds > 0

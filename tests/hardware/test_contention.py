@@ -1,0 +1,151 @@
+"""Tests for the optional shared-cache contention model."""
+
+import pytest
+
+from repro.hardware import (
+    CacheContentionModel,
+    RateProfile,
+    SANDYBRIDGE,
+    build_machine,
+)
+from repro.kernel import Compute, Kernel
+from repro.sim import Simulator
+
+LIGHT = RateProfile(name="light", ipc=1.5, cache_per_cycle=0.001)
+HEAVY = RateProfile(name="heavy", ipc=0.9, cache_per_cycle=0.016,
+                    mem_per_cycle=0.009)
+
+
+def _world(contended):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    if contended:
+        machine.contention = CacheContentionModel()
+    kernel = Kernel(machine, sim)
+    return sim, machine, kernel
+
+
+def _run_heavy_tasks(n_tasks, contended, cycles=20e6):
+    sim, machine, kernel = _world(contended)
+    done = []
+
+    def program(tag):
+        yield Compute(cycles=cycles, profile=HEAVY)
+        done.append((tag, sim.now))
+
+    for i in range(n_tasks):
+        kernel.spawn(program(i), f"t{i}")
+    sim.run_until(2.0)
+    return machine, done
+
+
+def test_contention_off_by_default():
+    machine = build_machine(SANDYBRIDGE, Simulator())
+    assert machine.contention is None
+
+
+def test_single_heavy_task_uncontended():
+    """One heavy task stays under the threshold: no slowdown."""
+    _machine, solo = _run_heavy_tasks(1, contended=True)
+    _machine2, base = _run_heavy_tasks(1, contended=False)
+    assert solo[0][1] == pytest.approx(base[0][1], rel=1e-9)
+
+
+def test_four_heavy_tasks_slow_each_other():
+    _m, contended = _run_heavy_tasks(4, contended=True)
+    _m2, free = _run_heavy_tasks(4, contended=False)
+    slow = max(t for _, t in contended)
+    fast = max(t for _, t in free)
+    assert slow > fast * 1.3
+
+
+def test_light_tasks_unaffected():
+    sim, machine, kernel = _world(contended=True)
+    done = []
+
+    def program():
+        yield Compute(cycles=20e6, profile=LIGHT)
+        done.append(sim.now)
+
+    for i in range(4):
+        kernel.spawn(program(), f"l{i}")
+    sim.run_until(1.0)
+    assert done[0] == pytest.approx(20e6 / SANDYBRIDGE.freq_hz, rel=1e-2)
+
+
+def test_contended_counters_show_lower_ipc():
+    """Under contention, non-halt cycles grow but instructions track the
+    work: observed instructions-per-cycle drops."""
+    machine, _done = _run_heavy_tasks(4, contended=True)
+    totals = machine.cores[0].counters.read()
+    observed_ipc = totals.instructions / totals.nonhalt_cycles
+    assert observed_ipc < HEAVY.ipc * 0.8
+    # Instructions still match the requested work exactly.
+    machine2, _d = _run_heavy_tasks(4, contended=False)
+    assert totals.instructions == pytest.approx(
+        machine2.cores[0].counters.read().instructions, rel=1e-6
+    )
+
+
+def test_contended_energy_per_task_rises():
+    """Stalled cycles still burn core power: the same work costs more
+    energy under contention (the Fig. 10 Stress caveat's mechanism)."""
+    machine_c, done_c = _run_heavy_tasks(4, contended=True)
+    machine_f, done_f = _run_heavy_tasks(4, contended=False)
+    machine_c.checkpoint()
+    machine_f.checkpoint()
+    assert machine_c.integrator.active_joules > \
+        machine_f.integrator.active_joules * 1.1
+
+
+def test_work_fraction_bounds():
+    model = CacheContentionModel()
+    machine = build_machine(SANDYBRIDGE, Simulator())
+    machine.contention = model
+    core = machine.cores[0]
+    assert model.work_fraction(core) == 1.0  # idle chip
+    for c in machine.cores:
+        c.begin_activity(HEAVY)
+    wf = model.work_fraction(core)
+    assert 0.0 < wf < 1.0
+
+
+def test_pressure_scales_with_duty():
+    model = CacheContentionModel()
+    machine = build_machine(SANDYBRIDGE, Simulator())
+    core = machine.cores[0]
+    core.begin_activity(HEAVY)
+    full = model.core_pressure(core)
+    core.set_duty_level(4)
+    assert model.core_pressure(core) == pytest.approx(full / 2)
+
+
+def test_accounting_still_conserves_under_contention(sb_cal=None):
+    from repro.core import calibrate_machine, PowerContainerFacility
+
+    cal = calibrate_machine(SANDYBRIDGE, duration=0.1)
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    machine.contention = CacheContentionModel()
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, cal)
+    containers = []
+    for i in range(4):
+        c = facility.create_request_container(f"r{i}")
+        containers.append(c)
+
+        def program():
+            yield Compute(cycles=15e6, profile=HEAVY)
+
+        kernel.spawn(program(), f"t{i}", container_id=c.id)
+    sim.run_until(1.0)
+    facility.flush()
+    # Attributed non-halt cycles equal executed cycles (minus observer ops).
+    attributed = sum(
+        c.stats.events.nonhalt_cycles
+        for c in facility.registry.all_containers()
+    )
+    executed = sum(core.counters.read().nonhalt_cycles
+                   for core in machine.cores)
+    overhead = sum(a.samples_taken for a in facility.accountants.values()) * 2948
+    assert attributed == pytest.approx(executed - overhead, rel=1e-3)

@@ -1,0 +1,133 @@
+"""Tests for chip-level DVFS (frequency/voltage scaling)."""
+
+import pytest
+
+from repro.hardware import RateProfile, SANDYBRIDGE, WOODCREST, build_machine
+from repro.hardware.chip import DVFS_SCALES
+from repro.kernel import Compute, Kernel
+from repro.sim import Simulator
+
+SPIN = RateProfile(name="spin", ipc=1.0)
+
+
+def _build(spec=SANDYBRIDGE):
+    sim = Simulator()
+    machine = build_machine(spec, sim)
+    kernel = Kernel(machine, sim)
+    return sim, machine, kernel
+
+
+def test_default_scale_is_nominal():
+    _sim, machine, _k = _build()
+    assert machine.chips[0].freq_scale == 1.0
+    assert machine.chips[0].dynamic_power_factor == pytest.approx(1.0)
+
+
+def test_invalid_pstate_rejected():
+    _sim, machine, _k = _build()
+    with pytest.raises(ValueError):
+        machine.chips[0].set_freq_scale(0.9)
+
+
+def test_scaling_slows_execution_proportionally():
+    sim, machine, kernel = _build()
+    machine.chips[0].set_freq_scale(0.5)
+    done = []
+
+    def program():
+        yield Compute(cycles=machine.freq_hz * 0.1, profile=SPIN)
+        done.append(sim.now)
+
+    kernel.spawn(program(), "w")
+    sim.run_until(1.0)
+    assert done == [pytest.approx(0.2, rel=1e-6)]
+
+
+def test_scaling_reduces_power_superlinearly():
+    """Halving frequency saves more than half the dynamic power (V^2 f)."""
+    _sim, machine, _k = _build()
+    core = machine.cores[0]
+    core.begin_activity(SPIN)
+    full = machine.power_breakdown().per_core_watts[0]
+    machine.chips[0].set_freq_scale(0.5)
+    half = machine.power_breakdown().per_core_watts[0]
+    assert half < full * 0.5
+    assert half == pytest.approx(full * 0.5 * (0.6 + 0.4 * 0.5) ** 2)
+
+
+def test_maintenance_power_scales_with_voltage_only():
+    _sim, machine, _k = _build()
+    machine.cores[0].begin_activity(SPIN)
+    full = machine.power_breakdown().maintenance_watts[0]
+    machine.chips[0].set_freq_scale(0.5)
+    scaled = machine.power_breakdown().maintenance_watts[0]
+    assert scaled == pytest.approx(full * (0.6 + 0.4 * 0.5) ** 2)
+
+
+def test_dvfs_is_per_chip_on_multisocket():
+    sim, machine, kernel = _build(WOODCREST)
+    machine.chips[0].set_freq_scale(0.5)
+    assert machine.cores[0].effective_hz == pytest.approx(3.0e9 * 0.5)
+    assert machine.cores[2].effective_hz == pytest.approx(3.0e9)  # chip 1
+
+
+def test_kernel_set_chip_frequency_mid_slice_conserves_work():
+    sim, machine, kernel = _build()
+    total_cycles = machine.freq_hz * 0.2
+    done = []
+
+    def program():
+        yield Compute(cycles=total_cycles, profile=SPIN)
+        done.append(sim.now)
+
+    kernel.spawn(program(), "w")
+    sim.run_until(0.1)  # half done at nominal speed
+    kernel.set_chip_frequency(machine.chips[0], 0.5)
+    sim.run_until(1.0)
+    # Remaining half at half speed takes 0.2 s: finish at 0.3 s.
+    assert done == [pytest.approx(0.3, rel=1e-6)]
+    counted = machine.cores[0].counters.read().nonhalt_cycles
+    assert counted == pytest.approx(total_cycles, rel=1e-6)
+
+
+def test_set_same_frequency_is_noop():
+    sim, machine, kernel = _build()
+    kernel.set_chip_frequency(machine.chips[0], 1.0)
+    assert machine.chips[0].freq_scale == 1.0
+
+
+def test_energy_integration_correct_across_dvfs_change():
+    sim, machine, kernel = _build()
+
+    def program():
+        yield Compute(cycles=machine.freq_hz * 0.3, profile=SPIN)
+
+    kernel.spawn(program(), "w")
+    sim.run_until(0.1)
+    machine.checkpoint()
+    e_before = machine.integrator.active_joules
+    kernel.set_chip_frequency(machine.chips[0], 0.5)
+    sim.run_until(0.2)
+    machine.checkpoint()
+    e_after = machine.integrator.active_joules - e_before
+    # 0.1 s at half speed: power = full * 0.5 * V^2 factor.
+    model = machine.true_model
+    full = model.core_active_watts(1.0, 1.0, 0, 0, 0, 0) + model.maintenance_watts
+    factor_dyn = 0.5 * (0.6 + 0.4 * 0.5) ** 2
+    factor_static = (0.6 + 0.4 * 0.5) ** 2
+    expected = (
+        model.core_active_watts(1.0, 1.0, 0, 0, 0, 0) * factor_dyn
+        + model.maintenance_watts * factor_static
+    ) * 0.1
+    assert e_after == pytest.approx(expected, rel=1e-6)
+
+
+def test_all_pstates_are_monotonic_in_power():
+    _sim, machine, _k = _build()
+    core = machine.cores[0]
+    core.begin_activity(SPIN)
+    powers = []
+    for scale in DVFS_SCALES:
+        machine.chips[0].set_freq_scale(scale)
+        powers.append(machine.power_breakdown().per_core_watts[0])
+    assert powers == sorted(powers, reverse=True)

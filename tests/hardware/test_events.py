@@ -1,0 +1,135 @@
+"""Tests for hardware event vectors and rate profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import EventVector, RateProfile
+from repro.hardware.events import IDLE_PROFILE
+
+
+def test_event_vector_defaults_to_zero():
+    vec = EventVector()
+    assert vec.is_zero()
+
+
+def test_add_accumulates():
+    a = EventVector(nonhalt_cycles=100, instructions=50)
+    a.add(EventVector(nonhalt_cycles=10, instructions=5, flops=2))
+    assert a.nonhalt_cycles == 110
+    assert a.instructions == 55
+    assert a.flops == 2
+
+
+def test_subtract():
+    a = EventVector(nonhalt_cycles=100)
+    a.subtract(EventVector(nonhalt_cycles=30))
+    assert a.nonhalt_cycles == 70
+
+
+def test_subtract_clamps_at_zero_when_requested():
+    a = EventVector(nonhalt_cycles=10, instructions=5)
+    a.subtract(EventVector(nonhalt_cycles=20, instructions=2), clamp=True)
+    assert a.nonhalt_cycles == 0
+    assert a.instructions == 3
+
+
+def test_subtract_without_clamp_can_go_negative():
+    a = EventVector(nonhalt_cycles=10)
+    a.subtract(EventVector(nonhalt_cycles=20))
+    assert a.nonhalt_cycles == -10
+
+
+def test_delta_from():
+    later = EventVector(nonhalt_cycles=100, mem_trans=7)
+    earlier = EventVector(nonhalt_cycles=40, mem_trans=3)
+    delta = later.delta_from(earlier)
+    assert delta.nonhalt_cycles == 60
+    assert delta.mem_trans == 4
+    # originals untouched
+    assert later.nonhalt_cycles == 100
+    assert earlier.nonhalt_cycles == 40
+
+
+def test_copy_is_independent():
+    a = EventVector(flops=1)
+    b = a.copy()
+    b.flops = 99
+    assert a.flops == 1
+
+
+def test_scaled():
+    a = EventVector(nonhalt_cycles=10, cache_refs=4)
+    b = a.scaled(0.5)
+    assert b.nonhalt_cycles == 5
+    assert b.cache_refs == 2
+
+
+def test_as_dict_round_trip():
+    a = EventVector(nonhalt_cycles=1, instructions=2, flops=3, cache_refs=4,
+                    mem_trans=5, disk_bytes=6, net_bytes=7)
+    d = a.as_dict()
+    assert d["mem_trans"] == 5
+    assert EventVector(**d).as_dict() == d
+
+
+def test_profile_events_scale_with_cycles():
+    profile = RateProfile(name="p", ipc=2.0, flops_per_cycle=0.5,
+                          cache_per_cycle=0.01, mem_per_cycle=0.005)
+    events = profile.events_for_cycles(1000)
+    assert events.nonhalt_cycles == 1000
+    assert events.instructions == 2000
+    assert events.flops == 500
+    assert events.cache_refs == 10
+    assert events.mem_trans == 5
+
+
+def test_profile_rejects_negative_rates():
+    with pytest.raises(ValueError):
+        RateProfile(ipc=-1.0)
+
+
+def test_idle_profile_generates_nothing_but_cycles():
+    events = IDLE_PROFILE.events_for_cycles(100)
+    assert events.instructions == 0
+    assert events.flops == 0
+
+
+def test_blended_profile_midpoint():
+    a = RateProfile(name="a", ipc=1.0, hidden_watts=0.0)
+    b = RateProfile(name="b", ipc=3.0, hidden_watts=4.0)
+    mid = a.blended(b, 0.5)
+    assert mid.ipc == pytest.approx(2.0)
+    assert mid.hidden_watts == pytest.approx(2.0)
+
+
+def test_blended_profile_rejects_out_of_range_weight():
+    a = RateProfile()
+    with pytest.raises(ValueError):
+        a.blended(a, 1.5)
+
+
+@given(
+    cycles=st.floats(min_value=0, max_value=1e12),
+    ipc=st.floats(min_value=0, max_value=8),
+)
+def test_property_event_counts_nonnegative_and_proportional(cycles, ipc):
+    profile = RateProfile(ipc=ipc)
+    events = profile.events_for_cycles(cycles)
+    assert events.instructions >= 0
+    assert events.instructions == pytest.approx(ipc * cycles)
+
+
+@given(
+    a=st.lists(st.floats(min_value=0, max_value=1e9), min_size=7, max_size=7),
+    b=st.lists(st.floats(min_value=0, max_value=1e9), min_size=7, max_size=7),
+)
+def test_property_add_then_subtract_is_identity(a, b):
+    names = ("nonhalt_cycles", "instructions", "flops", "cache_refs",
+             "mem_trans", "disk_bytes", "net_bytes")
+    va = EventVector(**dict(zip(names, a)))
+    vb = EventVector(**dict(zip(names, b)))
+    vc = va.copy()
+    vc.add(vb)
+    vc.subtract(vb)
+    for name in names:
+        assert getattr(vc, name) == pytest.approx(getattr(va, name), rel=1e-9, abs=1e-3)

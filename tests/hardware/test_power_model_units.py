@@ -1,0 +1,60 @@
+"""Unit tests for the ground-truth power model pieces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import RateProfile, SANDYBRIDGE
+from repro.hardware.power import TruePowerModel
+
+
+@pytest.fixture
+def model():
+    return SANDYBRIDGE.true_model
+
+
+def test_idle_core_draws_nothing(model):
+    assert model.core_active_watts(0.0, 2.0, 1.0, 0.02, 0.01, 5.0) == 0.0
+
+
+def test_core_watts_linear_in_utilization(model):
+    half = model.core_active_watts(0.5, 1.0, 0.0, 0.0, 0.0, 0.0)
+    full = model.core_active_watts(1.0, 1.0, 0.0, 0.0, 0.0, 0.0)
+    assert full == pytest.approx(2 * half)
+
+
+def test_hidden_watts_add_directly(model):
+    base = model.core_active_watts(1.0, 1.0, 0.0, 0.0, 0.0, 0.0)
+    hot = model.core_active_watts(1.0, 1.0, 0.0, 0.0, 0.0, 7.0)
+    assert hot - base == pytest.approx(7.0)
+
+
+def test_energy_for_events_negative_free(model):
+    profile = RateProfile(ipc=1.0)
+    assert model.energy_for_events(
+        profile.events_for_cycles(1000), 3.1e9
+    ) > 0
+
+
+@given(
+    util=st.floats(min_value=0.01, max_value=1.0),
+    ipc=st.floats(min_value=0.0, max_value=4.0),
+    cache=st.floats(min_value=0.0, max_value=0.05),
+)
+def test_property_watts_monotone_in_each_metric(util, ipc, cache):
+    model = SANDYBRIDGE.true_model
+    base = model.core_active_watts(util, ipc, 0.0, cache, 0.0, 0.0)
+    more_ipc = model.core_active_watts(util, ipc + 0.1, 0.0, cache, 0.0, 0.0)
+    more_cache = model.core_active_watts(util, ipc, 0.0, cache + 0.001, 0.0, 0.0)
+    assert more_ipc >= base
+    assert more_cache >= base
+    assert base >= util * model.w_core - 1e-12
+
+
+def test_custom_model_construction():
+    model = TruePowerModel(
+        idle_machine_watts=10.0, package_idle_watts=1.0,
+        maintenance_watts=2.0, w_core=5.0, w_ins=1.0, w_flop=0.5,
+        w_cache=100.0, w_mem=200.0,
+    )
+    watts = model.core_active_watts(1.0, 1.0, 1.0, 0.01, 0.005, 0.0)
+    assert watts == pytest.approx(5.0 + 1.0 + 0.5 + 1.0 + 1.0)

@@ -1,0 +1,20 @@
+"""Shared kernel-test fixtures."""
+
+import pytest
+
+from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+from repro.kernel import Kernel
+from repro.sim import Simulator, TraceRecorder
+
+SPIN = RateProfile(name="spin", ipc=1.0)
+MEMHEAVY = RateProfile(name="memheavy", ipc=0.6, cache_per_cycle=0.015,
+                       mem_per_cycle=0.008)
+
+
+@pytest.fixture
+def world():
+    """A SandyBridge machine with a kernel, tracing enabled."""
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim, trace=TraceRecorder())
+    return sim, machine, kernel

@@ -1,0 +1,155 @@
+"""Tests for Compute slices, timing, counters, and duty-cycle effects."""
+
+import pytest
+
+from repro.kernel import Compute, ProcessState, Sleep
+from tests.kernel.conftest import SPIN, MEMHEAVY
+
+
+def test_compute_takes_cycles_over_frequency_seconds(world):
+    sim, machine, kernel = world
+    freq = machine.freq_hz
+    done = []
+
+    def program():
+        yield Compute(cycles=freq * 0.5, profile=SPIN)  # 0.5 s of work
+        done.append(sim.now)
+
+    kernel.spawn(program(), "worker")
+    sim.run_until(1.0)
+    assert done == [pytest.approx(0.5)]
+
+
+def test_counters_accumulate_profile_events(world):
+    sim, machine, kernel = world
+
+    def program():
+        yield Compute(cycles=1e6, profile=MEMHEAVY)
+
+    kernel.spawn(program(), "worker")
+    sim.run_until(1.0)
+    totals = machine.cores[0].counters.read()
+    assert totals.nonhalt_cycles == pytest.approx(1e6, rel=1e-6)
+    assert totals.instructions == pytest.approx(0.6e6, rel=1e-6)
+    assert totals.cache_refs == pytest.approx(15_000, rel=1e-6)
+    assert totals.mem_trans == pytest.approx(8_000, rel=1e-6)
+
+
+def test_process_exits_and_becomes_dead_without_parent(world):
+    sim, machine, kernel = world
+
+    def program():
+        yield Compute(cycles=1000, profile=SPIN)
+
+    proc = kernel.spawn(program(), "w")
+    sim.run_until(0.1)
+    assert proc.state is ProcessState.DEAD
+
+
+def test_zero_cycle_compute_completes_instantly(world):
+    sim, machine, kernel = world
+    steps = []
+
+    def program():
+        yield Compute(cycles=0, profile=SPIN)
+        steps.append(sim.now)
+        yield Compute(cycles=0, profile=SPIN)
+        steps.append(sim.now)
+
+    kernel.spawn(program(), "w")
+    sim.run_until(0.01)
+    assert steps == [0.0, 0.0]
+
+
+def test_duty_cycle_halves_progress_rate(world):
+    sim, machine, kernel = world
+    machine.cores[0].set_duty_level(4)  # half speed
+    done = []
+
+    def program():
+        yield Compute(cycles=machine.freq_hz * 0.1, profile=SPIN)
+        done.append(sim.now)
+
+    kernel.spawn(program(), "w")
+    sim.run_until(1.0)
+    assert done == [pytest.approx(0.2)]  # twice as long
+
+
+def test_mid_slice_duty_change_preserves_total_cycles(world):
+    sim, machine, kernel = world
+    core = machine.cores[0]
+    done = []
+    total_cycles = machine.freq_hz * 0.2  # 0.2 s at full speed
+
+    def program():
+        yield Compute(cycles=total_cycles, profile=SPIN)
+        done.append(sim.now)
+
+    kernel.spawn(program(), "w")
+    # After 0.1 s (half done), drop to half speed: remaining half takes 0.2 s.
+    sim.run_until(0.1)
+    kernel.set_core_duty(core, 4)
+    sim.run_until(1.0)
+    assert done == [pytest.approx(0.3, rel=1e-6)]
+    assert core.counters.read().nonhalt_cycles == pytest.approx(
+        total_cycles, rel=1e-6
+    )
+
+
+def test_sleep_blocks_without_consuming_cpu(world):
+    sim, machine, kernel = world
+    times = []
+
+    def program():
+        yield Sleep(0.25)
+        times.append(sim.now)
+
+    proc = kernel.spawn(program(), "sleeper")
+    sim.run_until(1.0)
+    assert times == [pytest.approx(0.25)]
+    assert proc.cpu_seconds == pytest.approx(0.0)
+
+
+def test_cpu_seconds_tracks_occupancy(world):
+    sim, machine, kernel = world
+
+    def program():
+        yield Compute(cycles=machine.freq_hz * 0.3, profile=SPIN)
+
+    proc = kernel.spawn(program(), "w")
+    sim.run_until(1.0)
+    assert proc.cpu_seconds == pytest.approx(0.3, rel=1e-6)
+
+
+def test_energy_integrated_during_compute(world):
+    sim, machine, kernel = world
+
+    def program():
+        yield Compute(cycles=machine.freq_hz * 1.0, profile=SPIN)
+
+    kernel.spawn(program(), "w")
+    sim.run_until(2.0)
+    machine.checkpoint()
+    model = machine.true_model
+    expected_active = (model.w_core + model.w_ins + model.maintenance_watts) * 1.0
+    assert machine.integrator.active_joules == pytest.approx(
+        expected_active, rel=1e-6
+    )
+
+
+def test_overflow_interrupts_fire_about_once_per_busy_millisecond(world):
+    sim, machine, kernel = world
+
+    def program():
+        yield Compute(cycles=machine.freq_hz * 0.01, profile=SPIN)  # 10 ms
+
+    kernel.spawn(program(), "w")
+    sim.run_until(1.0)
+    overflows = kernel.trace.of_kind("overflow")
+    assert 8 <= len(overflows) <= 11
+
+
+def test_no_overflow_interrupts_when_idle(world):
+    sim, machine, kernel = world
+    sim.run_until(1.0)
+    assert kernel.trace.of_kind("overflow") == []

@@ -1,0 +1,293 @@
+"""Tests for socket messaging, per-segment tagging, fork/wait, and I/O."""
+
+import pytest
+
+from repro.hardware import SANDYBRIDGE, build_machine
+from repro.kernel import (
+    Compute,
+    ContextTag,
+    DiskIO,
+    Exit,
+    Fork,
+    Kernel,
+    Message,
+    ProcessState,
+    Recv,
+    Send,
+    SocketPair,
+    WaitChild,
+)
+from repro.sim import Simulator, TraceRecorder
+from tests.kernel.conftest import SPIN
+
+
+def test_send_recv_same_machine(world):
+    sim, machine, kernel = world
+    sock = SocketPair.local(machine)
+    got = []
+
+    def receiver():
+        msg = yield Recv(sock.b)
+        got.append(msg)
+
+    def sender():
+        yield Send(sock.a, nbytes=100, payload="hello")
+
+    kernel.spawn(receiver(), "rx")
+    kernel.spawn(sender(), "tx")
+    sim.run_until(0.01)
+    assert len(got) == 1
+    assert got[0].payload == "hello"
+    assert got[0].nbytes == 100
+
+
+def test_recv_blocks_until_message_arrives(world):
+    sim, machine, kernel = world
+    sock = SocketPair.local(machine)
+    got_at = []
+
+    def receiver():
+        yield Recv(sock.b)
+        got_at.append(sim.now)
+
+    def sender():
+        yield Compute(cycles=machine.freq_hz * 0.1, profile=SPIN)
+        yield Send(sock.a, nbytes=10)
+
+    kernel.spawn(receiver(), "rx")
+    kernel.spawn(sender(), "tx")
+    sim.run_until(1.0)
+    assert got_at == [pytest.approx(0.1, rel=1e-6)]
+
+
+def test_buffered_message_consumed_without_blocking(world):
+    sim, machine, kernel = world
+    sock = SocketPair.local(machine)
+    kernel.inject(sock.b, Message(nbytes=5, payload="queued"))
+    got = []
+
+    def receiver():
+        msg = yield Recv(sock.b)
+        got.append(msg.payload)
+
+    kernel.spawn(receiver(), "rx")
+    sim.run_until(0.01)
+    assert got == ["queued"]
+
+
+def test_message_tag_carries_sender_context(world):
+    sim, machine, kernel = world
+    sock = SocketPair.local(machine)
+    got = []
+
+    def receiver():
+        msg = yield Recv(sock.b)
+        got.append(msg.tag.container_id)
+
+    def sender():
+        yield Send(sock.a, nbytes=10)
+
+    kernel.spawn(receiver(), "rx")
+    kernel.spawn(sender(), "tx", container_id=42)
+    sim.run_until(0.01)
+    assert got == [42]
+
+
+def test_receiver_inherits_sender_context(world):
+    sim, machine, kernel = world
+    sock = SocketPair.local(machine)
+
+    def receiver():
+        yield Recv(sock.b)
+        yield Compute(cycles=1000, profile=SPIN)
+
+    def sender():
+        yield Send(sock.a, nbytes=10)
+
+    rx = kernel.spawn(receiver(), "rx")
+    kernel.spawn(sender(), "tx", container_id=7)
+    sim.run_until(0.01)
+    assert rx.container_id == 7
+
+
+def test_per_segment_tagging_keeps_contexts_separate(world):
+    """The paper's persistent-connection hazard: two requests' segments are
+    buffered before the receiver reads; each read must bind the matching
+    context, not the newest one."""
+    sim, machine, kernel = world
+    sock = SocketPair.local(machine)
+    bindings = []
+
+    def receiver():
+        msg1 = yield Recv(sock.b)
+        bindings.append(msg1.tag.container_id)
+        msg2 = yield Recv(sock.b)
+        bindings.append(msg2.tag.container_id)
+
+    kernel.inject(sock.b, Message(nbytes=1, tag=ContextTag(container_id=1)))
+    kernel.inject(sock.b, Message(nbytes=1, tag=ContextTag(container_id=2)))
+    kernel.spawn(receiver(), "rx")
+    sim.run_until(0.01)
+    assert bindings == [1, 2]
+
+
+def test_naive_whole_socket_tagging_misbinds(world):
+    """Ablation: with whole-socket tagging the older segment is read with
+    the newer request's context -- the bug Section 3.3 warns about."""
+    sim, machine, kernel = world
+    sock = SocketPair.local(machine, per_segment_tagging=False)
+    bindings = []
+
+    def receiver():
+        msg1 = yield Recv(sock.b)
+        bindings.append(msg1.tag.container_id)
+        msg2 = yield Recv(sock.b)
+        bindings.append(msg2.tag.container_id)
+
+    kernel.inject(sock.b, Message(nbytes=1, tag=ContextTag(container_id=1)))
+    kernel.inject(sock.b, Message(nbytes=1, tag=ContextTag(container_id=2)))
+    kernel.spawn(receiver(), "rx")
+    sim.run_until(0.01)
+    assert bindings == [2, 2]  # both reads see the newest tag: wrong
+
+
+def test_multiple_waiters_woken_fifo(world):
+    sim, machine, kernel = world
+    sock = SocketPair.local(machine)
+    served = []
+
+    def worker(tag):
+        msg = yield Recv(sock.b)
+        served.append((tag, msg.payload))
+
+    kernel.spawn(worker("w1"), "w1")
+    kernel.spawn(worker("w2"), "w2")
+    sim.run_until(0.001)
+    kernel.inject(sock.b, Message(nbytes=1, payload="first"))
+    kernel.inject(sock.b, Message(nbytes=1, payload="second"))
+    sim.run_until(0.01)
+    assert served == [("w1", "first"), ("w2", "second")]
+
+
+def test_cross_machine_send_has_latency_and_uses_nics():
+    sim = Simulator()
+    m1 = build_machine(SANDYBRIDGE, sim, name="m1")
+    m2 = build_machine(SANDYBRIDGE, sim, name="m2")
+    k1 = Kernel(m1, sim)
+    k2 = Kernel(m2, sim)
+    conn = SocketPair.remote(m1, m2, latency=1e-3)
+    got_at = []
+
+    def receiver():
+        yield Recv(conn.b)
+        got_at.append(sim.now)
+
+    def sender():
+        yield Send(conn.a, nbytes=12500)  # 100 us at 125 MB/s
+
+    k2.spawn(receiver(), "rx")
+    k1.spawn(sender(), "tx")
+    sim.run_until(0.1)
+    expected = m1.net.base_latency_sec + 12500 / 125e6 + 1e-3
+    assert got_at == [pytest.approx(expected, rel=1e-6)]
+    # NIC energy was charged on both machines.
+    m1.checkpoint()
+    m2.checkpoint()
+    assert m1.integrator.peripheral_joules > 0
+    assert m2.integrator.peripheral_joules > 0
+
+
+def test_send_on_unconnected_endpoint_raises(world):
+    sim, machine, kernel = world
+    from repro.kernel import Endpoint
+    lone = Endpoint(machine, "lone")
+
+    def sender():
+        yield Send(lone, nbytes=1)
+
+    # Dispatch is synchronous: the failure surfaces at spawn time.
+    with pytest.raises(RuntimeError):
+        kernel.spawn(sender(), "tx")
+
+
+def test_fork_child_inherits_context_and_wait_reaps(world):
+    sim, machine, kernel = world
+    child_ctx = []
+    wait_result = []
+
+    def child_prog():
+        yield Compute(cycles=1000, profile=SPIN)
+        yield Exit("child-done")
+
+    def parent_prog():
+        child = yield Fork(child_prog(), name="latex")
+        child_ctx.append(child.container_id)
+        result = yield WaitChild(child)
+        wait_result.append(result)
+
+    kernel.spawn(parent_prog(), "apache", container_id=99)
+    sim.run_until(0.1)
+    assert child_ctx == [99]
+    assert wait_result == ["child-done"]
+
+
+def test_wait_on_already_exited_child(world):
+    sim, machine, kernel = world
+    order = []
+
+    def child_prog():
+        yield Compute(cycles=100, profile=SPIN)
+
+    def parent_prog():
+        child = yield Fork(child_prog(), name="c")
+        # Let the child finish first.
+        yield Compute(cycles=machine.freq_hz * 0.01, profile=SPIN)
+        yield WaitChild(child)
+        order.append("reaped")
+
+    kernel.spawn(parent_prog(), "p")
+    sim.run_until(0.1)
+    assert order == ["reaped"]
+
+
+def test_disk_io_blocks_and_charges_device(world):
+    sim, machine, kernel = world
+    done_at = []
+
+    def program():
+        yield DiskIO(nbytes=1_000_000)
+        done_at.append(sim.now)
+
+    kernel.spawn(program(), "io")
+    sim.run_until(1.0)
+    expected = 4e-3 + 1_000_000 / 100e6
+    assert done_at == [pytest.approx(expected, rel=1e-6)]
+    machine.checkpoint()
+    assert machine.integrator.peripheral_joules == pytest.approx(
+        1.7 * expected, rel=1e-6
+    )
+
+
+def test_exit_action_terminates_early(world):
+    sim, machine, kernel = world
+    after_exit = []
+
+    def program():
+        yield Exit("bye")
+        after_exit.append("unreachable")  # pragma: no cover
+
+    proc = kernel.spawn(program(), "p")
+    sim.run_until(0.01)
+    assert proc.exit_value == "bye"
+    assert after_exit == []
+    assert proc.state in (ProcessState.ZOMBIE, ProcessState.DEAD)
+
+
+def test_unknown_action_raises(world):
+    sim, machine, kernel = world
+
+    def program():
+        yield "not-an-action"
+
+    with pytest.raises(TypeError):
+        kernel.spawn(program(), "bad")

@@ -1,0 +1,140 @@
+"""Tests for the heterogeneous cluster and dispatch policies."""
+
+import pytest
+
+from repro.server import (
+    Dispatcher,
+    HeterogeneousCluster,
+    MachineHeterogeneityAwarePolicy,
+    SimpleLoadBalancePolicy,
+    WorkloadHeterogeneityAwarePolicy,
+)
+from repro.hardware import SANDYBRIDGE, WOODCREST
+from repro.sim import RngHub
+from repro.workloads import GaeVosaoWorkload, RsaCryptoWorkload
+
+
+def _cluster(sb_cal, wc_cal):
+    cluster = HeterogeneousCluster()
+    cluster.add_machine(SANDYBRIDGE, sb_cal)
+    cluster.add_machine(WOODCREST, wc_cal)
+    return cluster
+
+
+def _dispatcher(cluster, policy, rate=100.0, seed=0):
+    vosao = GaeVosaoWorkload()
+    rsa = RsaCryptoWorkload()
+    cluster.build_workload(vosao)
+    cluster.build_workload(rsa)
+    return Dispatcher(
+        cluster, [(vosao, 0.7), (rsa, 0.3)], policy, rate,
+        RngHub(seed).stream("arrivals"),
+    )
+
+
+def test_cluster_machine_lookup(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    assert cluster.by_name("sandybridge").spec is SANDYBRIDGE
+    with pytest.raises(KeyError):
+        cluster.by_name("epyc")
+
+
+def test_duplicate_workload_build_rejected(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    workload = GaeVosaoWorkload()
+    cluster.build_workload(workload)
+    with pytest.raises(ValueError):
+        cluster.build_workload(GaeVosaoWorkload())
+
+
+def test_dispatcher_validates_inputs(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    vosao = GaeVosaoWorkload()
+    cluster.build_workload(vosao)
+    rng = RngHub(0).stream("a")
+    with pytest.raises(ValueError):
+        Dispatcher(cluster, [(vosao, 1.0)], SimpleLoadBalancePolicy(), 0.0, rng)
+    with pytest.raises(ValueError):
+        Dispatcher(cluster, [(vosao, 0.0)], SimpleLoadBalancePolicy(), 10.0, rng)
+
+
+def test_simple_policy_splits_requests_evenly(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    disp = _dispatcher(cluster, SimpleLoadBalancePolicy(), rate=150.0)
+    disp.start(2.0)
+    cluster.simulator.run_until(2.5)
+    counts = disp.dispatched_to
+    assert abs(counts["sandybridge"] - counts["woodcrest"]) <= 1
+
+
+def test_machine_aware_prefers_efficient_machine_at_low_load(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    policy = MachineHeterogeneityAwarePolicy("sandybridge", "woodcrest")
+    disp = _dispatcher(cluster, policy, rate=40.0)  # light load
+    disp.start(2.0)
+    cluster.simulator.run_until(2.5)
+    assert disp.dispatched_to["sandybridge"] > 5 * max(
+        disp.dispatched_to["woodcrest"], 1
+    )
+
+
+def test_machine_aware_spills_when_preferred_is_busy(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    policy = MachineHeterogeneityAwarePolicy("sandybridge", "woodcrest")
+    disp = _dispatcher(cluster, policy, rate=300.0)  # heavy load
+    disp.start(3.0)
+    cluster.simulator.run_until(3.5)
+    assert disp.dispatched_to["woodcrest"] > 20
+
+
+def test_workload_aware_keeps_high_affinity_type_on_preferred(sb_cal, wc_cal):
+    """Under spill pressure, RSA (strong SandyBridge affinity) should stay
+    on SandyBridge far more than Vosao does."""
+    cluster = _cluster(sb_cal, wc_cal)
+    policy = WorkloadHeterogeneityAwarePolicy("sandybridge", "woodcrest")
+    disp = _dispatcher(cluster, policy, rate=300.0)
+    disp.start(4.0)
+    cluster.simulator.run_until(4.5)
+    rsa_results = [r for r in disp.results if r.workload_name == "rsa-crypto"]
+    vosao_results = [r for r in disp.results if r.workload_name == "gae-vosao"]
+    assert rsa_results and vosao_results
+    rsa_on_wc = sum(r.machine_name == "woodcrest" for r in rsa_results)
+    vosao_on_wc = sum(r.machine_name == "woodcrest" for r in vosao_results)
+    assert rsa_on_wc / len(rsa_results) < vosao_on_wc / len(vosao_results)
+
+
+def test_dispatcher_builds_energy_profiles(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    disp = _dispatcher(cluster, SimpleLoadBalancePolicy(), rate=100.0)
+    disp.start(2.0)
+    cluster.simulator.run_until(2.5)
+    profiles = disp.profiles
+    assert profiles.has_profile("sandybridge", "gae-vosao:read")
+    assert profiles.has_profile("woodcrest", "gae-vosao:read")
+    ratio = profiles.ratio("rsa-crypto:key-large", "sandybridge", "woodcrest")
+    assert ratio < 0.5  # strong SandyBridge affinity
+
+
+def test_response_time_accounting(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    disp = _dispatcher(cluster, SimpleLoadBalancePolicy(), rate=80.0)
+    disp.start(2.0)
+    cluster.simulator.run_until(2.5)
+    assert disp.mean_response_time() > 0
+    assert disp.mean_response_time("rsa-crypto") > disp.mean_response_time(
+        "gae-vosao"
+    )
+    assert disp.mean_response_time("nonexistent") == 0.0
+
+
+def test_energy_marks_measure_window(sb_cal, wc_cal):
+    cluster = _cluster(sb_cal, wc_cal)
+    disp = _dispatcher(cluster, SimpleLoadBalancePolicy(), rate=100.0)
+    disp.start(2.0)
+    cluster.simulator.run_until(1.0)
+    cluster.mark_energy()
+    cluster.simulator.run_until(2.0)
+    total = cluster.total_active_joules_since_mark()
+    assert total > 0
+    per_machine = [m.active_joules_since_mark() for m in cluster.machines]
+    assert sum(per_machine) == pytest.approx(total)

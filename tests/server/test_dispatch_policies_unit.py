@@ -1,0 +1,104 @@
+"""Unit tests for dispatch policy decision logic (no full cluster runs)."""
+
+import pytest
+
+from repro.server.dispatch import (
+    MachineHeterogeneityAwarePolicy,
+    SimpleLoadBalancePolicy,
+    WorkloadHeterogeneityAwarePolicy,
+)
+from repro.core.distribution import EnergyProfileTable
+from repro.requests import RequestSpec
+
+
+class _FakeMachine:
+    def __init__(self, name):
+        self.name = name
+
+
+class _FakeCluster:
+    def __init__(self, names):
+        self.machines = [_FakeMachine(n) for n in names]
+
+    def by_name(self, name):
+        for m in self.machines:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+
+class _FakeWorkload:
+    name = "wl"
+
+
+class _FakeDispatcher:
+    def __init__(self, names, utils):
+        self.cluster = _FakeCluster(names)
+        self._utils = utils
+        self.profiles = EnergyProfileTable()
+
+    def smoothed_utilization(self, name):
+        return self._utils[name]
+
+
+def test_simple_round_robin():
+    policy = SimpleLoadBalancePolicy()
+    disp = _FakeDispatcher(["a", "b"], {"a": 0.0, "b": 0.0})
+    picks = [policy.choose(_FakeWorkload(), RequestSpec("x"), disp).name
+             for _ in range(4)]
+    assert picks == ["a", "b", "a", "b"]
+
+
+def test_machine_aware_threshold():
+    policy = MachineHeterogeneityAwarePolicy("fast", "slow",
+                                             utilization_threshold=0.7)
+    below = _FakeDispatcher(["fast", "slow"], {"fast": 0.5, "slow": 0.1})
+    above = _FakeDispatcher(["fast", "slow"], {"fast": 0.8, "slow": 0.1})
+    spec = RequestSpec("x")
+    assert policy.choose(_FakeWorkload(), spec, below).name == "fast"
+    assert policy.choose(_FakeWorkload(), spec, above).name == "slow"
+
+
+def _profiled_dispatcher(fast_util):
+    disp = _FakeDispatcher(["fast", "slow"], {"fast": fast_util, "slow": 0.2})
+    # rsa strongly prefers fast (ratio 0.2); vosao is displaceable (0.6).
+    for _ in range(3):
+        disp.profiles.record("fast", "wl:rsa", 0.2)
+        disp.profiles.record("slow", "wl:rsa", 1.0)
+        disp.profiles.record("fast", "wl:vosao", 0.6)
+        disp.profiles.record("slow", "wl:vosao", 1.0)
+    return disp
+
+
+def test_workload_aware_keeps_affine_type_under_pressure():
+    policy = WorkloadHeterogeneityAwarePolicy("fast", "slow")
+    disp = _profiled_dispatcher(fast_util=0.8)  # above 0.7, below overload
+    assert policy.choose(_FakeWorkload(), RequestSpec("rsa"), disp).name \
+        == "fast"
+    assert policy.choose(_FakeWorkload(), RequestSpec("vosao"), disp).name \
+        == "slow"
+
+
+def test_workload_aware_spills_everything_when_overloaded():
+    policy = WorkloadHeterogeneityAwarePolicy("fast", "slow",
+                                              overload_threshold=0.92)
+    disp = _profiled_dispatcher(fast_util=0.95)
+    assert policy.choose(_FakeWorkload(), RequestSpec("rsa"), disp).name \
+        == "slow"
+
+
+def test_workload_aware_bootstraps_like_machine_aware():
+    """Unknown types are displaceable until profiles exist."""
+    policy = WorkloadHeterogeneityAwarePolicy("fast", "slow")
+    disp = _FakeDispatcher(["fast", "slow"], {"fast": 0.8, "slow": 0.2})
+    assert policy.choose(_FakeWorkload(), RequestSpec("new"), disp).name \
+        == "slow"
+
+
+def test_workload_aware_single_known_type_is_displaceable():
+    policy = WorkloadHeterogeneityAwarePolicy("fast", "slow")
+    disp = _FakeDispatcher(["fast", "slow"], {"fast": 0.8, "slow": 0.2})
+    disp.profiles.record("fast", "wl:solo", 0.5)
+    disp.profiles.record("slow", "wl:solo", 1.0)
+    assert policy.choose(_FakeWorkload(), RequestSpec("solo"), disp).name \
+        == "slow"

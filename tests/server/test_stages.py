@@ -1,0 +1,135 @@
+"""Tests for server worker pools and sub-services."""
+
+import pytest
+
+from repro.core import PowerContainerFacility, calibrate_machine
+from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+from repro.kernel import Compute, ContextTag, Kernel, Message, Recv, Send
+from repro.server import Server, SubService
+from repro.sim import Simulator
+
+WORK = RateProfile(name="work", ipc=1.0)
+
+
+@pytest.fixture
+def world(sb_cal):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    return sim, machine, kernel, facility
+
+
+def _echo_factory(machine, cycles=1e6):
+    def factory(message):
+        def handler():
+            yield Compute(cycles=cycles, profile=WORK)
+            return ("echo", message.payload)
+        return handler()
+    return factory
+
+
+def test_server_requires_workers_and_exactly_one_factory(world):
+    sim, machine, kernel, facility = world
+    factory = _echo_factory(machine)
+    with pytest.raises(ValueError):
+        Server(kernel, "s", factory, n_workers=0)
+    with pytest.raises(ValueError):
+        Server(kernel, "s", None, n_workers=2)  # neither factory
+    with pytest.raises(ValueError):
+        Server(kernel, "s", factory, n_workers=2,
+               worker_factory=lambda i: factory)  # both
+
+
+def test_server_serves_and_replies_via_callback(world):
+    sim, machine, kernel, facility = world
+    server = Server(kernel, "s", _echo_factory(machine), n_workers=2)
+    replies = []
+    server.client_side.on_message = replies.append
+    server.inject(Message(nbytes=64, payload=("r1", None)))
+    sim.run_until(0.1)
+    assert len(replies) == 1
+    assert replies[0].payload == (("r1", None), ("echo", ("r1", None)))
+    assert server.requests_served == 1
+
+
+def test_server_workers_serve_concurrently(world):
+    sim, machine, kernel, facility = world
+    server = Server(kernel, "s", _echo_factory(machine, cycles=3.1e8),
+                    n_workers=4)
+    done = []
+    server.client_side.on_message = lambda m: done.append(sim.now)
+    for i in range(4):
+        server.inject(Message(nbytes=64, payload=(f"r{i}", None)))
+    sim.run_until(1.0)
+    # 4 x 100 ms of work on 4 cores finishes in ~100 ms, not 400 ms.
+    assert len(done) == 4
+    assert max(done) < 0.15
+
+
+def test_worker_factory_gives_each_worker_private_state(world):
+    sim, machine, kernel, facility = world
+    created = []
+
+    def worker_factory(index):
+        created.append(index)
+        return _echo_factory(machine)
+
+    Server(kernel, "s", n_workers=3, worker_factory=worker_factory)
+    assert created == [0, 1, 2]
+
+
+def test_server_worker_inherits_request_context(world):
+    sim, machine, kernel, facility = world
+    server = Server(kernel, "s", _echo_factory(machine), n_workers=1)
+    container = facility.create_request_container("req")
+    server.client_side.on_message = lambda m: None
+    server.inject(Message(nbytes=64, payload=("r", None),
+                          tag=ContextTag(container_id=container.id)))
+    sim.run_until(0.1)
+    facility.flush()
+    assert container.stats.cpu_seconds > 0
+
+
+def test_subservice_connect_spawns_thread_per_connection(world):
+    sim, machine, kernel, facility = world
+
+    def db_factory(message):
+        def handler():
+            yield Compute(cycles=1e6, profile=WORK)
+            return "rows"
+        return handler()
+
+    service = SubService(kernel, "db", db_factory)
+    a = service.connect()
+    b = service.connect()
+    assert a is not b
+    assert len(service.threads) == 2
+
+
+def test_subservice_round_trip_propagates_context(world):
+    sim, machine, kernel, facility = world
+
+    def db_factory(message):
+        def handler():
+            yield Compute(cycles=2e6, profile=WORK)
+            return "rows"
+        return handler()
+
+    service = SubService(kernel, "db", db_factory)
+    endpoint = service.connect()
+    container = facility.create_request_container("req")
+    got = []
+
+    def client():
+        yield Send(endpoint, nbytes=100, payload="query")
+        reply = yield Recv(endpoint)
+        got.append(reply.payload)
+
+    kernel.spawn(client(), "client", container_id=container.id)
+    sim.run_until(0.1)
+    facility.flush()
+    assert got == ["rows"]
+    # The DB thread's work was charged to the request's container.
+    expected = 2e6 / machine.freq_hz + 2e6 / machine.freq_hz  # client0 + db
+    assert container.stats.cpu_seconds >= 2e6 / machine.freq_hz

@@ -1,0 +1,83 @@
+"""Three-machine cluster coverage: all testbed machines serving together."""
+
+import pytest
+
+from repro.core import calibrate_machine
+from repro.hardware import SANDYBRIDGE, WESTMERE, WOODCREST
+from repro.server import (
+    Dispatcher,
+    HeterogeneousCluster,
+    SimpleLoadBalancePolicy,
+    WorkloadHeterogeneityAwarePolicy,
+)
+from repro.sim import RngHub
+from repro.workloads import SolrWorkload
+
+
+@pytest.fixture(scope="module")
+def wm_cal():
+    return calibrate_machine(WESTMERE, duration=0.2)
+
+
+def test_three_machine_cluster_serves_everywhere(sb_cal, wc_cal, wm_cal):
+    cluster = HeterogeneousCluster()
+    cluster.add_machine(SANDYBRIDGE, sb_cal)
+    cluster.add_machine(WOODCREST, wc_cal)
+    cluster.add_machine(WESTMERE, wm_cal)
+    workload = SolrWorkload()
+    cluster.build_workload(workload)
+    dispatcher = Dispatcher(
+        cluster, [(workload, 1.0)], SimpleLoadBalancePolicy(),
+        request_rate=300.0, rng=RngHub(1).stream("arrivals"),
+    )
+    dispatcher.start(2.0)
+    cluster.simulator.run_until(2.5)
+    assert dispatcher.completed > 400
+    # Round robin reached all three machines.
+    for member in cluster.machines:
+        assert dispatcher.dispatched_to[member.name] > 100
+        member.facility.flush()
+        served = [
+            c for c in member.facility.registry.request_containers()
+            if c.stats.cpu_seconds > 0
+        ]
+        assert served
+
+
+def test_three_machine_workload_aware_prefers_newest(sb_cal, wc_cal, wm_cal):
+    """With SandyBridge preferred and Woodcrest as fallback, Westmere can
+    coexist in the cluster without receiving traffic from this policy."""
+    cluster = HeterogeneousCluster()
+    cluster.add_machine(SANDYBRIDGE, sb_cal)
+    cluster.add_machine(WOODCREST, wc_cal)
+    cluster.add_machine(WESTMERE, wm_cal)
+    workload = SolrWorkload()
+    cluster.build_workload(workload)
+    policy = WorkloadHeterogeneityAwarePolicy("sandybridge", "woodcrest")
+    dispatcher = Dispatcher(
+        cluster, [(workload, 1.0)], policy,
+        request_rate=120.0, rng=RngHub(2).stream("arrivals"),
+    )
+    dispatcher.start(2.0)
+    cluster.simulator.run_until(2.5)
+    assert dispatcher.dispatched_to["sandybridge"] > 0
+    assert dispatcher.dispatched_to["westmere"] == 0
+
+
+def test_pinned_core_out_of_range_rejected(sb_cal):
+    from repro.hardware import build_machine
+    from repro.kernel import Compute, Kernel
+    from repro.hardware import RateProfile
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+
+    def program():
+        yield Compute(cycles=1e5, profile=RateProfile())
+
+    with pytest.raises(ValueError):
+        kernel.spawn(program(), "w", pinned_core=99)
+    with pytest.raises(ValueError):
+        kernel.spawn(program(), "w", pinned_core=-1)

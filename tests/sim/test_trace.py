@@ -1,0 +1,59 @@
+"""Tests for the trace recorder."""
+
+from repro.sim import TraceRecorder
+
+
+def test_record_and_iterate():
+    trace = TraceRecorder()
+    trace.record(1.0, "switch", core=0)
+    trace.record(2.0, "send", nbytes=128)
+    events = list(trace)
+    assert len(events) == 2
+    assert events[0].kind == "switch"
+    assert events[1].detail["nbytes"] == 128
+
+
+def test_of_kind_filters():
+    trace = TraceRecorder()
+    trace.record(1.0, "a")
+    trace.record(2.0, "b")
+    trace.record(3.0, "a")
+    assert [e.time for e in trace.of_kind("a")] == [1.0, 3.0]
+    assert [e.time for e in trace.of_kind("a", "b")] == [1.0, 2.0, 3.0]
+
+
+def test_matching_filters_on_detail():
+    trace = TraceRecorder()
+    trace.record(1.0, "switch", core=0, pid=10)
+    trace.record(2.0, "switch", core=1, pid=10)
+    assert len(trace.matching(pid=10)) == 2
+    assert len(trace.matching(core=1)) == 1
+    assert trace.matching(core=2) == []
+
+
+def test_disabled_recorder_drops_events():
+    trace = TraceRecorder(enabled=False)
+    trace.record(1.0, "x")
+    assert len(trace) == 0
+
+
+def test_capacity_bound():
+    trace = TraceRecorder(capacity=3)
+    for i in range(10):
+        trace.record(float(i), "e")
+    assert len(trace) == 3
+
+
+def test_clear():
+    trace = TraceRecorder()
+    trace.record(1.0, "x")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_str_rendering():
+    trace = TraceRecorder()
+    trace.record(1.5, "fork", parent=1, child=2)
+    text = str(list(trace)[0])
+    assert "fork" in text
+    assert "child=2" in text

@@ -1,0 +1,34 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import main, COMMANDS
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_no_command_defaults_to_list(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_calibration_command_prints_table(capsys):
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "Ccore" in out
+    assert "Cchipshare" in out
+
+
+def test_validate_rejects_bad_machine():
+    with pytest.raises(SystemExit):
+        main(["validate", "--machine", "epyc"])

@@ -1,0 +1,88 @@
+"""Tests for the closed-loop client driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerContainerFacility
+from repro.hardware import SANDYBRIDGE, build_machine
+from repro.kernel import Kernel
+from repro.sim import Simulator
+from repro.workloads import ClosedLoopDriver, SolrWorkload
+
+
+def _world(sb_cal, n_clients, think=0.01):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    workload = SolrWorkload()
+    server = workload.build_server(kernel, facility)
+    driver = ClosedLoopDriver(
+        kernel, facility, workload, server,
+        n_clients=n_clients, think_time=think,
+        rng=np.random.default_rng(3),
+    )
+    return sim, machine, facility, driver
+
+
+def test_parameter_validation(sb_cal):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    workload = SolrWorkload()
+    server = workload.build_server(kernel, facility)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        ClosedLoopDriver(kernel, facility, workload, server, 0, 0.01, rng)
+    with pytest.raises(ValueError):
+        ClosedLoopDriver(kernel, facility, workload, server, 4, -1.0, rng)
+
+
+def test_clients_sustain_bounded_inflight(sb_cal):
+    sim, machine, facility, driver = _world(sb_cal, n_clients=6)
+    driver.start(2.0)
+    sim.run_until(2.0)
+    assert driver.completed > 50
+    # Closed loop: never more requests in flight than clients.
+    assert len(driver.inflight) <= 6
+
+
+def test_more_clients_more_throughput_until_saturation(sb_cal):
+    completed = {}
+    for n in (2, 8, 32):
+        sim, machine, facility, driver = _world(sb_cal, n_clients=n, think=0.0)
+        driver.start(1.5)
+        sim.run_until(1.5)
+        completed[n] = driver.completed
+    assert completed[8] > completed[2]
+    # Beyond saturation (4 cores), extra clients add little throughput.
+    assert completed[32] < completed[8] * 1.5
+
+
+def test_no_unbounded_queueing_at_saturation(sb_cal):
+    """Unlike an open loop at over-capacity, response times stay bounded."""
+    sim, machine, facility, driver = _world(sb_cal, n_clients=16, think=0.0)
+    driver.start(2.0)
+    sim.run_until(2.0)
+    # With 16 clients on 4 cores, latency ~ 4x service time, not unbounded.
+    assert driver.mean_response_time() < 0.2
+
+
+def test_stops_issuing_after_deadline(sb_cal):
+    sim, machine, facility, driver = _world(sb_cal, n_clients=4)
+    driver.start(0.5)
+    sim.run_until(2.0)
+    done_at = max(r.completion for r in driver.results)
+    assert done_at < 0.7  # tail requests finish shortly after the deadline
+
+
+def test_energy_accounting_works_with_closed_loop(sb_cal):
+    sim, machine, facility, driver = _world(sb_cal, n_clients=4)
+    driver.start(1.0)
+    sim.run_until(1.0)
+    facility.flush()
+    machine.checkpoint()
+    measured = machine.integrator.active_joules
+    estimated = facility.registry.total_energy("recal")
+    assert estimated == pytest.approx(measured, rel=0.1)

@@ -1,0 +1,196 @@
+"""Integration tests: drivers, servers, and end-to-end workload runs."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import SANDYBRIDGE, WOODCREST
+from repro.workloads import (
+    GaeHybridWorkload,
+    GaeVosaoWorkload,
+    RsaCryptoWorkload,
+    SolrWorkload,
+    WeBWorKWorkload,
+    run_workload,
+    workload_by_name,
+)
+
+
+def test_driver_completes_requests_and_records_latency(sb_cal):
+    run = run_workload(
+        RsaCryptoWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.4, duration=2.0, warmup=0.0, with_meter=False,
+    )
+    assert run.driver.completed > 20
+    for result in run.driver.results:
+        assert result.response_time > 0
+        assert result.completion <= 2.0 + 1.0  # bounded queueing
+
+
+def test_half_load_utilization_is_about_half(sb_cal):
+    run = run_workload(
+        SolrWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.5, duration=3.0, warmup=0.0, with_meter=False,
+    )
+    total_cpu = sum(
+        c.stats.cpu_seconds for c in run.facility.registry.all_containers()
+    )
+    utilization = total_cpu / (4 * 3.0)
+    assert 0.35 < utilization < 0.65
+
+
+def test_peak_load_draws_more_power_than_half(sb_cal):
+    powers = {}
+    for load in (0.5, 1.0):
+        run = run_workload(
+            SolrWorkload(), SANDYBRIDGE, sb_cal,
+            load_fraction=load, duration=2.5, warmup=0.5, with_meter=False,
+        )
+        powers[load] = run.measured_active_watts
+    assert powers[1.0] > powers[0.5] * 1.3
+
+
+def test_request_energy_attributed_per_request(sb_cal):
+    run = run_workload(
+        RsaCryptoWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.4, duration=2.5, warmup=0.0, with_meter=False,
+    )
+    large = [r for r in run.driver.results if r.rtype == "key-large"]
+    small = [r for r in run.driver.results if r.rtype == "key-small"]
+    assert large and small
+    mean_large = np.mean([r.energy("eq2") for r in large])
+    mean_small = np.mean([r.energy("eq2") for r in small])
+    # Large keys do ~4x the cycles at higher per-cycle power.
+    assert mean_large > mean_small * 2.5
+
+
+def test_webwork_context_follows_all_stages(sb_cal):
+    """A WeBWorK request's container collects PHP + MySQL + latex + dvipng
+    work: its CPU time exceeds the front-end share alone."""
+    workload = WeBWorKWorkload()
+    run = run_workload(
+        workload, SANDYBRIDGE, sb_cal,
+        load_fraction=0.4, duration=2.5, warmup=0.0, with_meter=False,
+    )
+    uncached = [
+        r for r in run.driver.results
+        if not r.container.meta["params"]["image_cached"]
+        and r.container.stats.cpu_seconds > 0
+    ]
+    assert uncached
+    for result in uncached[:20]:
+        difficulty = result.container.meta["params"]["difficulty"]
+        expected = sum(
+            workload.stage_cycles(stage, difficulty, "sandybridge")
+            for stage in ("php", "mysql", "latex", "dvipng")
+        ) / SANDYBRIDGE.freq_hz
+        assert result.container.stats.cpu_seconds == pytest.approx(
+            expected, rel=0.05
+        )
+
+
+def test_webwork_requests_do_disk_io(sb_cal):
+    run = run_workload(
+        WeBWorKWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.4, duration=2.0, warmup=0.0, with_meter=False,
+    )
+    done = [r for r in run.driver.results if r.container.stats.cpu_seconds > 0]
+    assert done
+    assert all(r.container.stats.events.disk_bytes > 0 for r in done)
+    assert all(r.container.stats.io_energy_joules > 0 for r in done)
+
+
+def test_gae_vosao_background_is_substantial(sb_cal):
+    """Fig. 9: GAE background processing is a large share of active power."""
+    run = run_workload(
+        GaeVosaoWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=1.0, duration=3.0, warmup=0.0, with_meter=False,
+    )
+    bg = run.facility.registry.background.total_energy("eq2")
+    requests = sum(
+        c.total_energy("eq2")
+        for c in run.facility.registry.request_containers()
+    )
+    fraction = bg / (bg + requests)
+    assert 0.15 < fraction < 0.5
+
+
+def test_gae_hybrid_viruses_draw_more_power(sb_cal):
+    """Fig. 6 right: virus requests sit in a higher power band."""
+    run = run_workload(
+        GaeHybridWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.5, duration=4.0, warmup=0.0, with_meter=False,
+    )
+    viruses = [r.mean_power("eq2") for r in run.driver.results
+               if r.rtype == "virus" and r.container.stats.cpu_seconds > 0.05]
+    vosao = [r.mean_power("eq2") for r in run.driver.results
+             if r.rtype in ("read", "write")
+             and r.container.stats.cpu_seconds > 0.001]
+    assert viruses and vosao
+    assert np.mean(viruses) > np.mean(vosao) + 3.0
+
+
+def test_driver_load_fraction_validation(sb_cal):
+    from repro.core import PowerContainerFacility
+    from repro.kernel import Kernel
+    from repro.hardware import build_machine
+    from repro.sim import Simulator
+    from repro.workloads import OpenLoopDriver
+
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    workload = SolrWorkload()
+    server = workload.build_server(kernel, facility)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        OpenLoopDriver(kernel, facility, workload, server, 0.0, rng)
+    with pytest.raises(ValueError):
+        OpenLoopDriver(kernel, facility, workload, server, 1.5, rng)
+
+
+def test_run_on_woodcrest_uses_both_chips(wc_cal):
+    run = run_workload(
+        SolrWorkload(), WOODCREST, wc_cal,
+        load_fraction=1.0, duration=1.5, warmup=0.0, with_meter=False,
+    )
+    # At peak load both chips must have been active: maintenance energy
+    # accrued on each.
+    assert run.machine.integrator.maintenance_joules(0) > 0
+    assert run.machine.integrator.maintenance_joules(1) > 0
+
+
+def test_containers_closed_after_completion(sb_cal):
+    """Completed requests' containers close (refcount drops to zero) --
+    except each worker's most recent request, whose binding reference is
+    only released when the worker reads its next tagged segment (the
+    paper's containers are released when all linked tasks unlink)."""
+    workload = SolrWorkload()
+    run = run_workload(
+        workload, SANDYBRIDGE, sb_cal,
+        load_fraction=0.3, duration=2.0, warmup=0.0, with_meter=False,
+    )
+    open_containers = [
+        r.container for r in run.driver.results if not r.container.closed
+    ]
+    assert len(open_containers) <= workload.n_workers
+    for container in open_containers:
+        assert container.refcount == 1  # exactly the worker's binding
+    closed = [r.container for r in run.driver.results if r.container.closed]
+    assert len(closed) > len(open_containers)
+    assert all(c.refcount == 0 for c in closed)
+
+
+def test_deterministic_given_seed(sb_cal):
+    runs = [
+        run_workload(
+            SolrWorkload(), SANDYBRIDGE, sb_cal,
+            load_fraction=0.5, duration=1.5, warmup=0.0, seed=3,
+            with_meter=False,
+        )
+        for _ in range(2)
+    ]
+    assert runs[0].driver.completed == runs[1].driver.completed
+    assert runs[0].measured_active_joules == pytest.approx(
+        runs[1].measured_active_joules, rel=1e-12
+    )

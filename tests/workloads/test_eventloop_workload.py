@@ -1,0 +1,58 @@
+"""Tests for the event-driven Solr workload integration."""
+
+import pytest
+
+from repro.hardware import SANDYBRIDGE
+from repro.workloads import run_workload
+from repro.workloads.eventloop import EventDrivenSolrWorkload
+
+
+def test_event_driven_workload_end_to_end(sb_cal):
+    run = run_workload(
+        EventDrivenSolrWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.5, duration=2.0, warmup=0.0, with_meter=False,
+    )
+    assert run.driver.completed > 30
+    for result in run.driver.results[:10]:
+        assert result.response_time > 0
+
+
+def test_event_driven_validation_invariant(sb_cal):
+    """Summed request energy matches measured power even though the whole
+    workload runs inside a handful of multiplexing processes."""
+    run = run_workload(
+        EventDrivenSolrWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.6, duration=2.5, warmup=0.0, with_meter=False,
+    )
+    run.machine.checkpoint()
+    measured = run.machine.integrator.active_joules
+    estimated = run.facility.registry.total_energy("recal")
+    assert estimated == pytest.approx(measured, rel=0.08)
+
+
+def test_event_driven_per_request_attribution(sb_cal):
+    run = run_workload(
+        EventDrivenSolrWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.4, duration=2.0, warmup=0.0, with_meter=False,
+    )
+    workload = run.workload
+    done = [r for r in run.driver.results
+            if r.container.stats.cpu_seconds > 0]
+    assert done
+    for result in done[:15]:
+        expected = workload.demand_cycles(
+            result.container.meta["params"]["work_factor"], "sandybridge"
+        )
+        assert result.container.stats.events.nonhalt_cycles == pytest.approx(
+            expected, rel=0.03
+        )
+
+
+def test_loops_spread_over_cores(sb_cal):
+    run = run_workload(
+        EventDrivenSolrWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=1.0, duration=1.5, warmup=0.0, with_meter=False,
+    )
+    # At peak, all four per-core loops served traffic.
+    for loop in run.driver.server.loops:
+        assert loop.requests_served > 0

@@ -1,0 +1,49 @@
+"""Tests for automatic meter wiring in run_workload."""
+
+import pytest
+
+from repro.hardware import PackageMeter, SANDYBRIDGE, WallMeter, WOODCREST, build_machine
+from repro.sim import Simulator
+from repro.workloads.base import meter_setup_for
+
+
+def test_sandybridge_gets_package_meter(sb_cal):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kwargs = meter_setup_for(SANDYBRIDGE, sb_cal, machine, sim)
+    assert isinstance(kwargs["meter"], PackageMeter)
+    assert kwargs["meter"].period == pytest.approx(1e-3)
+    assert kwargs["meter"].delay == pytest.approx(1e-3)
+    assert kwargs["meter_idle_watts"] == pytest.approx(
+        sb_cal.package_idle_watts
+    )
+    assert not kwargs["meter_covers_peripherals"]
+
+
+def test_woodcrest_gets_wall_meter(wc_cal):
+    sim = Simulator()
+    machine = build_machine(WOODCREST, sim)
+    kwargs = meter_setup_for(WOODCREST, wc_cal, machine, sim)
+    assert isinstance(kwargs["meter"], WallMeter)
+    assert kwargs["meter"].delay == pytest.approx(1.2)
+    assert kwargs["meter_idle_watts"] == pytest.approx(wc_cal.idle_watts)
+    assert kwargs["meter_covers_peripherals"]
+    assert kwargs["trace_period"] == kwargs["meter"].period
+
+
+def test_run_workload_with_meter_recalibrates_on_sandybridge(sb_cal):
+    from repro.workloads import StressWorkload, run_workload
+    run = run_workload(
+        StressWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.6, duration=2.0, warmup=0.0, with_meter=True,
+    )
+    assert run.facility.recalibrators["recal"].recalibration_count > 0
+
+
+def test_run_workload_without_meter_has_no_meter(sb_cal):
+    from repro.workloads import SolrWorkload, run_workload
+    run = run_workload(
+        SolrWorkload(), SANDYBRIDGE, sb_cal,
+        load_fraction=0.3, duration=0.5, warmup=0.0, with_meter=False,
+    )
+    assert run.facility.meter is None

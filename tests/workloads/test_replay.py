@@ -1,0 +1,102 @@
+"""Tests for trace-driven request replay."""
+
+import pytest
+
+from repro.core import PowerContainerFacility
+from repro.hardware import SANDYBRIDGE, build_machine
+from repro.kernel import Kernel
+from repro.requests import RequestSpec
+from repro.sim import Simulator
+from repro.workloads import SolrWorkload
+from repro.workloads.replay import (
+    TraceEntry,
+    TraceReplayDriver,
+    load_trace_csv,
+    save_trace_csv,
+)
+
+
+def _trace(n=20, gap=0.01):
+    return [
+        TraceEntry(i * gap, RequestSpec("search", {"work_factor": 0.5 + i % 3}))
+        for i in range(n)
+    ]
+
+
+def _world(sb_cal, trace):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    workload = SolrWorkload()
+    server = workload.build_server(kernel, facility)
+    driver = TraceReplayDriver(kernel, facility, workload, server, trace)
+    return sim, facility, driver
+
+
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        TraceEntry(-1.0, RequestSpec("search"))
+
+
+def test_empty_trace_rejected(sb_cal):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, sb_cal)
+    workload = SolrWorkload()
+    server = workload.build_server(kernel, facility)
+    with pytest.raises(ValueError):
+        TraceReplayDriver(kernel, facility, workload, server, [])
+
+
+def test_replay_completes_every_trace_entry(sb_cal):
+    trace = _trace(25)
+    sim, facility, driver = _world(sb_cal, trace)
+    driver.start()
+    sim.run_until(driver.horizon + 1.0)
+    assert driver.completed == 25
+    assert driver.mean_response_time() > 0
+
+
+def test_replay_arrivals_are_faithful(sb_cal):
+    trace = _trace(10, gap=0.05)
+    sim, facility, driver = _world(sb_cal, trace)
+    driver.start()
+    sim.run_until(driver.horizon + 1.0)
+    arrivals = sorted(r.arrival for r in driver.results)
+    for got, entry in zip(arrivals, trace):
+        assert got == pytest.approx(entry.arrival, abs=1e-9)
+
+
+def test_replay_is_deterministic(sb_cal):
+    energies = []
+    for _ in range(2):
+        sim, facility, driver = _world(sb_cal, _trace(15))
+        driver.start()
+        sim.run_until(driver.horizon + 1.0)
+        facility.flush()
+        energies.append([r.energy("recal") for r in driver.results])
+    assert energies[0] == energies[1]
+
+
+def test_csv_round_trip(tmp_path):
+    trace = [
+        TraceEntry(0.5, RequestSpec("search", {"work_factor": 1.5})),
+        TraceEntry(0.1, RequestSpec("write", {"jitter": 2, "cached": True})),
+    ]
+    path = save_trace_csv(tmp_path / "trace.csv", trace)
+    loaded = load_trace_csv(path)
+    assert len(loaded) == 2
+    assert loaded[0].arrival == 0.1  # sorted on load
+    assert loaded[0].spec.rtype == "write"
+    assert loaded[0].spec.params == {"jitter": 2, "cached": True}
+    assert loaded[1].spec.params["work_factor"] == pytest.approx(1.5)
+
+
+def test_csv_skips_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("# header\n\n0.2,search,work_factor=1.0\n")
+    loaded = load_trace_csv(path)
+    assert len(loaded) == 1
+    assert loaded[0].spec.params["work_factor"] == 1.0

@@ -1,0 +1,107 @@
+"""Tests for the configurable synthetic workload builder."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import RateProfile, SANDYBRIDGE
+from repro.workloads import run_workload
+from repro.workloads.synthetic import StageSpec, SyntheticWorkload
+
+LIGHT = RateProfile(name="light", ipc=1.0)
+DBISH = RateProfile(name="dbish", ipc=0.8, cache_per_cycle=0.01,
+                    mem_per_cycle=0.004)
+FPU = RateProfile(name="fpu", ipc=1.4, flops_per_cycle=0.5)
+
+
+def _three_stage():
+    return SyntheticWorkload(
+        name="my-api",
+        stages=[
+            StageSpec("parse", cycles=2e6, profile=LIGHT),
+            StageSpec("db", cycles=8e6, profile=DBISH, kind="service",
+                      io_bytes=8192),
+            StageSpec("render", cycles=5e6, profile=FPU, kind="fork"),
+        ],
+        n_workers=6,
+    )
+
+
+def test_stage_validation():
+    with pytest.raises(ValueError):
+        StageSpec("x", cycles=-1, profile=LIGHT)
+    with pytest.raises(ValueError):
+        StageSpec("x", cycles=1e6, profile=LIGHT, kind="teleport")
+    with pytest.raises(ValueError):
+        SyntheticWorkload("w", stages=[])
+    with pytest.raises(ValueError):
+        SyntheticWorkload("w", stages=[
+            StageSpec("a", 1e6, LIGHT), StageSpec("a", 1e6, LIGHT),
+        ])
+
+
+def test_demand_sums_stages():
+    workload = _three_stage()
+    assert workload.total_cycles("sandybridge") == pytest.approx(15e6)
+    assert workload.mean_demand_seconds("sandybridge") == pytest.approx(
+        15e6 / 3.1e9
+    )
+    # Arch scaling applies.
+    assert workload.total_cycles("woodcrest") == pytest.approx(15e6 * 1.5)
+
+
+def test_end_to_end_run_with_accounting(sb_cal):
+    workload = _three_stage()
+    run = run_workload(
+        workload, SANDYBRIDGE, sb_cal,
+        load_fraction=0.5, duration=2.0, warmup=0.0, with_meter=False,
+    )
+    assert run.driver.completed > 30
+    done = [r for r in run.driver.results
+            if r.container.stats.cpu_seconds > 0]
+    # Every request's container accumulated all three stages' cycles.
+    for result in done[:10]:
+        jitter = result.container.meta["params"]["jitter"]
+        expected = workload.total_cycles("sandybridge", jitter)
+        assert result.container.stats.events.nonhalt_cycles == pytest.approx(
+            expected, rel=0.02
+        )
+        # DB stage's disk write was attributed.
+        assert result.container.stats.events.disk_bytes == pytest.approx(8192)
+
+
+def test_stage_breakdown_covers_all_kinds(sb_cal):
+    workload = _three_stage()
+    run = run_workload(
+        workload, SANDYBRIDGE, sb_cal,
+        load_fraction=0.3, duration=1.5, warmup=0.0, with_meter=False,
+    )
+    done = [r for r in run.driver.results
+            if r.container.stats.cpu_seconds > 0]
+    stages = set()
+    for result in done:
+        stages |= set(result.container.stats.stage_energy_joules)
+    assert any(s.startswith("my-api-worker") for s in stages)  # inline
+    assert any(s.startswith("my-api-db-thread") for s in stages)  # service
+    assert "render" in stages  # fork
+
+
+def test_validation_invariant_holds_for_synthetic(sb_cal):
+    workload = _three_stage()
+    run = run_workload(
+        workload, SANDYBRIDGE, sb_cal,
+        load_fraction=0.5, duration=2.0, warmup=0.0, with_meter=False,
+    )
+    run.machine.checkpoint()
+    measured = run.machine.integrator.active_joules
+    estimated = run.facility.registry.total_energy("recal")
+    assert estimated == pytest.approx(measured, rel=0.08)
+
+
+def test_single_inline_stage_minimal():
+    workload = SyntheticWorkload(
+        "tiny", stages=[StageSpec("only", cycles=1e6, profile=LIGHT)]
+    )
+    rng = np.random.default_rng(0)
+    spec = workload.sample_request(rng)
+    assert spec.rtype == "request"
+    assert spec.params["jitter"] > 0

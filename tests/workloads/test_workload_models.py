@@ -1,0 +1,169 @@
+"""Tests for the workload models' sampling, demands, and construction."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    GaeHybridWorkload,
+    GaeVosaoWorkload,
+    RsaCryptoWorkload,
+    SolrWorkload,
+    StressWorkload,
+    WeBWorKWorkload,
+    WORKLOADS,
+    workload_by_name,
+)
+
+
+def test_catalog_contains_paper_workloads():
+    assert set(WORKLOADS) == {
+        "rsa-crypto", "solr", "webwork", "stress", "gae-vosao", "gae-hybrid"
+    }
+
+
+def test_workload_by_name_unknown():
+    with pytest.raises(KeyError):
+        workload_by_name("minecraft")
+
+
+def test_catalog_returns_fresh_instances():
+    assert workload_by_name("solr") is not workload_by_name("solr")
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_demands_positive_on_all_arches(name):
+    workload = workload_by_name(name)
+    for arch in ("sandybridge", "westmere", "woodcrest"):
+        assert workload.mean_demand_seconds(arch) > 0
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_sampled_requests_have_known_types(name):
+    workload = workload_by_name(name)
+    rng = np.random.default_rng(0)
+    types = set(workload.request_types())
+    for _ in range(50):
+        spec = workload.sample_request(rng)
+        assert spec.rtype in types
+
+
+def test_rsa_mix_normalized_and_validated():
+    w = RsaCryptoWorkload(mix={"key-large": 2.0, "key-small": 2.0})
+    assert w.mix["key-large"] == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        RsaCryptoWorkload(mix={"key-colossal": 1.0})
+    with pytest.raises(ValueError):
+        RsaCryptoWorkload(mix={"key-large": 0.0})
+
+
+def test_rsa_large_key_costs_more_cycles():
+    w = RsaCryptoWorkload()
+    assert (
+        w.demand_cycles("key-large", "sandybridge")
+        > w.demand_cycles("key-medium", "sandybridge")
+        > w.demand_cycles("key-small", "sandybridge")
+    )
+
+
+def test_rsa_woodcrest_needs_many_more_cycles():
+    """RSA anchors the strong-affinity end of Fig. 13."""
+    w = RsaCryptoWorkload()
+    ratio = (
+        w.demand_cycles("key-large", "woodcrest")
+        / w.demand_cycles("key-large", "sandybridge")
+    )
+    assert ratio > 2.5
+
+
+def test_stress_woodcrest_cycles_shrink():
+    """Memory-bound work uses fewer cycles at a lower clock."""
+    w = StressWorkload()
+    assert (
+        w.demand_cycles(1.0, "woodcrest") < w.demand_cycles(1.0, "sandybridge")
+    )
+
+
+def test_stress_profile_has_hidden_power_everywhere():
+    from repro.workloads.stress import stress_profile
+    for arch in ("sandybridge", "westmere", "woodcrest"):
+        assert stress_profile(arch).hidden_watts > 0
+    # Strongest on Westmere, per the paper.
+    assert (
+        stress_profile("westmere").hidden_watts
+        > stress_profile("sandybridge").hidden_watts
+    )
+
+
+def test_solr_work_is_variable():
+    w = SolrWorkload()
+    rng = np.random.default_rng(1)
+    factors = [w.sample_request(rng).params["work_factor"] for _ in range(200)]
+    assert np.std(factors) > 0.5  # long-tailed work distribution
+
+
+def test_webwork_popular_requests_are_simpler():
+    w = WeBWorKWorkload()
+    rng = np.random.default_rng(2)
+    pops = [s for s in (w.sample_request(rng) for _ in range(300))
+            if s.rtype == "popular"]
+    stds = [s for s in (w.sample_request(rng) for _ in range(300))
+            if s.rtype == "standard"]
+    assert pops and stds
+    assert np.mean([s.params["difficulty"] for s in pops]) < np.mean(
+        [s.params["difficulty"] for s in stds]
+    )
+    # Popular problems mostly hit the image cache.
+    assert np.mean([s.params["image_cached"] for s in pops]) > 0.6
+
+
+def test_webwork_popular_only_mode():
+    w = WeBWorKWorkload(popular_only=True)
+    rng = np.random.default_rng(3)
+    for _ in range(50):
+        spec = w.sample_request(rng)
+        assert spec.rtype == "popular"
+        assert spec.params["problem_set"] < 10
+
+
+def test_webwork_popular_only_demand_is_lower():
+    assert (
+        WeBWorKWorkload(popular_only=True).mean_demand_seconds("sandybridge")
+        < WeBWorKWorkload().mean_demand_seconds("sandybridge")
+    )
+
+
+def test_gae_vosao_read_write_ratio():
+    w = GaeVosaoWorkload()
+    rng = np.random.default_rng(4)
+    types = [w.sample_request(rng).rtype for _ in range(2000)]
+    read_share = types.count("read") / len(types)
+    assert 0.85 < read_share < 0.95
+
+
+def test_gae_vosao_validates_parameters():
+    with pytest.raises(ValueError):
+        GaeVosaoWorkload(read_fraction=1.5)
+
+
+def test_gae_hybrid_virus_share_carries_half_the_load():
+    w = GaeHybridWorkload()
+    f = w._virus_request_fraction("sandybridge")
+    vosao = GaeVosaoWorkload().mean_demand_seconds("sandybridge")
+    virus_demand = w.demand_cycles("virus", 1.0, "sandybridge") / 3.10e9
+    virus_load = f * virus_demand
+    total_load = f * virus_demand + (1 - f) * vosao
+    assert virus_load / total_load == pytest.approx(0.5, abs=0.02)
+
+
+def test_gae_hybrid_validates_share():
+    with pytest.raises(ValueError):
+        GaeHybridWorkload(virus_load_share=1.0)
+
+
+def test_gae_hybrid_mean_demand_exceeds_vosao():
+    hybrid = GaeHybridWorkload()
+    vosao = GaeVosaoWorkload()
+    assert (
+        hybrid.mean_demand_seconds("sandybridge")
+        > vosao.mean_demand_seconds("sandybridge")
+    )
