@@ -1,0 +1,48 @@
+# Developer entry points. Every target is a thin alias for `python -m ci`,
+# so `make <target>` and GitHub Actions always agree on what "passing" means.
+
+PYTHON ?= python
+
+.PHONY: help lint fix docs test test-full examples bench determinism ci ci-fast
+
+help:
+	@echo "make lint         - stdlib AST lint (python -m ci lint)"
+	@echo "make fix          - lint with whitespace auto-fix"
+	@echo "make docs         - docs/README cross-reference check"
+	@echo "make test         - fast pytest lane (-m 'not slow')"
+	@echo "make test-full    - entire pytest suite"
+	@echo "make examples     - run every example in quick mode"
+	@echo "make bench        - regenerate every paper table/figure"
+	@echo "make determinism  - seeded double-run equality gate"
+	@echo "make ci           - the full merge gate"
+	@echo "make ci-fast      - lint + docs + fast tests + determinism"
+
+lint:
+	$(PYTHON) -m ci lint
+
+fix:
+	$(PYTHON) -m ci lint --fix
+
+docs:
+	$(PYTHON) -m ci docs
+
+test:
+	$(PYTHON) -m ci test
+
+test-full:
+	$(PYTHON) -m ci test --full
+
+examples:
+	$(PYTHON) -m ci examples
+
+bench:
+	$(PYTHON) -m ci bench
+
+determinism:
+	$(PYTHON) -m ci determinism
+
+ci:
+	$(PYTHON) -m ci all
+
+ci-fast:
+	$(PYTHON) -m ci all --fast

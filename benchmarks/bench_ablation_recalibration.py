@@ -17,9 +17,8 @@ workload region by validating coefficients stay physical.
 import numpy as np
 
 from repro.analysis import relative_error, render_table
-from repro.core import OnlineRecalibrator
 from repro.hardware import SANDYBRIDGE
-from repro.workloads import StressWorkload, run_workload
+from repro.workloads import StressWorkload
 
 
 def _run_with_weights(calibrations, offline_weight: float | None):

@@ -10,7 +10,7 @@ RSA-crypto request.
 import numpy as np
 
 from repro.analysis import render_table
-from repro.hardware import SANDYBRIDGE, WOODCREST, spec_by_name
+from repro.hardware import spec_by_name
 from repro.workloads import run_workload, workload_by_name
 
 WORKLOAD_NAMES = ("rsa-crypto", "solr", "webwork", "stress", "gae-vosao")

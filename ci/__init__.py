@@ -1,0 +1,22 @@
+"""Repository CI toolkit: ``python -m ci <lane>``.
+
+Stdlib-only quality gates for the Power Containers reproduction, runnable
+locally and from GitHub Actions with identical behavior:
+
+* ``lint``        -- AST-based static checks over src/tests/benchmarks/examples
+* ``docs``        -- cross-reference docs/README against the importable API
+* ``determinism`` -- run the same seeded experiment twice, demand bit-equality
+* ``test``        -- tier-1 pytest lane (``--full`` for the slow tests too)
+* ``examples``    -- every ``examples/*.py`` in quick mode, in a subprocess
+* ``bench``       -- the paper-figure benchmark suite
+* ``all``         -- the full merge gate (everything except ``bench``)
+
+The package is deliberately dependency-free (``ast``, ``subprocess``,
+``importlib`` only) so the lint/docs lanes run on a bare Python before the
+project's own requirements are installed.  It lives at the repository top
+level, outside ``src/``, and is never packaged or imported by ``repro``.
+"""
+
+from ci.report import CheckResult, Reporter
+
+__all__ = ["CheckResult", "Reporter"]

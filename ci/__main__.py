@@ -1,0 +1,8 @@
+"""``python -m ci`` entry point."""
+
+import sys
+
+from ci.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Determinism gate: the same seeded experiment twice, bit for bit.
+
+The whole reproduction rests on the simulator's promise that a given seed
+and schedule replay exactly (``repro.sim.engine``).  Accidental nondeterminism
+-- dict-ordering dependence, hidden global state, float accumulation-order
+changes -- would silently invalidate every paper figure while all
+shape-asserting tests still pass.  This lane:
+
+1. calibrates the same machine twice and demands identical coefficients;
+2. runs a short seeded Solr workload twice and demands identical request
+   counts, per-request energies, response times, and measured joules.
+
+Everything is compared with ``==`` on floats: the runs must be *identical*,
+not merely close.
+
+Run:  ``python -m ci determinism``
+"""
+
+from __future__ import annotations
+
+from ci.report import Finding
+
+#: Short but non-trivial: long enough to exercise scheduling, sockets,
+#: meters, recalibration, and tens of requests.
+_CAL_DURATION = 0.1
+_RUN_DURATION = 1.5
+
+
+def _run_once():
+    from repro.core import calibrate_machine
+    from repro.hardware import SANDYBRIDGE
+    from repro.workloads import SolrWorkload, run_workload
+
+    calibration = calibrate_machine(SANDYBRIDGE, duration=_CAL_DURATION)
+    run = run_workload(
+        SolrWorkload(), SANDYBRIDGE, calibration,
+        load_fraction=0.6, duration=_RUN_DURATION, warmup=0.2, seed=7,
+    )
+    primary = run.facility.primary
+    fingerprint = {
+        "coefficients": tuple(
+            (name, float(watts))
+            for name, watts in sorted(calibration.cmax_table().items())
+        ),
+        "idle_watts": calibration.idle_watts,
+        "n_requests": len(run.driver.results),
+        "energies": tuple(r.energy(primary) for r in run.driver.results),
+        "response_times": tuple(r.response_time for r in run.driver.results),
+        "measured_joules": run.measured_active_joules,
+    }
+    return fingerprint
+
+
+def run_determinism(root: str):
+    """Lane entry point -> (ok, findings, detail)."""
+    first = _run_once()
+    second = _run_once()
+    findings = []
+    for key in first:
+        if first[key] != second[key]:
+            findings.append(Finding(
+                "ci/determinism.py", 1, "NDET",
+                f"{key} differs between identically-seeded runs "
+                f"({first[key]!r:.80} vs {second[key]!r:.80})",
+            ))
+    detail = (f"{first['n_requests']} requests, "
+              f"{len(first['coefficients'])} coefficients compared")
+    return not findings, findings, detail

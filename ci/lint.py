@@ -1,0 +1,222 @@
+"""Stdlib-only AST lint for the repository.
+
+Not a style checker -- every rule here targets a class of bug that has no
+other automated guard in this repo:
+
+* ``E9``  syntax errors (file does not parse at all)
+* ``F401`` unused module-level import (dead dependency edges; skipped in
+  ``__init__.py`` where imports *are* the re-export surface)
+* ``F811`` duplicate def/class in one scope -- the classic silently-lost
+  test when two tests share a name
+* ``T100`` forgotten debugger hooks (``breakpoint()``, ``pdb.set_trace``)
+* ``W191`` tab indentation, ``W291`` trailing whitespace, ``W292`` missing
+  final newline (``--fix`` rewrites these three in place)
+* ``E501`` line longer than ``MAX_LINE`` characters
+
+Run:  ``python -m ci lint [--fix]``
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from ci.report import Finding
+
+MAX_LINE = 120
+
+#: Directories never scanned.
+SKIP_DIRS = {
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache", ".benchmarks",
+    "build", "dist", "results",
+}
+
+#: Decorators that make re-definition intentional.
+_REDEF_OK_DECORATORS = {"overload", "setter", "getter", "deleter", "register"}
+
+
+def iter_python_files(root: str) -> list[str]:
+    """Every tracked-looking ``.py`` file under ``root``, sorted."""
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.endswith(".egg-info")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def _decorator_names(node: ast.AST) -> set[str]:
+    names = set()
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _check_redefinitions(tree: ast.Module, relpath: str) -> list[Finding]:
+    """F811: two defs with one name in the same scope."""
+    findings = []
+    scopes = [tree] + [
+        n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
+    ]
+    for scope in scopes:
+        seen: dict[str, int] = {}
+        for node in scope.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if _decorator_names(node) & _REDEF_OK_DECORATORS:
+                continue
+            if node.name in seen:
+                findings.append(Finding(
+                    relpath, node.lineno, "F811",
+                    f"redefinition of {node.name!r} "
+                    f"(first defined at line {seen[node.name]}) -- "
+                    "the earlier definition is silently shadowed",
+                ))
+            seen[node.name] = node.lineno
+    return findings
+
+
+def _check_unused_imports(tree: ast.Module, relpath: str) -> list[Finding]:
+    """F401 on module-level imports (conservative: any textual use counts)."""
+    imported: dict[str, tuple[int, str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                imported[bound] = (node.lineno, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imported[bound] = (node.lineno, alias.name)
+    if not imported:
+        return []
+
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # `import a.b; a.b.c` -- the Name root is covered above.
+            used.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Forward-reference annotations and __all__ entries.
+            if node.value.isidentifier():
+                used.add(node.value)
+            else:
+                for part in node.value.replace(".", " ").split():
+                    if part.isidentifier():
+                        used.add(part)
+
+    findings = []
+    for bound, (lineno, target) in sorted(imported.items()):
+        if bound not in used:
+            findings.append(Finding(
+                relpath, lineno, "F401", f"{target!r} imported but unused",
+            ))
+    return findings
+
+
+def _check_debugger(tree: ast.Module, relpath: str) -> list[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id == "breakpoint":
+                findings.append(Finding(
+                    relpath, node.lineno, "T100", "breakpoint() left in code",
+                ))
+            elif (
+                isinstance(fn, ast.Attribute) and fn.attr == "set_trace"
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in ("pdb", "ipdb")
+            ):
+                findings.append(Finding(
+                    relpath, node.lineno, "T100",
+                    f"{fn.value.id}.set_trace() left in code",
+                ))
+    return findings
+
+
+def _check_text(source: str, relpath: str) -> list[Finding]:
+    findings = []
+    lines = source.splitlines()
+    for i, line in enumerate(lines, start=1):
+        stripped = line.rstrip("\n")
+        indent = stripped[: len(stripped) - len(stripped.lstrip())]
+        if "\t" in indent:
+            findings.append(Finding(relpath, i, "W191", "tab in indentation"))
+        if stripped != stripped.rstrip():
+            findings.append(Finding(relpath, i, "W291", "trailing whitespace"))
+        if len(stripped) > MAX_LINE:
+            findings.append(Finding(
+                relpath, i, "E501",
+                f"line too long ({len(stripped)} > {MAX_LINE})",
+            ))
+    if source and not source.endswith("\n"):
+        findings.append(Finding(
+            relpath, len(lines), "W292", "no newline at end of file",
+        ))
+    return findings
+
+
+def _fix_text(source: str) -> str:
+    """Rewrite the W191/W291/W292 classes; leave everything else alone."""
+    fixed_lines = []
+    for line in source.splitlines():
+        stripped = line.rstrip()
+        indent = stripped[: len(stripped) - len(stripped.lstrip())]
+        if "\t" in indent:
+            stripped = indent.replace("\t", "    ") + stripped.lstrip()
+        fixed_lines.append(stripped)
+    return "\n".join(fixed_lines) + "\n" if fixed_lines else source
+
+
+def lint_file(path: str, root: str, fix: bool = False) -> list[Finding]:
+    """All findings for one file (optionally auto-fixing whitespace)."""
+    relpath = os.path.relpath(path, root)
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+
+    findings = _check_text(source, relpath)
+    if fix and any(f.code in ("W191", "W291", "W292") for f in findings):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(_fix_text(source))
+        findings = [
+            f for f in findings if f.code not in ("W191", "W291", "W292")
+        ]
+
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        findings.append(Finding(
+            relpath, exc.lineno or 1, "E9", f"syntax error: {exc.msg}",
+        ))
+        return findings
+
+    findings.extend(_check_redefinitions(tree, relpath))
+    findings.extend(_check_debugger(tree, relpath))
+    if os.path.basename(path) != "__init__.py":
+        findings.extend(_check_unused_imports(tree, relpath))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code))
+
+
+def run_lint(root: str, fix: bool = False):
+    """Lane entry point -> (ok, findings, detail)."""
+    findings = []
+    files = iter_python_files(root)
+    for path in files:
+        findings.extend(lint_file(path, root, fix=fix))
+    return not findings, findings, f"{len(files)} files"

@@ -1,0 +1,68 @@
+"""Uniform finding/result reporting for CI lanes."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem located in one file."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.code}] {self.message}"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one CI lane."""
+
+    name: str
+    ok: bool
+    seconds: float
+    findings: list[Finding] = field(default_factory=list)
+    detail: str = ""
+
+
+class Reporter:
+    """Collects lane results and renders the final gate summary."""
+
+    def __init__(self) -> None:
+        self.results: list[CheckResult] = []
+
+    def run(self, name: str, fn) -> CheckResult:
+        """Time ``fn()`` -> (ok, findings, detail) and record the result."""
+        start = time.monotonic()
+        ok, findings, detail = fn()
+        result = CheckResult(
+            name=name, ok=ok, seconds=time.monotonic() - start,
+            findings=list(findings), detail=detail,
+        )
+        self.results.append(result)
+        status = "ok" if result.ok else "FAIL"
+        print(f"[ci] {name:<12} {status:>4}  ({result.seconds:.1f}s)"
+              + (f"  {detail}" if detail else ""))
+        for finding in result.findings:
+            print(f"       {finding.render()}")
+        return result
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def summary(self) -> str:
+        width = max((len(r.name) for r in self.results), default=4)
+        lines = ["", "CI gate summary", "-" * (width + 22)]
+        for r in self.results:
+            mark = "PASS" if r.ok else "FAIL"
+            extra = "" if r.ok else f"  ({len(r.findings)} finding(s))"
+            lines.append(f"  {r.name:<{width}}  {mark}  {r.seconds:7.1f}s{extra}")
+        lines.append("-" * (width + 22))
+        lines.append("gate: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""CI lane orchestration: subprocess lanes + the combined merge gate."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from ci.report import Finding, Reporter
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Examples executed by the ``examples`` lane, in README order.
+EXAMPLES = (
+    "quickstart.py",
+    "request_tracing.py",
+    "power_virus_isolation.py",
+    "heterogeneous_cluster.py",
+    "energy_billing.py",
+    "custom_service.py",
+)
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _subprocess_lane(argv: list[str], label: str, extra_env=None):
+    env = _env()
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.run(
+        argv, cwd=ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    if proc.returncode == 0:
+        return True, [], label
+    tail = "\n".join(proc.stdout.splitlines()[-30:])
+    print(tail)
+    return False, [Finding(
+        label, 0, "EXIT", f"exited with status {proc.returncode}",
+    )], label
+
+
+def run_tests(full: bool = False):
+    """tier-1 pytest lane; ``full`` includes tests marked ``slow``."""
+    argv = [sys.executable, "-m", "pytest", "tests", "-q",
+            "-p", "no:cacheprovider"]
+    if not full:
+        argv += ["-m", "not slow"]
+    label = "pytest tests" + ("" if full else " -m 'not slow'")
+    return _subprocess_lane(argv, label, extra_env={"CI": "true"})
+
+
+def run_bench():
+    """Regenerate every paper table/figure benchmark."""
+    argv = [sys.executable, "-m", "pytest", "benchmarks", "-q",
+            "-p", "no:cacheprovider"]
+    return _subprocess_lane(argv, "pytest benchmarks", extra_env={"CI": "true"})
+
+
+def run_examples():
+    """Every example script end-to-end in quick mode, each its own process."""
+    findings = []
+    for name in EXAMPLES:
+        path = os.path.join(ROOT, "examples", name)
+        ok, lane_findings, _ = _subprocess_lane(
+            [sys.executable, path], f"examples/{name}",
+            extra_env={"REPRO_QUICK": "1"},
+        )
+        if not ok:
+            findings.extend(lane_findings)
+    return not findings, findings, f"{len(EXAMPLES)} examples"
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m ci",
+        description=sys.modules["ci"].__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="lane", required=True)
+    lint_parser = sub.add_parser("lint", help="AST lint over the repository")
+    lint_parser.add_argument(
+        "--fix", action="store_true",
+        help="rewrite tab-indent/trailing-whitespace/final-newline findings",
+    )
+    sub.add_parser("docs", help="docs/README cross-reference check")
+    sub.add_parser("determinism", help="seeded double-run equality gate")
+    test_parser = sub.add_parser("test", help="tier-1 pytest lane")
+    test_parser.add_argument(
+        "--full", action="store_true", help="include tests marked slow",
+    )
+    sub.add_parser("examples", help="run every example in quick mode")
+    sub.add_parser("bench", help="regenerate the benchmark figures")
+    all_parser = sub.add_parser(
+        "all", help="the merge gate: lint + docs + tests + examples "
+                    "+ determinism",
+    )
+    all_parser.add_argument(
+        "--fast", action="store_true",
+        help="skip slow tests and the examples lane",
+    )
+    args = parser.parse_args(argv)
+
+    reporter = Reporter()
+    if args.lane == "lint":
+        reporter.run("lint", lambda: run_lint_lane(fix=args.fix))
+    elif args.lane == "docs":
+        reporter.run("docs", run_docs_lane)
+    elif args.lane == "determinism":
+        reporter.run("determinism", run_determinism_lane)
+    elif args.lane == "test":
+        reporter.run("test", lambda: run_tests(full=args.full))
+    elif args.lane == "examples":
+        reporter.run("examples", run_examples)
+    elif args.lane == "bench":
+        reporter.run("bench", run_bench)
+    elif args.lane == "all":
+        reporter.run("lint", run_lint_lane)
+        reporter.run("docs", run_docs_lane)
+        reporter.run("test", lambda: run_tests(full=not args.fast))
+        if not args.fast:
+            reporter.run("examples", run_examples)
+        reporter.run("determinism", run_determinism_lane)
+
+    print(reporter.summary())
+    return 0 if reporter.ok else 1
+
+
+def run_lint_lane(fix: bool = False):
+    from ci.lint import run_lint
+
+    return run_lint(ROOT, fix=fix)
+
+
+def run_docs_lane():
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from ci.docscheck import run_docscheck
+
+    return run_docscheck(ROOT)
+
+
+def run_determinism_lane():
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from ci.determinism import run_determinism
+
+    return run_determinism(ROOT)

@@ -10,6 +10,7 @@ request, and exports the per-request records to CSV for plotting.
 Run:  python examples/custom_service.py
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -23,6 +24,12 @@ DB = RateProfile(name="db", ipc=0.8, cache_per_cycle=0.012,
                  mem_per_cycle=0.005)
 RENDER = RateProfile(name="render", ipc=1.3, flops_per_cycle=0.4,
                      cache_per_cycle=0.006)
+
+
+
+# REPRO_QUICK=1 (set by the CI examples lane) shrinks simulated durations
+# so every example still runs end-to-end but finishes in seconds.
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
 
 
 def main() -> None:
@@ -39,11 +46,11 @@ def main() -> None:
     )
 
     print("calibrating SandyBridge ...")
-    calibration = calibrate_machine(SANDYBRIDGE, duration=0.25)
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.1 if QUICK else 0.25)
     print("serving my-api at 60% load for 4 simulated seconds ...")
     run = run_workload(
         workload, SANDYBRIDGE, calibration,
-        load_fraction=0.6, duration=4.0, warmup=0.0,
+        load_fraction=0.6, duration=1.5 if QUICK else 4.0, warmup=0.0,
     )
 
     print(f"\ncompleted {run.driver.completed} requests; measured "

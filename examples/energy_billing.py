@@ -14,6 +14,8 @@ prints the energy bill plus the anomaly reports.
 Run:  python examples/energy_billing.py
 """
 
+import os
+
 from repro.core import (
     ClientEnergyLedger,
     DetectingConditionerBridge,
@@ -26,14 +28,20 @@ from repro.workloads import GaeHybridWorkload, run_workload
 TENANTS = ("alice", "bob", "carol")
 
 
+
+# REPRO_QUICK=1 (set by the CI examples lane) shrinks simulated durations
+# so every example still runs end-to-end but finishes in seconds.
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
 def main() -> None:
     print("calibrating SandyBridge ...")
-    calibration = calibrate_machine(SANDYBRIDGE, duration=0.25)
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.1 if QUICK else 0.25)
 
     detector = PowerAnomalyDetector()
     run = run_workload(
         GaeHybridWorkload(), SANDYBRIDGE, calibration,
-        load_fraction=0.6, duration=6.0, warmup=0.0,
+        load_fraction=0.6, duration=2.0 if QUICK else 6.0, warmup=0.0,
         conditioner_factory=lambda kernel: DetectingConditionerBridge(
             detector, kernel.simulator
         ),

@@ -12,6 +12,8 @@ machine or workload heterogeneity.
 Run:  python examples/heterogeneous_cluster.py
 """
 
+import os
+
 from repro.core import calibrate_machine
 from repro.hardware import SANDYBRIDGE, WOODCREST
 from repro.server import (
@@ -24,8 +26,13 @@ from repro.server import (
 from repro.sim import RngHub
 from repro.workloads import GaeVosaoWorkload, RsaCryptoWorkload
 
-DURATION = 10.0
-WARMUP = 2.0
+
+# REPRO_QUICK=1 (set by the CI examples lane) shrinks simulated durations
+# so every example still runs end-to-end but finishes in seconds.
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+DURATION = 4.0 if QUICK else 10.0
+WARMUP = 1.0 if QUICK else 2.0
 
 
 def run_policy(name, policy, calibrations):
@@ -79,7 +86,7 @@ def run_policy(name, policy, calibrations):
 def main() -> None:
     print("calibrating both machines ...")
     calibrations = {
-        spec.name: calibrate_machine(spec, duration=0.25)
+        spec.name: calibrate_machine(spec, duration=0.1 if QUICK else 0.25)
         for spec in (SANDYBRIDGE, WOODCREST)
     }
     totals = {}

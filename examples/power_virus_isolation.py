@@ -12,12 +12,19 @@ run at almost full speed.
 Run:  python examples/power_virus_isolation.py
 """
 
+import os
+
 from repro.analysis import run_conditioning_experiment
 from repro.core import calibrate_machine
 from repro.hardware import SANDYBRIDGE
 
-DURATION = 12.0
-VIRUS_START = 6.0
+
+# REPRO_QUICK=1 (set by the CI examples lane) shrinks simulated durations
+# so every example still runs end-to-end but finishes in seconds.
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+DURATION = 4.0 if QUICK else 12.0
+VIRUS_START = 2.0 if QUICK else 6.0
 
 
 def sparkline(values, lo, hi, width=60):
@@ -35,7 +42,7 @@ def sparkline(values, lo, hi, width=60):
 
 def main() -> None:
     print("calibrating SandyBridge ...")
-    calibration = calibrate_machine(SANDYBRIDGE, duration=0.25)
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.1 if QUICK else 0.25)
 
     outcomes = {}
     for conditioned in (False, True):

@@ -11,6 +11,8 @@
 Run:  python examples/quickstart.py
 """
 
+import os
+
 import numpy as np
 
 from repro.analysis import relative_error
@@ -19,18 +21,26 @@ from repro.hardware import SANDYBRIDGE
 from repro.workloads import SolrWorkload, run_workload
 
 
+
+# REPRO_QUICK=1 (set by the CI examples lane) shrinks simulated durations
+# so every example still runs end-to-end but finishes in seconds.
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
 def main() -> None:
     print("== 1. Offline calibration (Section 4.1 microbenchmarks) ==")
-    calibration = calibrate_machine(SANDYBRIDGE, duration=0.25)
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.1 if QUICK else 0.25)
     table = calibration.cmax_table()
     for name, watts in table.items():
         print(f"   C*Mmax[{name:10s}] = {watts:6.2f} W")
     print(f"   idle power           = {calibration.idle_watts:6.2f} W")
 
-    print("\n== 2+3. Serve Solr at half load for 4 simulated seconds ==")
+    duration = 1.0 if QUICK else 4.0
+    print(f"\n== 2+3. Serve Solr at half load for {duration:.0f} simulated "
+          "second(s) ==")
     run = run_workload(
         SolrWorkload(), SANDYBRIDGE, calibration,
-        load_fraction=0.5, duration=4.0, warmup=0.0,
+        load_fraction=0.5, duration=duration, warmup=0.0,
     )
     results = run.driver.results
     print(f"   completed requests : {len(results)}")

@@ -11,6 +11,8 @@ power/energy attributed at each point, like the paper's Fig. 4 annotations.
 Run:  python examples/request_tracing.py
 """
 
+import os
+
 from repro.core import PowerContainerFacility, calibrate_machine
 from repro.hardware import SANDYBRIDGE, build_machine
 from repro.kernel import ContextTag, Kernel, Message
@@ -19,9 +21,15 @@ from repro.sim import Simulator, TraceRecorder
 from repro.workloads import WeBWorKWorkload
 
 
+
+# REPRO_QUICK=1 (set by the CI examples lane) shrinks simulated durations
+# so every example still runs end-to-end but finishes in seconds.
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
 def main() -> None:
     print("calibrating SandyBridge ...")
-    calibration = calibrate_machine(SANDYBRIDGE, duration=0.25)
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.1 if QUICK else 0.25)
 
     sim = Simulator()
     machine = build_machine(SANDYBRIDGE, sim)

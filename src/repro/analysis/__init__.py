@@ -30,6 +30,7 @@ from repro.analysis.export import (
     write_csv,
 )
 from repro.analysis.sweeps import SweepPoint, load_sweep, machine_sweep
+from repro.analysis.distribution_experiment import run_all_distribution_policies
 
 __all__ = [
     "distribution_histogram",
@@ -55,4 +56,5 @@ __all__ = [
     "SweepPoint",
     "load_sweep",
     "machine_sweep",
+    "run_all_distribution_policies",
 ]

@@ -9,12 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.calibration import CalibrationResult
 from repro.hardware.events import RateProfile
 from repro.hardware.specs import MachineSpec, build_machine
-from repro.kernel import Compute, Kernel, Sleep
+from repro.kernel import Compute, Kernel
 from repro.sim.engine import Simulator
 from repro.workloads.base import Workload, WorkloadRun, run_workload
 

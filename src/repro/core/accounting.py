@@ -116,7 +116,12 @@ class CoreAccountant:
         snapshot = self.core.counters.read()
         dt = now - self._last_time
         if dt <= 0.0:
+            # Empty interval: re-baseline.  The snapshot already contains any
+            # maintenance events injected by a sample at this same instant, so
+            # the pending correction must reset with it or the next interval
+            # would subtract overhead that the new baseline already absorbed.
             self._last_events = snapshot
+            self._pending_overhead_ops = 0
             return None
         if not self.occupied:
             # Idle interval: nothing ran, nothing to attribute, and no

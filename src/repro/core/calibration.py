@@ -18,7 +18,7 @@ here -- that is the model error the online recalibration later removes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator
+from typing import Generator
 
 import numpy as np
 

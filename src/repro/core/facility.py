@@ -22,7 +22,7 @@ tag the injected request message with its id, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
@@ -34,9 +34,7 @@ from repro.core.chipshare import ChipShareEstimator
 from repro.core.container import PowerContainer
 from repro.core.model import (
     FEATURES_EQ1,
-    FEATURES_EQ2,
     FEATURES_FULL,
-    MetricSample,
     PowerModel,
 )
 from repro.core.recalibration import OnlineRecalibrator

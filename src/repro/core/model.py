@@ -20,7 +20,7 @@ which online recalibration (Section 3.2) uses to swap in refitted values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

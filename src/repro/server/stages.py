@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Optional
 
-from repro.core.facility import PowerContainerFacility
 from repro.kernel import Endpoint, Kernel, Message, Recv, Send, SocketPair
 
 

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.facility import PowerContainerFacility
 from repro.hardware.events import RateProfile
-from repro.kernel import Endpoint, Kernel, Message, SocketPair
+from repro.kernel import Kernel, Message
 from repro.server.eventdriven import EventDrivenServer
 from repro.server.stages import CallbackEndpoint
 from repro.workloads.base import RequestSpec, Workload

@@ -25,7 +25,7 @@ distribution) works on synthetic workloads unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,6 +9,8 @@ from repro.analysis.conditioning_experiment import (
 )
 from repro.hardware import SANDYBRIDGE
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def short_runs(sb_cal):

@@ -2,9 +2,11 @@
 
 import pytest
 
-from repro.analysis.sweeps import SweepPoint, load_sweep, machine_sweep
+from repro.analysis.sweeps import load_sweep, machine_sweep
 from repro.hardware import SANDYBRIDGE, WOODCREST
 from repro.workloads import SolrWorkload
+
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

@@ -20,6 +20,8 @@ from repro.workloads import (
     StressWorkload,
 )
 
+pytestmark = pytest.mark.slow
+
 
 def test_validation_outcome_structure(sb_cal):
     outcome = validate_workload(

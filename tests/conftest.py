@@ -1,0 +1,32 @@
+"""Suite-wide test configuration: hypothesis profiles and test tiers.
+
+Two hypothesis profiles keep property tests useful locally and
+reproducible in CI:
+
+* ``dev`` (default) -- hypothesis explores fresh random examples every run,
+  maximizing the chance of finding new counterexamples at your desk;
+* ``ci`` -- derandomized, so a CI verdict is a pure function of the tree and
+  a red run always reproduces locally with ``HYPOTHESIS_PROFILE=ci``.
+
+The profile is chosen by ``HYPOTHESIS_PROFILE``, falling back to ``ci``
+whenever the standard ``CI`` environment variable is set (GitHub Actions
+sets it, and so does ``python -m ci test``).
+
+The ``slow`` marker (registered in ``pyproject.toml``) tiers the suite:
+``pytest -m "not slow"`` is the fast merge lane, the unmarked default runs
+everything.
+"""
+
+import os
+
+from hypothesis import settings
+
+# Explicit field values: a bare settings() would inherit from whatever
+# profile hypothesis auto-loaded (its own "ci" profile when $CI is set),
+# making "dev" silently derandomized on CI machines.
+settings.register_profile("dev", derandomize=False)
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE")
+    or ("ci" if os.environ.get("CI") else "dev")
+)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ObserverEffect, PowerContainerFacility
-from repro.core.facility import default_approaches
 from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
 from repro.kernel import Compute, Kernel, Sleep
 from repro.sim import Simulator
@@ -189,6 +188,37 @@ def test_refcount_released_after_completion(sb_cal):
     sim.run_until(0.05)
     facility.complete_request(c)
     assert c.closed  # worker exited (decref) + driver release
+
+
+def test_coincident_samples_do_not_double_subtract_observer(sb_cal):
+    """Regression: two samples at the same instant must not leak one
+    maintenance op's worth of cycles.
+
+    ``sample()`` at ``dt == 0`` re-baselines the counters to a snapshot that
+    already contains the maintenance events injected by a sample at that
+    same timestamp.  The pending observer correction must reset with the
+    baseline, or the next real interval subtracts 2948 cycles of genuine
+    request work (the bug hypothesis found via interleaved socket segments
+    whose compute end coincided with an overflow interrupt).
+    """
+    from repro.hardware import EventVector
+
+    sim, machine, kernel, facility = _world(sb_cal)
+    accountant = facility.accountants[0]
+    core = machine.cores[0]
+    container = facility.create_request_container("r")
+    work = EventVector(nonhalt_cycles=1e6, instructions=1e6)
+
+    accountant.sample_and_rebind(0.0, container.id, occupied=True)
+    core.inject_events(work.copy())
+    accountant.sample(1e-3)   # attributes work, then injects maintenance
+    accountant.sample(1e-3)   # coincident: re-baselines over the injection
+    core.inject_events(work.copy())
+    accountant.sample(2e-3)
+
+    assert container.stats.events.nonhalt_cycles == pytest.approx(
+        2e6, abs=1.0
+    )
 
 
 def test_observer_effect_event_vector_scales():

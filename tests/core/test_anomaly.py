@@ -102,6 +102,7 @@ def test_report_str_is_informative():
     assert "gae:virus" in text and "22.0" in text
 
 
+@pytest.mark.slow
 def test_bridge_detects_viruses_in_live_run(sb_cal):
     """End-to-end: the bridge on a GAE-Hybrid run flags virus containers
     and not Vosao containers."""

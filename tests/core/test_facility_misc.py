@@ -66,6 +66,7 @@ def test_start_tracing_idempotent(sb_cal):
     assert 8 <= len(facility.trace) <= 11
 
 
+@pytest.mark.slow
 def test_westmere_chip_share_under_churn():
     """On the 12-core Westmere with tasks arriving and departing every few
     milliseconds, stale mailbox samples and the idle-task check must still

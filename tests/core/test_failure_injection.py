@@ -6,7 +6,6 @@ pathological shapes; the accounting layer must keep producing sane numbers
 """
 
 import numpy as np
-import pytest
 
 from repro.core import PowerContainerFacility
 from repro.hardware import (

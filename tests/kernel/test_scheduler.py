@@ -4,7 +4,7 @@ import pytest
 
 from repro.hardware import WOODCREST, build_machine
 from repro.kernel import Compute, Kernel
-from repro.sim import Simulator, TraceRecorder
+from repro.sim import Simulator
 from tests.kernel.conftest import SPIN
 
 

@@ -17,7 +17,7 @@ from repro.kernel import (
     SocketPair,
     WaitChild,
 )
-from repro.sim import Simulator, TraceRecorder
+from repro.sim import Simulator
 from tests.kernel.conftest import SPIN
 
 

@@ -13,6 +13,8 @@ from repro.hardware import SANDYBRIDGE, WOODCREST
 from repro.sim import RngHub
 from repro.workloads import GaeVosaoWorkload, RsaCryptoWorkload
 
+pytestmark = pytest.mark.slow
+
 
 def _cluster(sb_cal, wc_cal):
     cluster = HeterogeneousCluster()

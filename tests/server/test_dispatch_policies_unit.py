@@ -1,6 +1,5 @@
 """Unit tests for dispatch policy decision logic (no full cluster runs)."""
 
-import pytest
 
 from repro.server.dispatch import (
     MachineHeterogeneityAwarePolicy,

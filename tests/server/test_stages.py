@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PowerContainerFacility, calibrate_machine
+from repro.core import PowerContainerFacility
 from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
 from repro.kernel import Compute, ContextTag, Kernel, Message, Recv, Send
 from repro.server import Server, SubService

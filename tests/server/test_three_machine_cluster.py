@@ -13,6 +13,8 @@ from repro.server import (
 from repro.sim import RngHub
 from repro.workloads import SolrWorkload
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def wm_cal():

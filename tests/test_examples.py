@@ -1,0 +1,46 @@
+"""Smoke-run every README example in quick mode.
+
+Examples are the first code a new user runs, and nothing else imports
+them -- without this lane they only break in public.  Each script runs in
+its own interpreter (as a user would run it) with ``REPRO_QUICK=1`` so the
+whole matrix stays in CI budget.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(ROOT, "examples")
+
+
+def _example_scripts():
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+
+
+def test_every_example_is_covered():
+    """A new example file automatically joins the parametrized run below."""
+    assert _example_scripts(), "examples/ directory is empty?"
+
+
+@pytest.mark.parametrize("script", _example_scripts())
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["REPRO_QUICK"] = "1"
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        cwd=ROOT, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited with {proc.returncode}:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"

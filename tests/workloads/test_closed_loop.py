@@ -9,6 +9,8 @@ from repro.kernel import Kernel
 from repro.sim import Simulator
 from repro.workloads import ClosedLoopDriver, SolrWorkload
 
+pytestmark = pytest.mark.slow
+
 
 def _world(sb_cal, n_clients, think=0.01):
     sim = Simulator()

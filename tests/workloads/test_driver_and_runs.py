@@ -11,8 +11,9 @@ from repro.workloads import (
     SolrWorkload,
     WeBWorKWorkload,
     run_workload,
-    workload_by_name,
 )
+
+pytestmark = pytest.mark.slow
 
 
 def test_driver_completes_requests_and_records_latency(sb_cal):

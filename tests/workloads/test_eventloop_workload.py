@@ -6,6 +6,8 @@ from repro.hardware import SANDYBRIDGE
 from repro.workloads import run_workload
 from repro.workloads.eventloop import EventDrivenSolrWorkload
 
+pytestmark = pytest.mark.slow
+
 
 def test_event_driven_workload_end_to_end(sb_cal):
     run = run_workload(
