@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: help lint fix docs test test-full examples bench determinism ci ci-fast
+.PHONY: help lint fix docs test test-full examples bench chaos determinism ci ci-fast
 
 help:
 	@echo "make lint         - stdlib AST lint (python -m ci lint)"
@@ -13,6 +13,7 @@ help:
 	@echo "make test-full    - entire pytest suite"
 	@echo "make examples     - run every example in quick mode"
 	@echo "make bench        - regenerate every paper table/figure"
+	@echo "make chaos        - fault-injection scenarios + invariants"
 	@echo "make determinism  - seeded double-run equality gate"
 	@echo "make ci           - the full merge gate"
 	@echo "make ci-fast      - lint + docs + fast tests + determinism"
@@ -37,6 +38,9 @@ examples:
 
 bench:
 	$(PYTHON) -m ci bench
+
+chaos:
+	$(PYTHON) -m ci chaos
 
 determinism:
 	$(PYTHON) -m ci determinism

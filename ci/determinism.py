@@ -8,7 +8,10 @@ shape-asserting tests still pass.  This lane:
 
 1. calibrates the same machine twice and demands identical coefficients;
 2. runs a short seeded Solr workload twice and demands identical request
-   counts, per-request energies, response times, and measured joules.
+   counts, per-request energies, response times, and measured joules;
+3. runs representative chaos scenarios (``repro.faults``) twice and demands
+   bit-identical report fingerprints -- fault injection draws randomness
+   too, and a chaos run that cannot replay cannot be debugged.
 
 Everything is compared with ``==`` on floats: the runs must be *identical*,
 not merely close.
@@ -51,6 +54,23 @@ def _run_once():
     return fingerprint
 
 
+#: Chaos scenarios double-run by the gate: one metered single-machine
+#: scenario (meter faults + guards) and the cluster crash/failover path.
+_CHAOS_SCENARIOS = ("meter-nan-burst", "cluster-crash")
+_CHAOS_SEED = 42
+
+
+def _chaos_fingerprints() -> dict[str, str]:
+    from repro.faults import run_scenario, scenario_by_name
+
+    return {
+        name: run_scenario(
+            scenario_by_name(name), seed=_CHAOS_SEED
+        ).fingerprint()
+        for name in _CHAOS_SCENARIOS
+    }
+
+
 def run_determinism(root: str):
     """Lane entry point -> (ok, findings, detail)."""
     first = _run_once()
@@ -63,6 +83,16 @@ def run_determinism(root: str):
                 f"{key} differs between identically-seeded runs "
                 f"({first[key]!r:.80} vs {second[key]!r:.80})",
             ))
+    chaos_first = _chaos_fingerprints()
+    chaos_second = _chaos_fingerprints()
+    for name in _CHAOS_SCENARIOS:
+        if chaos_first[name] != chaos_second[name]:
+            findings.append(Finding(
+                "ci/determinism.py", 1, "NDET",
+                f"chaos scenario {name!r} fingerprint differs between "
+                f"identically-seeded runs",
+            ))
     detail = (f"{first['n_requests']} requests, "
-              f"{len(first['coefficients'])} coefficients compared")
+              f"{len(first['coefficients'])} coefficients, "
+              f"{len(_CHAOS_SCENARIOS)} chaos fingerprints compared")
     return not findings, findings, detail

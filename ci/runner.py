@@ -62,6 +62,13 @@ def run_bench():
     return _subprocess_lane(argv, "pytest benchmarks", extra_env={"CI": "true"})
 
 
+def run_chaos():
+    """Chaos lane: every fault scenario must pass its invariants."""
+    argv = [sys.executable, "-m", "repro", "chaos", "--all", "--seed", "42"]
+    return _subprocess_lane(argv, "repro chaos --all --seed 42",
+                            extra_env={"CI": "true"})
+
+
 def run_examples():
     """Every example script end-to-end in quick mode, each its own process."""
     findings = []
@@ -97,9 +104,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub.add_parser("examples", help="run every example in quick mode")
     sub.add_parser("bench", help="regenerate the benchmark figures")
+    sub.add_parser("chaos", help="fault-injection scenarios + invariants")
     all_parser = sub.add_parser(
         "all", help="the merge gate: lint + docs + tests + examples "
-                    "+ determinism",
+                    "+ chaos + determinism",
     )
     all_parser.add_argument(
         "--fast", action="store_true",
@@ -120,12 +128,15 @@ def main(argv: list[str] | None = None) -> int:
         reporter.run("examples", run_examples)
     elif args.lane == "bench":
         reporter.run("bench", run_bench)
+    elif args.lane == "chaos":
+        reporter.run("chaos", run_chaos)
     elif args.lane == "all":
         reporter.run("lint", run_lint_lane)
         reporter.run("docs", run_docs_lane)
         reporter.run("test", lambda: run_tests(full=not args.fast))
         if not args.fast:
             reporter.run("examples", run_examples)
+            reporter.run("chaos", run_chaos)
         reporter.run("determinism", run_determinism_lane)
 
     print(reporter.summary())

@@ -183,6 +183,41 @@ def cmd_distribution(_args) -> None:
     ))
 
 
+def cmd_chaos(args) -> int:
+    """Run chaos scenarios: seeded faults + invariant checks (robustness)."""
+    from repro.faults import SCENARIOS, run_scenario, scenario_by_name
+
+    if args.all or not args.scenario:
+        scenarios = list(SCENARIOS)
+    else:
+        scenarios = [scenario_by_name(name) for name in args.scenario]
+    failures = 0
+    rows = []
+    for scenario in scenarios:
+        report = run_scenario(
+            scenario, seed=args.seed, duration_scale=args.duration_scale
+        )
+        rows.append([
+            scenario.name,
+            "PASS" if report.passed else "FAIL",
+            report.stats.get("completed", 0.0),
+            report.stats.get("relative_error", float("nan")) * 100,
+            len(report.violations),
+        ])
+        if args.fingerprints:
+            print(report.fingerprint())
+            print()
+        for violation in report.violations:
+            print(f"  {scenario.name}: {violation}")
+        failures += 0 if report.passed else 1
+    print(render_table(
+        ["scenario", "result", "requests", "energy err %", "violations"],
+        rows, title=f"chaos scenarios (seed {args.seed})",
+        float_format="{:.1f}",
+    ))
+    return 1 if failures else 0
+
+
 COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig01": (cmd_fig01, "Fig. 1: incremental per-core power"),
     "calibration": (cmd_calibration, "Sec. 4.1: calibration table"),
@@ -191,6 +226,7 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "ratios": (cmd_ratios, "Fig. 13: cross-machine energy ratios"),
     "distribution": (cmd_distribution, "Fig. 14/Table 1: dispatch policies"),
     "sweep": (cmd_sweep, "load sweep of one workload on one machine"),
+    "chaos": (cmd_chaos, "chaos scenarios: seeded faults + invariant checks"),
 }
 
 
@@ -219,14 +255,32 @@ def main(argv: list[str] | None = None) -> int:
                 choices=("sandybridge", "woodcrest", "westmere"),
             )
             cmd_parser.add_argument("--workload", default="solr")
+        elif name == "chaos":
+            cmd_parser.add_argument(
+                "--all", action="store_true",
+                help="run every scenario (default when none named)",
+            )
+            cmd_parser.add_argument(
+                "--scenario", nargs="+", default=[],
+                help="specific scenario names to run",
+            )
+            cmd_parser.add_argument("--seed", type=int, default=42)
+            cmd_parser.add_argument(
+                "--duration-scale", type=float, default=1.0,
+                help="scale every scenario's duration (and fault windows)",
+            )
+            cmd_parser.add_argument(
+                "--fingerprints", action="store_true",
+                help="print each report's canonical fingerprint",
+            )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         rows = [[name, help_text] for name, (_f, help_text) in COMMANDS.items()]
         print(render_table(["experiment", "description"], rows,
                            title="available experiments"))
         return 0
-    COMMANDS[args.command][0](args)
-    return 0
+    result = COMMANDS[args.command][0](args)
+    return int(result) if result else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

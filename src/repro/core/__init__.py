@@ -24,14 +24,18 @@ from repro.core.chipshare import ChipShareEstimator
 from repro.core.container import ContainerStats, PowerContainer
 from repro.core.registry import BACKGROUND_CONTAINER_ID, ContainerRegistry
 from repro.core.alignment import align_series, cross_correlation, estimate_delay
-from repro.core.recalibration import OnlineRecalibrator
+from repro.core.recalibration import OnlineRecalibrator, RecalibrationGuard
 from repro.core.calibration import (
     CalibrationResult,
     calibrate_machine,
     calibration_microbenchmarks,
 )
 from repro.core.accounting import CoreAccountant, ObserverEffect
-from repro.core.facility import ApproachConfig, PowerContainerFacility
+from repro.core.facility import (
+    ApproachConfig,
+    FacilityHealth,
+    PowerContainerFacility,
+)
 from repro.core.conditioning import PowerConditioner
 from repro.core.distribution import EnergyProfileTable
 from repro.core.anomaly import (
@@ -57,12 +61,14 @@ __all__ = [
     "cross_correlation",
     "estimate_delay",
     "OnlineRecalibrator",
+    "RecalibrationGuard",
     "CalibrationResult",
     "calibrate_machine",
     "calibration_microbenchmarks",
     "CoreAccountant",
     "ObserverEffect",
     "ApproachConfig",
+    "FacilityHealth",
     "PowerContainerFacility",
     "PowerConditioner",
     "EnergyProfileTable",

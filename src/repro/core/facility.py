@@ -37,7 +37,7 @@ from repro.core.model import (
     FEATURES_FULL,
     PowerModel,
 )
-from repro.core.recalibration import OnlineRecalibrator
+from repro.core.recalibration import OnlineRecalibrator, RecalibrationGuard
 from repro.core.registry import ContainerRegistry
 from repro.hardware.core import Core
 from repro.hardware.counters import wrapped_delta
@@ -85,6 +85,38 @@ class ModelTracePoint:
     watts: float  # primary-model machine active power estimate
 
 
+@dataclass
+class FacilityHealth:
+    """Self-healing counters one facility exposes (Section 3.2 hardening).
+
+    ``meter_state`` is ``"ok"`` while fresh meter samples keep arriving and
+    ``"stale"`` after the staleness timeout expires: the facility then
+    freezes the live models on their last-good coefficients and suspends
+    recalibration until samples resume (``meter_fallbacks`` /
+    ``meter_recoveries`` count the transitions).  ``rejected_meter_samples``
+    counts delivered readings discarded for being non-finite;
+    ``untagged_segments`` counts received segments whose in-band context tag
+    was missing -- work that is routed to the background container instead
+    of crashing or mis-charging a stale binding.
+    """
+
+    meter_state: str = "ok"
+    meter_fallbacks: int = 0
+    meter_recoveries: int = 0
+    rejected_meter_samples: int = 0
+    untagged_segments: int = 0
+
+    def export_stats(self) -> dict[str, float]:
+        """Counters as a flat dict (stable keys, float values)."""
+        return {
+            "meter_ok": 1.0 if self.meter_state == "ok" else 0.0,
+            "meter_fallbacks": float(self.meter_fallbacks),
+            "meter_recoveries": float(self.meter_recoveries),
+            "rejected_meter_samples": float(self.rejected_meter_samples),
+            "untagged_segments": float(self.untagged_segments),
+        }
+
+
 class PowerContainerFacility(KernelHooks):
     """Power containers for one machine (attaches itself to the kernel)."""
 
@@ -105,6 +137,9 @@ class PowerContainerFacility(KernelHooks):
         os_subsample: float = 1e-3,
         record_power_history: bool = False,
         track_user_level_stages: bool = True,
+        recalibration_guard: bool = True,
+        meter_staleness_timeout: Optional[float] = None,
+        route_untagged_to_background: bool = False,
     ) -> None:
         self.kernel = kernel
         self.machine = kernel.machine
@@ -136,6 +171,7 @@ class PowerContainerFacility(KernelHooks):
                     model,
                     calibration.samples[:, indexes],
                     calibration.active_watts,
+                    guard=RecalibrationGuard() if recalibration_guard else None,
                 )
 
         #: Full-feature model used to attribute peripheral I/O energy.
@@ -173,7 +209,22 @@ class PowerContainerFacility(KernelHooks):
         #: When true, estimated_delay_samples was set externally (ablation)
         #: and must not be re-estimated.
         self._delay_pinned = False
-        self._meter_consumed = 0
+        #: Delivery-time watermark of meter samples already consumed.  A
+        #: watermark (rather than a list index) stays correct when faults
+        #: duplicate samples or deliver them out of order.
+        self._meter_consumed_until = 0.0
+
+        # --- self-healing guards (robustness hardening) -----------------
+        self.health = FacilityHealth()
+        self.route_untagged_to_background = route_untagged_to_background
+        if meter_staleness_timeout is not None:
+            self.meter_staleness_timeout = meter_staleness_timeout
+        elif meter is not None:
+            self.meter_staleness_timeout = max(
+                4.0 * (meter.period + meter.delay), 2.0 * recalib_interval
+            )
+        else:
+            self.meter_staleness_timeout = float("inf")
         self._tick_chip_active = [0] * len(self.machine.chips)
         self._tick_disk = 0
         self._tick_net = 0
@@ -286,8 +337,37 @@ class PowerContainerFacility(KernelHooks):
     def _recalib_tick(self) -> None:
         if not self._tracing:
             return
-        self._run_recalibration()
+        self._check_meter_health()
+        if self.health.meter_state == "ok":
+            self._run_recalibration()
         self.simulator.schedule(self.recalib_interval, self._recalib_tick)
+
+    def _check_meter_health(self) -> None:
+        """Meter-health watchdog: detect staleness, fall back, re-arm.
+
+        When no sample has been delivered for ``meter_staleness_timeout``
+        seconds the meter is declared stale: live recalibrated models are
+        rolled back to their last-good coefficients (the offline fit if no
+        refit was ever accepted) and recalibration is suspended.  The state
+        flips back automatically -- counting a recovery -- once fresh
+        samples resume.
+        """
+        if self.meter is None:
+            return
+        now = self.simulator.now
+        latest = self.meter.latest_available(now)
+        last_delivery = latest.available_at if latest is not None else 0.0
+        stale = (now - last_delivery) > self.meter_staleness_timeout
+        if stale and self.health.meter_state == "ok":
+            self.health.meter_state = "stale"
+            self.health.meter_fallbacks += 1
+            for name, recalibrator in self.recalibrators.items():
+                self.models[name].update_coefficients(
+                    recalibrator.last_good_coefficients()
+                )
+        elif not stale and self.health.meter_state == "stale":
+            self.health.meter_state = "ok"
+            self.health.meter_recoveries += 1
 
     def _run_recalibration(self) -> None:
         """Align newly delivered meter samples and refit the live model."""
@@ -298,6 +378,9 @@ class PowerContainerFacility(KernelHooks):
         if len(available) < max_delay_samples + 5 or len(self.trace) < 5:
             return
         measured = np.array([s.watts - self.meter_idle_watts for s in available])
+        # Non-finite readings carry no alignment information; zero them so
+        # one NaN cannot blank the whole cross-correlation (Eq. 4).
+        measured[~np.isfinite(measured)] = 0.0
         modeled = np.array([p.watts for p in self.trace])
         if not self._delay_pinned:
             # Re-estimate with the full series each round (the correlation
@@ -308,14 +391,19 @@ class PowerContainerFacility(KernelHooks):
             )
         delay = self.estimated_delay_samples
 
-        new_samples = available[self._meter_consumed:]
+        new_samples = [
+            s for s in available if s.available_at > self._meter_consumed_until
+        ]
         if not new_samples:
             return
-        self._meter_consumed = len(available)
+        self._meter_consumed_until = max(s.available_at for s in new_samples)
 
         rows = []
         watts = []
         for sample in new_samples:
+            if not np.isfinite(sample.watts):
+                self.health.rejected_meter_samples += 1
+                continue
             # Software sees only the delivery time; shifting it back by the
             # alignment-estimated delay recovers the interval the reading
             # actually describes (Section 3.2).
@@ -394,12 +482,24 @@ class PowerContainerFacility(KernelHooks):
 
     def on_recv(self, process: Process, message: Message, source: Endpoint) -> None:
         tag = message.tag
-        if tag.carried_stats and tag.container_id is not None:
+        if tag.container_id is None:
+            # The in-band tag was lost (or the sender was untracked).  The
+            # reader would otherwise keep charging whatever request it
+            # served last; optionally rebind it to the background container
+            # so the misattribution is visible there instead of polluting a
+            # finished request's statistics.
+            self.health.untagged_segments += 1
+            if (
+                self.route_untagged_to_background
+                and process.container_id is not None
+            ):
+                self.kernel.rebind(process, None)
+            return
+        if tag.carried_stats:
             self.registry.get(tag.container_id).stats.merge_carried(
                 tag.carried_stats
             )
-        if tag.container_id is not None:
-            self.registry.decref(tag.container_id)
+        self.registry.decref(tag.container_id)
 
     def on_io(self, process: Process, device_name: str, nbytes: float) -> None:
         container = self.registry.get(process.container_id)
@@ -441,6 +541,26 @@ class PowerContainerFacility(KernelHooks):
     # ------------------------------------------------------------------
     # Introspection helpers for experiments
     # ------------------------------------------------------------------
+    def health_stats(self) -> dict[str, float]:
+        """Merged robustness counters: watchdog + recalibration guards.
+
+        Keys are stable, so two identically-seeded runs export identical
+        dicts (the chaos determinism gate relies on this).
+        """
+        stats = self.health.export_stats()
+        for name, recalibrator in sorted(self.recalibrators.items()):
+            stats[f"{name}_rejected_samples"] = float(
+                recalibrator.rejected_sample_count
+            )
+            stats[f"{name}_rolled_back"] = float(recalibrator.rolled_back_count)
+            stats[f"{name}_recalibrations"] = float(
+                recalibrator.recalibration_count
+            )
+            if recalibrator.guard is not None:
+                for key, value in recalibrator.guard.export_stats().items():
+                    stats[f"{name}_{key}"] = value
+        return stats
+
     def flush(self) -> None:
         """Force a sample on every core (end-of-experiment accounting)."""
         now = self.simulator.now

@@ -1,0 +1,404 @@
+"""Chaos harness: build a world, run a fault plan, check invariants.
+
+A chaos run assembles a small serving world (one machine with a package
+meter and a pipelined synthetic workload, or a two-machine cluster behind a
+dispatcher), applies a :class:`~repro.faults.plan.FaultPlan`, drives load
+for the scenario's duration, and then audits the attribution stack:
+
+* every model-trace power estimate is finite,
+* every live model's coefficients are finite,
+* no container carries negative energy,
+* total attributed energy matches ground-truth measured energy within the
+  scenario's tolerance (the paper's Fig. 8 energy-sum validation, under
+  fire), and
+* the scenario's expected self-healing counters actually engaged -- a run
+  that "passes" because the faults never fired is a broken scenario, not a
+  robust system.
+
+Everything is seeded through :class:`repro.sim.rng.RngHub`, so one seed
+fixes the workload arrivals, the fault draws, and therefore the full
+report; :meth:`ChaosReport.fingerprint` renders it bit-identically for the
+determinism gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.core.calibration import CalibrationResult, calibrate_machine
+from repro.core.facility import PowerContainerFacility
+from repro.faults.injectors import (
+    ClusterFaultInjector,
+    MailboxFaultInjector,
+    MeterFaultInjector,
+    TagFaultInjector,
+)
+from repro.faults.plan import FaultPlan, FaultTargets
+from repro.hardware.events import RateProfile
+from repro.hardware.meters import PackageMeter
+from repro.hardware.specs import SANDYBRIDGE, build_machine
+from repro.kernel import Kernel
+from repro.server.cluster import HeterogeneousCluster
+from repro.server.dispatch import Dispatcher, SimpleLoadBalancePolicy
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngHub
+from repro.workloads.base import OpenLoopDriver
+from repro.workloads.synthetic import StageSpec, SyntheticWorkload
+
+#: Per-spec calibration cache: chaos runs many scenarios on identical
+#: machine models and calibration is by far the most expensive step.
+_CALIBRATIONS: dict[str, CalibrationResult] = {}
+
+_PARSE = RateProfile(name="chaos-parse", ipc=1.6, cache_per_cycle=0.004,
+                     mem_per_cycle=0.001, hidden_watts=0.0)
+_DB = RateProfile(name="chaos-db", ipc=0.8, cache_per_cycle=0.02,
+                  mem_per_cycle=0.008, hidden_watts=2.0)
+_RENDER = RateProfile(name="chaos-render", ipc=1.2, cache_per_cycle=0.01,
+                      mem_per_cycle=0.004, hidden_watts=1.0)
+
+
+def chaos_calibration(spec=SANDYBRIDGE) -> CalibrationResult:
+    """Calibrate one machine model (cached per spec for the process)."""
+    cached = _CALIBRATIONS.get(spec.name)
+    if cached is None:
+        cached = _CALIBRATIONS[spec.name] = calibrate_machine(spec)
+    return cached
+
+
+def chaos_workload() -> SyntheticWorkload:
+    """The pipelined request used by every chaos scenario.
+
+    One inline parse, one sub-service stage over a persistent tagged
+    socket (so per-segment tagging is genuinely exercised), one inline
+    render -- a compact Fig. 4-style topology.
+    """
+    return SyntheticWorkload(
+        name="chaos",
+        stages=[
+            StageSpec("parse", cycles=3e6, profile=_PARSE),
+            StageSpec("db", cycles=8e6, profile=_DB, kind="service",
+                      io_bytes=4096.0),
+            StageSpec("render", cycles=6e6, profile=_RENDER),
+        ],
+        demand_jitter=0.15,
+        n_workers=6,
+    )
+
+
+@dataclass
+class SingleMachineWorld:
+    """One metered machine serving the chaos workload under open-loop load."""
+
+    simulator: Simulator
+    machine: object
+    kernel: Kernel
+    facility: PowerContainerFacility
+    workload: SyntheticWorkload
+    server: object
+    driver: OpenLoopDriver
+    targets: FaultTargets
+    hub: RngHub
+    duration: float
+
+    def start(self) -> None:
+        """Begin request arrivals."""
+        self.driver.start(self.duration)
+
+    def measured_joules(self) -> float:
+        """Ground-truth active energy over the whole run."""
+        self.machine.checkpoint()
+        return float(self.machine.integrator.active_joules)
+
+    def attributed_joules(self) -> float:
+        """Model-attributed energy summed over every container."""
+        return float(self.facility.registry.total_energy(self.facility.primary))
+
+
+@dataclass
+class ClusterWorld:
+    """Two machines behind a retrying dispatcher."""
+
+    cluster: HeterogeneousCluster
+    dispatcher: Dispatcher
+    workload: SyntheticWorkload
+    targets: FaultTargets
+    hub: RngHub
+    duration: float
+
+    @property
+    def simulator(self) -> Simulator:
+        """The shared cluster simulator."""
+        return self.cluster.simulator
+
+    def start(self) -> None:
+        """Begin request arrivals at the dispatcher."""
+        self.dispatcher.start(self.duration)
+
+    def measured_joules(self) -> float:
+        """Ground-truth active energy summed over all machines."""
+        total = 0.0
+        for member in self.cluster.machines:
+            member.machine.checkpoint()
+            total += member.machine.integrator.active_joules
+        return float(total)
+
+    def attributed_joules(self) -> float:
+        """Attributed energy summed over all machines' containers."""
+        return float(
+            sum(
+                member.facility.registry.total_energy(member.facility.primary)
+                for member in self.cluster.machines
+            )
+        )
+
+
+ChaosWorld = Union[SingleMachineWorld, ClusterWorld]
+
+
+def build_single_world(
+    seed: int, duration: float, load_fraction: float = 0.45
+) -> SingleMachineWorld:
+    """Assemble the single-machine chaos world with all injectors bound."""
+    calibration = chaos_calibration()
+    hub = RngHub(seed)
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(
+        kernel,
+        calibration,
+        meter=PackageMeter(machine, sim, period=1e-3, delay=1e-3),
+        meter_idle_watts=calibration.package_idle_watts,
+        trace_period=1e-3,
+        recalib_interval=0.1,
+        max_delay_seconds=0.01,
+        route_untagged_to_background=True,
+    )
+    facility.start_tracing()
+    workload = chaos_workload()
+    server = workload.build_server(kernel, facility)
+    driver = OpenLoopDriver(
+        kernel, facility, workload, server,
+        load_fraction=load_fraction, rng=hub.stream("chaos-arrivals"),
+    )
+    targets = FaultTargets(
+        meter=MeterFaultInjector(facility.meter, hub.stream("chaos-meter")),
+        tags={
+            "listener": TagFaultInjector(
+                server.listener,
+                hub.stream("chaos-tags"),
+                # The tag carried the in-flight container reference; release
+                # it or the container never closes (a real leak this hook
+                # exists to model -- and the facility must survive).
+                on_loss=facility.registry.decref,
+            )
+        },
+        mailbox=MailboxFaultInjector(machine),
+    )
+    return SingleMachineWorld(
+        simulator=sim, machine=machine, kernel=kernel, facility=facility,
+        workload=workload, server=server, driver=driver, targets=targets,
+        hub=hub, duration=duration,
+    )
+
+
+def build_cluster_world(
+    seed: int, duration: float, load_fraction: float = 0.35
+) -> ClusterWorld:
+    """Assemble the two-machine cluster chaos world."""
+    calibration = chaos_calibration()
+    hub = RngHub(seed)
+    cluster = HeterogeneousCluster()
+    for name in ("sb0", "sb1"):
+        cluster.add_machine(SANDYBRIDGE, calibration, name=name)
+    workload = chaos_workload()
+    cluster.build_workload(workload)
+    demand = workload.mean_demand_seconds("sandybridge")
+    total_cores = sum(m.machine.n_cores for m in cluster.machines)
+    dispatcher = Dispatcher(
+        cluster,
+        [(workload, 1.0)],
+        SimpleLoadBalancePolicy(),
+        request_rate=load_fraction * total_cores / demand,
+        rng=hub.stream("chaos-arrivals"),
+    )
+    targets = FaultTargets(
+        cluster=ClusterFaultInjector(
+            {m.name: m for m in cluster.machines}
+        )
+    )
+    return ClusterWorld(
+        cluster=cluster, dispatcher=dispatcher, workload=workload,
+        targets=targets, hub=hub, duration=duration,
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named chaos scenario: a world kind, a fault plan, expectations.
+
+    ``build_plan(world, rng)`` returns the scenario's fault plan (built
+    against ``world.duration`` so ``--duration-scale`` scales the fault
+    windows along with the run).  ``expects`` lists counters that must
+    reach a minimum value after the run -- proof the faults actually fired
+    and the corresponding guard actually engaged.
+    """
+
+    name: str
+    description: str
+    kind: str  # "single" | "cluster"
+    duration: float
+    tolerance: float
+    build_plan: Callable[[ChaosWorld, np.random.Generator], FaultPlan]
+    expects: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("single", "cluster"):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.duration <= 0 or self.tolerance <= 0:
+            raise ValueError("duration and tolerance must be positive")
+
+
+@dataclass
+class ChaosReport:
+    """Everything one scenario run produced, renderable bit-identically."""
+
+    scenario: str
+    seed: int
+    duration: float
+    stats: dict[str, float] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+    def fingerprint(self) -> str:
+        """Canonical rendering: identical runs produce identical strings.
+
+        Floats are rendered with ``repr`` (shortest round-trip form), so
+        any bitwise divergence between two same-seed runs shows up.
+        """
+        lines = [f"scenario={self.scenario} seed={self.seed} "
+                 f"duration={self.duration!r}"]
+        for key in sorted(self.stats):
+            lines.append(f"{key}={self.stats[key]!r}")
+        for violation in self.violations:
+            lines.append(f"VIOLATION {violation}")
+        return "\n".join(lines)
+
+
+def _check_finite_trace(facility: PowerContainerFacility, violations: list[str]) -> None:
+    _times, watts = facility.model_trace_series()
+    if len(watts) and not np.isfinite(watts).all():
+        bad = int(np.count_nonzero(~np.isfinite(watts)))
+        violations.append(f"{bad} non-finite model-trace watts")
+
+
+def _check_models(facility: PowerContainerFacility, violations: list[str]) -> None:
+    for name, model in sorted(facility.models.items()):
+        if not np.isfinite(model.coefficients).all():
+            violations.append(f"model {name!r} has non-finite coefficients")
+
+
+def _check_containers(
+    facility: PowerContainerFacility, violations: list[str]
+) -> None:
+    primary = facility.primary
+    for container in facility.registry.all_containers():
+        energy = container.total_energy(primary)
+        if not np.isfinite(energy):
+            violations.append(
+                f"container {container.id} ({container.label}) has "
+                f"non-finite energy"
+            )
+        elif energy < -1e-6:
+            violations.append(
+                f"container {container.id} ({container.label}) has "
+                f"negative energy {energy:.3g} J"
+            )
+
+
+def _check_conservation(
+    attributed: float, measured: float, tolerance: float, violations: list[str]
+) -> float:
+    if measured <= 0.0:
+        violations.append("measured active energy is zero: nothing ran")
+        return float("nan")
+    error = abs(attributed - measured) / measured
+    if not np.isfinite(error) or error > tolerance:
+        violations.append(
+            f"energy not conserved: attributed {attributed:.3f} J vs "
+            f"measured {measured:.3f} J (error {error:.1%} > "
+            f"tolerance {tolerance:.0%})"
+        )
+    return error
+
+
+def run_scenario(
+    scenario: Scenario, seed: int, duration_scale: float = 1.0
+) -> ChaosReport:
+    """Run one scenario end to end and audit the invariants."""
+    if duration_scale <= 0:
+        raise ValueError("duration scale must be positive")
+    duration = scenario.duration * duration_scale
+    if scenario.kind == "single":
+        world: ChaosWorld = build_single_world(seed, duration)
+    else:
+        world = build_cluster_world(seed, duration)
+    plan = scenario.build_plan(world, world.hub.stream("chaos-plan"))
+    plan.apply(world.simulator, world.targets)
+    world.start()
+    world.simulator.run_until(duration)
+
+    report = ChaosReport(scenario=scenario.name, seed=seed, duration=duration)
+    violations = report.violations
+    stats = report.stats
+    stats.update(world.targets.export_stats())
+
+    if isinstance(world, SingleMachineWorld):
+        world.facility.flush()
+        _check_finite_trace(world.facility, violations)
+        _check_models(world.facility, violations)
+        _check_containers(world.facility, violations)
+        stats.update(world.facility.health_stats())
+        stats["completed"] = float(world.driver.completed)
+    else:
+        for member in world.cluster.machines:
+            member.facility.flush()
+            _check_models(member.facility, violations)
+            _check_containers(member.facility, violations)
+            for key, value in member.facility.health_stats().items():
+                stats[f"{member.name}_{key}"] = value
+        dispatcher = world.dispatcher
+        stats["completed"] = float(dispatcher.completed)
+        stats["dispatch_failures"] = float(dispatcher.dispatch_failures)
+        stats["retries"] = float(dispatcher.retries)
+        stats["dropped_requests"] = float(dispatcher.dropped_requests)
+        stats["failed_over"] = float(dispatcher.failed_over)
+        stats["late_replies"] = float(dispatcher.late_replies)
+
+    attributed = world.attributed_joules()
+    measured = world.measured_joules()
+    stats["attributed_joules"] = attributed
+    stats["measured_joules"] = measured
+    stats["relative_error"] = _check_conservation(
+        attributed, measured, scenario.tolerance, violations
+    )
+    if stats["completed"] <= 0:
+        violations.append("no requests completed: the world never served")
+
+    for key, minimum in scenario.expects:
+        observed = stats.get(key)
+        if observed is None:
+            violations.append(f"expected counter {key!r} missing from stats")
+        elif observed < minimum:
+            violations.append(
+                f"expected {key} >= {minimum:g}, observed {observed:g} "
+                f"(the fault or guard never engaged)"
+            )
+    return report

@@ -1,0 +1,282 @@
+"""Composable, sim-clock-driven fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent`\\ s -- "at
+virtual time *t*, do *action* at *site*".  Plans are pure data until
+:meth:`FaultPlan.apply` binds them to live injectors and schedules every
+event on the simulator, so the same plan can be rendered, hashed, replayed
+against a fresh world, or merged with another plan.  Random plans draw from
+a caller-supplied :class:`numpy.random.Generator` (normally a
+``repro.sim.rng`` stream), which makes chaos runs reproducible from a seed.
+
+Sites and their actions:
+
+``meter``
+    ``kill`` / ``restore`` (outage window), ``profile`` (activate a
+    :class:`~repro.faults.injectors.MeterFaultProfile`, passed in
+    ``params["profile"]``), ``clear_profile``.
+``tags:<endpoint>``
+    ``activate`` (``params`` may carry ``loss_prob`` / ``truncate_prob``),
+    ``deactivate``.
+``mailbox``
+    ``freeze`` / ``thaw`` of core ``params["core"]``.
+``cluster``
+    ``crash`` / ``recover`` of machine ``params["machine"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.injectors import (
+    ClusterFaultInjector,
+    MailboxFaultInjector,
+    MeterFaultInjector,
+    MeterFaultProfile,
+    TagFaultInjector,
+)
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action: at ``at`` seconds, ``action`` on ``site``."""
+
+    at: float
+    site: str
+    action: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def param(self, key: str, default: object = None) -> object:
+        """Look up one parameter by name."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+
+def _params(**kwargs: object) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass
+class FaultTargets:
+    """The live injectors a plan's sites resolve against."""
+
+    meter: Optional[MeterFaultInjector] = None
+    tags: dict[str, TagFaultInjector] = field(default_factory=dict)
+    mailbox: Optional[MailboxFaultInjector] = None
+    cluster: Optional[ClusterFaultInjector] = None
+
+    def export_stats(self) -> dict[str, float]:
+        """Merged injection counters from every bound injector."""
+        stats: dict[str, float] = {}
+        if self.meter is not None:
+            stats.update(self.meter.export_stats())
+        for name, injector in sorted(self.tags.items()):
+            for key, value in injector.export_stats().items():
+                stats[f"{name}_{key}"] = value
+        if self.mailbox is not None:
+            stats.update(self.mailbox.export_stats())
+        if self.cluster is not None:
+            stats.update(self.cluster.export_stats())
+        return stats
+
+
+class FaultPlan:
+    """An ordered, composable schedule of fault events."""
+
+    def __init__(self, events: Optional[list[FaultEvent]] = None) -> None:
+        self.events: list[FaultEvent] = list(events) if events else []
+
+    # -- composition ----------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """Append one event (returns self for chaining)."""
+        self.events.append(event)
+        return self
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """A new plan containing both plans' events."""
+        return FaultPlan(self.events + other.events)
+
+    def sorted_events(self) -> list[FaultEvent]:
+        """Events in firing order (stable for equal times)."""
+        return sorted(self.events, key=lambda e: e.at)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- convenience constructors for common windows --------------------
+    def meter_outage(self, at: float, duration: float) -> "FaultPlan":
+        """Meter dies at ``at`` and recovers ``duration`` later."""
+        self.add(FaultEvent(at, "meter", "kill"))
+        self.add(FaultEvent(at + duration, "meter", "restore"))
+        return self
+
+    def meter_noise_window(
+        self, at: float, duration: float, profile: MeterFaultProfile
+    ) -> "FaultPlan":
+        """Per-sample meter faults active over ``[at, at + duration)``."""
+        self.add(FaultEvent(at, "meter", "profile", _params(profile=profile)))
+        self.add(FaultEvent(at + duration, "meter", "clear_profile"))
+        return self
+
+    def tag_loss_window(
+        self,
+        endpoint: str,
+        at: float,
+        duration: float,
+        loss_prob: float = 0.0,
+        truncate_prob: float = 0.0,
+    ) -> "FaultPlan":
+        """Tag stripping/truncation on one endpoint over a window."""
+        self.add(
+            FaultEvent(
+                at,
+                f"tags:{endpoint}",
+                "activate",
+                _params(loss_prob=loss_prob, truncate_prob=truncate_prob),
+            )
+        )
+        self.add(FaultEvent(at + duration, f"tags:{endpoint}", "deactivate"))
+        return self
+
+    def mailbox_freeze(
+        self, core: int, at: float, duration: float
+    ) -> "FaultPlan":
+        """Freeze one core's sample mailbox over a window."""
+        self.add(FaultEvent(at, "mailbox", "freeze", _params(core=core)))
+        self.add(FaultEvent(at + duration, "mailbox", "thaw", _params(core=core)))
+        return self
+
+    def machine_crash(
+        self, machine: str, at: float, duration: float
+    ) -> "FaultPlan":
+        """Crash one cluster machine at ``at``; recover ``duration`` later."""
+        self.add(FaultEvent(at, "cluster", "crash", _params(machine=machine)))
+        self.add(
+            FaultEvent(at + duration, "cluster", "recover", _params(machine=machine))
+        )
+        return self
+
+    # -- random plan generation -----------------------------------------
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        duration: float,
+        endpoints: tuple[str, ...] = (),
+        machines: tuple[str, ...] = (),
+        n_cores: int = 0,
+        max_windows: int = 4,
+    ) -> "FaultPlan":
+        """A random-but-reproducible plan over ``[0, duration)``.
+
+        Every window starts in the first 70% of the run and lasts at most
+        25% of it, so the world always gets fault-free time at the end to
+        demonstrate recovery.  Which fault kinds are eligible follows from
+        the targets provided (no machines -> no crash windows, etc.).
+        """
+        plan = cls()
+        kinds = ["outage", "noise"]
+        if endpoints:
+            kinds.append("tags")
+        if n_cores > 0:
+            kinds.append("mailbox")
+        if machines:
+            kinds.append("crash")
+        n_windows = int(rng.integers(1, max_windows + 1))
+        for _ in range(n_windows):
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            at = float(rng.uniform(0.05, 0.7)) * duration
+            span = float(rng.uniform(0.05, 0.25)) * duration
+            if kind == "outage":
+                plan.meter_outage(at, span)
+            elif kind == "noise":
+                profile = MeterFaultProfile(
+                    drop_prob=float(rng.uniform(0.0, 0.3)),
+                    nan_prob=float(rng.uniform(0.0, 0.2)),
+                    negative_prob=float(rng.uniform(0.0, 0.15)),
+                    spike_prob=float(rng.uniform(0.0, 0.15)),
+                    stuck_prob=float(rng.uniform(0.0, 0.15)),
+                    duplicate_prob=float(rng.uniform(0.0, 0.2)),
+                    extra_delay_prob=float(rng.uniform(0.0, 0.2)),
+                )
+                plan.meter_noise_window(at, span, profile)
+            elif kind == "tags":
+                endpoint = endpoints[int(rng.integers(0, len(endpoints)))]
+                plan.tag_loss_window(
+                    endpoint,
+                    at,
+                    span,
+                    loss_prob=float(rng.uniform(0.05, 0.5)),
+                    truncate_prob=float(rng.uniform(0.0, 0.3)),
+                )
+            elif kind == "mailbox":
+                plan.mailbox_freeze(int(rng.integers(0, n_cores)), at, span)
+            else:
+                machine = machines[int(rng.integers(0, len(machines)))]
+                plan.machine_crash(machine, at, span)
+        return plan
+
+    # -- execution ------------------------------------------------------
+    def apply(self, simulator: Simulator, targets: FaultTargets) -> None:
+        """Schedule every event against the bound injectors.
+
+        Raises :class:`ValueError` when an event names a site the targets
+        cannot resolve -- a mis-built plan should fail loudly, not silently
+        skip its faults and report a spuriously clean run.
+        """
+        for event in self.sorted_events():
+            callback = self._resolve(event, targets)
+            simulator.schedule_at(
+                event.at, callback, label=f"fault-{event.site}-{event.action}"
+            )
+
+    def _resolve(self, event: FaultEvent, targets: FaultTargets):
+        site, action = event.site, event.action
+        if site == "meter":
+            injector = targets.meter
+            if injector is None:
+                raise ValueError("plan targets the meter but no meter injector bound")
+            if action == "kill":
+                return injector.kill
+            if action == "restore":
+                return injector.restore
+            if action == "profile":
+                profile = event.param("profile")
+                return lambda: injector.set_profile(profile)
+            if action == "clear_profile":
+                return lambda: injector.set_profile(None)
+        elif site.startswith("tags:"):
+            name = site.split(":", 1)[1]
+            tag_injector = targets.tags.get(name)
+            if tag_injector is None:
+                raise ValueError(f"no tag injector bound for endpoint {name!r}")
+            if action == "activate":
+                loss = event.param("loss_prob")
+                truncate = event.param("truncate_prob")
+                return lambda: tag_injector.activate(loss, truncate)
+            if action == "deactivate":
+                return tag_injector.deactivate
+        elif site == "mailbox":
+            mailbox = targets.mailbox
+            if mailbox is None:
+                raise ValueError("plan freezes a mailbox but no injector bound")
+            core = event.param("core")
+            if action == "freeze":
+                return lambda: mailbox.freeze(core)
+            if action == "thaw":
+                return lambda: mailbox.thaw(core)
+        elif site == "cluster":
+            cluster = targets.cluster
+            if cluster is None:
+                raise ValueError("plan crashes a machine but no cluster injector bound")
+            machine = event.param("machine")
+            if action == "crash":
+                return lambda: cluster.crash(machine)
+            if action == "recover":
+                return lambda: cluster.recover(machine)
+        raise ValueError(f"unknown fault event {site!r}/{action!r}")

@@ -114,11 +114,17 @@ class SampleMailbox:
 
     def __init__(self) -> None:
         self._latest = UtilizationSample(time=0.0, mcore=0.0)
+        #: Fault-injection switch (see :mod:`repro.faults`): while frozen,
+        #: posts are discarded and siblings keep reading the stale sample --
+        #: the pathological extreme of the unsynchronized mailbox design.
+        self.frozen = False
 
     def post(self, time: float, mcore: float) -> None:
         """Publish the utilization observed over the last sampling period."""
         if not 0.0 <= mcore <= 1.0 + 1e-9:
             raise ValueError(f"mcore out of range: {mcore}")
+        if self.frozen:
+            return
         self._latest = UtilizationSample(time=time, mcore=min(mcore, 1.0))
 
     def peek(self) -> UtilizationSample:

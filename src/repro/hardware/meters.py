@@ -17,6 +17,7 @@ samples only after their delay, so the alignment machinery in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -62,12 +63,22 @@ class _PeriodicMeter:
         self._samples: list[MeterSample] = []
         self._last_energy = 0.0
         self._running = False
+        #: Optional fault-injection hook (see :mod:`repro.faults`): maps each
+        #: produced sample to the samples actually published -- possibly
+        #: none (a dropped reading), several (duplicates), or altered copies
+        #: (corrupted/extra-delayed readings).  ``None`` publishes verbatim.
+        self.fault_hook: Optional[
+            Callable[[MeterSample], Iterable[MeterSample]]
+        ] = None
+        #: Times :meth:`start` transitioned the meter to running (flap count).
+        self.start_count = 0
 
     def start(self) -> None:
         """Begin periodic sampling at the meter's period."""
         if self._running:
             return
         self._running = True
+        self.start_count += 1
         self._last_energy = self._read_energy()
         self.simulator.schedule(self.period, self._tick, label="meter-tick")
 
@@ -85,9 +96,13 @@ class _PeriodicMeter:
         self._last_energy = energy
         if self.noise_std_watts > 0.0:
             watts += float(self._rng.normal(0.0, self.noise_std_watts))
-        self._samples.append(
-            MeterSample(interval_end=now, available_at=now + self.delay, watts=watts)
+        sample = MeterSample(
+            interval_end=now, available_at=now + self.delay, watts=watts
         )
+        if self.fault_hook is None:
+            self._samples.append(sample)
+        else:
+            self._samples.extend(self.fault_hook(sample))
         self.simulator.schedule(self.period, self._tick, label="meter-tick")
 
     def _read_energy(self) -> float:  # pragma: no cover - overridden

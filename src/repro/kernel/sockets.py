@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.process import Process
@@ -82,6 +82,10 @@ class Endpoint:
         #: Propagation latency to the peer, set when paired.
         self.pair_latency: float = 0.0
         self.total_messages = 0
+        #: Optional fault-injection hook (see :mod:`repro.faults`): rewrites
+        #: each arriving segment before buffering -- modelling in-band tag
+        #: loss or truncation on the wire.  ``None`` buffers verbatim.
+        self.tag_fault: Optional[Callable[[Message], Message]] = None
 
     @property
     def has_data(self) -> bool:
@@ -90,6 +94,8 @@ class Endpoint:
 
     def enqueue(self, message: Message) -> None:
         """Buffer an arriving segment (kernel use only)."""
+        if self.tag_fault is not None:
+            message = self.tag_fault(message)
         if not self.per_segment_tagging:
             # Naive mode: the socket inherits the newest tag, and every
             # buffered segment is (incorrectly) read with it.

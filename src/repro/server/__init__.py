@@ -13,6 +13,7 @@ from repro.server.cluster import ClusterMachine, HeterogeneousCluster
 from repro.server.dispatch import (
     Dispatcher,
     MachineHeterogeneityAwarePolicy,
+    NoAvailableMachine,
     SimpleLoadBalancePolicy,
     WorkloadHeterogeneityAwarePolicy,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "ClusterMachine",
     "HeterogeneousCluster",
     "Dispatcher",
+    "NoAvailableMachine",
     "SimpleLoadBalancePolicy",
     "MachineHeterogeneityAwarePolicy",
     "WorkloadHeterogeneityAwarePolicy",

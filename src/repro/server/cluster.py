@@ -9,7 +9,7 @@ can place any request anywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.core.calibration import CalibrationResult
 from repro.core.facility import PowerContainerFacility
@@ -34,11 +34,53 @@ class ClusterMachine:
     servers: dict[str, Server] = field(default_factory=dict)
     #: Active energy at the start of the measurement window.
     energy_mark: float = 0.0
+    #: False while the machine is crashed: it accepts no new requests and
+    #: dispatch policies must never choose it.
+    alive: bool = True
+    #: Times the machine has crashed (diagnostics / chaos reports).
+    crash_count: int = 0
+    _crash_listeners: list[Callable[["ClusterMachine"], None]] = field(
+        default_factory=list, repr=False
+    )
+    _recover_listeners: list[Callable[["ClusterMachine"], None]] = field(
+        default_factory=list, repr=False
+    )
 
     @property
     def name(self) -> str:
         """Cluster-unique machine name."""
         return self.machine.name
+
+    # -- failure model -------------------------------------------------
+    def on_crash(self, listener: Callable[["ClusterMachine"], None]) -> None:
+        """Subscribe to crash transitions (dispatchers fail over on these)."""
+        self._crash_listeners.append(listener)
+
+    def on_recover(self, listener: Callable[["ClusterMachine"], None]) -> None:
+        """Subscribe to recovery transitions."""
+        self._recover_listeners.append(listener)
+
+    def crash(self) -> None:
+        """The machine dies: stops accepting requests, in-flight work lost.
+
+        The simulated hardware keeps integrating energy (a crashed box
+        still draws idle power at the wall) but no new request may be
+        dispatched until :meth:`recover`.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_count += 1
+        for listener in list(self._crash_listeners):
+            listener(self)
+
+    def recover(self) -> None:
+        """The machine comes back and may serve new requests again."""
+        if self.alive:
+            return
+        self.alive = True
+        for listener in list(self._recover_listeners):
+            listener(self)
 
     def utilization(self) -> float:
         """Instantaneous fraction of busy cores (OS-visible)."""

@@ -34,6 +34,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.workloads.base import Workload
 
 
+class NoAvailableMachine(RuntimeError):
+    """Raised by a policy when no dispatchable machine exists right now."""
+
+
+def _dispatchable(machine, dispatcher) -> bool:
+    """True when a policy may choose ``machine``.
+
+    Honors the machine's ``alive`` flag (crashed machines are never chosen)
+    and the dispatcher's health-based exclusion window when present.  Both
+    checks degrade gracefully for lightweight test doubles.
+    """
+    if not getattr(machine, "alive", True):
+        return False
+    checker = getattr(dispatcher, "is_dispatchable", None)
+    return bool(checker(machine)) if checker is not None else True
+
+
 class DispatchPolicy:
     """Chooses the serving machine for each arriving request."""
 
@@ -44,15 +61,19 @@ class DispatchPolicy:
 
 
 class SimpleLoadBalancePolicy(DispatchPolicy):
-    """Round-robin: equal request volume to every machine."""
+    """Round-robin: equal request volume to every dispatchable machine."""
 
     def __init__(self) -> None:
         self._next = 0
 
     def choose(self, workload, spec, dispatcher) -> ClusterMachine:
-        machine = dispatcher.cluster.machines[self._next]
-        self._next = (self._next + 1) % len(dispatcher.cluster.machines)
-        return machine
+        machines = dispatcher.cluster.machines
+        for _ in range(len(machines)):
+            machine = machines[self._next]
+            self._next = (self._next + 1) % len(machines)
+            if _dispatchable(machine, dispatcher):
+                return machine
+        raise NoAvailableMachine("every cluster machine is down or excluded")
 
 
 class MachineHeterogeneityAwarePolicy(DispatchPolicy):
@@ -65,10 +86,18 @@ class MachineHeterogeneityAwarePolicy(DispatchPolicy):
         self.fallback = fallback
         self.utilization_threshold = utilization_threshold
 
+    def _pick(self, dispatcher, *names: str) -> ClusterMachine:
+        """First dispatchable machine in preference order."""
+        for name in names:
+            machine = dispatcher.cluster.by_name(name)
+            if _dispatchable(machine, dispatcher):
+                return machine
+        raise NoAvailableMachine("every cluster machine is down or excluded")
+
     def choose(self, workload, spec, dispatcher) -> ClusterMachine:
         if dispatcher.smoothed_utilization(self.preferred) < self.utilization_threshold:
-            return dispatcher.cluster.by_name(self.preferred)
-        return dispatcher.cluster.by_name(self.fallback)
+            return self._pick(dispatcher, self.preferred, self.fallback)
+        return self._pick(dispatcher, self.fallback, self.preferred)
 
 
 class WorkloadHeterogeneityAwarePolicy(MachineHeterogeneityAwarePolicy):
@@ -117,13 +146,13 @@ class WorkloadHeterogeneityAwarePolicy(MachineHeterogeneityAwarePolicy):
     def choose(self, workload, spec, dispatcher) -> ClusterMachine:
         util = dispatcher.smoothed_utilization(self.preferred)
         if util < self.utilization_threshold:
-            return dispatcher.cluster.by_name(self.preferred)
+            return self._pick(dispatcher, self.preferred, self.fallback)
         profile_key = f"{workload.name}:{spec.rtype}"
         if util < self.overload_threshold and not self._displaceable(
             profile_key, dispatcher
         ):
-            return dispatcher.cluster.by_name(self.preferred)
-        return dispatcher.cluster.by_name(self.fallback)
+            return self._pick(dispatcher, self.preferred, self.fallback)
+        return self._pick(dispatcher, self.fallback, self.preferred)
 
 
 @dataclass
@@ -134,8 +163,24 @@ class ClusterRequestResult(RequestResult):
     workload_name: str = ""
 
 
+@dataclass
+class _MachineDispatchHealth:
+    """Dispatcher-side view of one machine's recent dispatch outcomes."""
+
+    consecutive_failures: int = 0
+    excluded_until: Optional[float] = None
+
+
 class Dispatcher:
-    """Open-loop request dispatcher over a heterogeneous cluster."""
+    """Open-loop request dispatcher over a heterogeneous cluster.
+
+    Beyond placement, the dispatcher is the cluster's failure domain
+    boundary: requests aimed at a crashed machine are retried elsewhere
+    with exponential backoff, machines that keep failing are excluded from
+    dispatch until a cooldown expires (then probed again, re-admitted on
+    the first success), and replies from machines that crashed while
+    serving are counted rather than crashing the dispatcher.
+    """
 
     def __init__(
         self,
@@ -146,12 +191,18 @@ class Dispatcher:
         rng: np.random.Generator,
         utilization_sample_period: float = 5e-3,
         utilization_ewma_alpha: float = 0.12,
+        max_retries: int = 3,
+        retry_backoff: float = 5e-3,
+        failure_threshold: int = 3,
+        exclusion_cooldown: float = 0.25,
     ) -> None:
         if request_rate <= 0:
             raise ValueError("request rate must be positive")
         total_share = sum(share for _, share in components)
         if total_share <= 0:
             raise ValueError("component shares must sum to a positive value")
+        if max_retries < 0 or retry_backoff < 0:
+            raise ValueError("retry settings must be non-negative")
         self.cluster = cluster
         self.components = [(w, share / total_share) for w, share in components]
         self.policy = policy
@@ -163,6 +214,23 @@ class Dispatcher:
         self.dispatched_to: dict[str, int] = {
             m.name: 0 for m in cluster.machines
         }
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.failure_threshold = failure_threshold
+        self.exclusion_cooldown = exclusion_cooldown
+        #: Dispatch attempts that found no (or a dead) machine.
+        self.dispatch_failures = 0
+        #: Requests re-dispatched after a failed attempt.
+        self.retries = 0
+        #: Requests abandoned after exhausting ``max_retries``.
+        self.dropped_requests = 0
+        #: Requests failed over because their serving machine crashed.
+        self.failed_over = 0
+        #: Replies from requests already written off (machine crashed).
+        self.late_replies = 0
+        self._health: dict[str, _MachineDispatchHealth] = {
+            m.name: _MachineDispatchHealth() for m in cluster.machines
+        }
         self._next_request_id = 0
         self._deadline: Optional[float] = None
         self._util_ewma: dict[str, float] = {m.name: 0.0 for m in cluster.machines}
@@ -171,6 +239,8 @@ class Dispatcher:
         for member in cluster.machines:
             for server in member.servers.values():
                 server.client_side.on_message = self._make_reply_handler(member)
+            member.on_crash(self._handle_machine_crash)
+            member.on_recover(self._handle_machine_recover)
 
     # ------------------------------------------------------------------
     def start(self, duration: float) -> None:
@@ -205,8 +275,7 @@ class Dispatcher:
     def _arrive(self) -> None:
         workload = self._pick_component()
         spec = workload.sample_request(self.rng)
-        member = self.policy.choose(workload, spec, self)
-        self._inject(workload, spec, member)
+        self._dispatch(workload, spec, attempt=0)
         self._schedule_next_arrival()
 
     def _pick_component(self) -> Workload:
@@ -214,9 +283,71 @@ class Dispatcher:
         index = int(self.rng.choice(len(self.components), p=shares))
         return self.components[index][0]
 
-    def _inject(
-        self, workload: Workload, spec: RequestSpec, member: ClusterMachine
+    # ------------------------------------------------------------------
+    # Machine health / retry machinery
+    # ------------------------------------------------------------------
+    def is_dispatchable(self, member) -> bool:
+        """True when ``member`` is alive and not under failure exclusion."""
+        if not getattr(member, "alive", True):
+            return False
+        health = self._health.get(member.name)
+        if health is None or health.excluded_until is None:
+            return True
+        if self.cluster.simulator.now >= health.excluded_until:
+            # Cooldown expired: let the next dispatch probe the machine.
+            health.excluded_until = None
+            return True
+        return False
+
+    def _record_failure(self, machine_name: str) -> None:
+        health = self._health.setdefault(machine_name, _MachineDispatchHealth())
+        health.consecutive_failures += 1
+        if health.consecutive_failures >= self.failure_threshold:
+            health.excluded_until = (
+                self.cluster.simulator.now + self.exclusion_cooldown
+            )
+
+    def _record_success(self, machine_name: str) -> None:
+        health = self._health.setdefault(machine_name, _MachineDispatchHealth())
+        health.consecutive_failures = 0
+        health.excluded_until = None
+
+    def _retry_later(self, workload: Workload, spec: RequestSpec, attempt: int) -> None:
+        if attempt > self.max_retries:
+            self.dropped_requests += 1
+            return
+        self.retries += 1
+        backoff = self.retry_backoff * (2 ** (attempt - 1))
+        self.cluster.simulator.schedule(
+            backoff, self._dispatch, workload, spec, attempt,
+            label="dispatch-retry",
+        )
+
+    def _dispatch(
+        self, workload: Workload, spec: RequestSpec, attempt: int
     ) -> None:
+        try:
+            member = self.policy.choose(workload, spec, self)
+        except NoAvailableMachine:
+            self.dispatch_failures += 1
+            self._retry_later(workload, spec, attempt + 1)
+            return
+        self._inject(workload, spec, member, attempt=attempt)
+
+    def _inject(
+        self,
+        workload: Workload,
+        spec: RequestSpec,
+        member: ClusterMachine,
+        attempt: int = 0,
+    ) -> None:
+        if not getattr(member, "alive", True):
+            # The policy's pick crashed between choice and injection (or a
+            # caller bypassed the policy): never hand work to a dead box.
+            self.dispatch_failures += 1
+            self._record_failure(member.name)
+            self._retry_later(workload, spec, attempt + 1)
+            return
         request_id = self._next_request_id
         self._next_request_id += 1
         container = member.facility.create_request_container(
@@ -239,12 +370,43 @@ class Dispatcher:
             )
         )
 
+    def _handle_machine_crash(self, member: ClusterMachine) -> None:
+        """Fail over every in-flight request on a crashed machine.
+
+        The requests' containers on the dead machine are released (their
+        partial energy stays attributed there -- the work really did burn
+        those joules) and the specs are re-dispatched to surviving
+        machines through the normal retry path.
+        """
+        self._record_failure(member.name)
+        self._health[member.name].excluded_until = float("inf")
+        stranded = [
+            (request_id, entry)
+            for request_id, entry in self.inflight.items()
+            if entry[4] is member
+        ]
+        for request_id, (workload, spec, _arrival, container, served_by) in stranded:
+            del self.inflight[request_id]
+            served_by.facility.registry.decref(container.id)
+            served_by.facility.complete_request(container)
+            self.failed_over += 1
+            self._retry_later(workload, spec, attempt=1)
+
+    def _handle_machine_recover(self, member: ClusterMachine) -> None:
+        """Re-admit a recovered machine for dispatch immediately."""
+        self._record_success(member.name)
+
     def _make_reply_handler(self, member: ClusterMachine):
         def on_reply(message: Message) -> None:
             (request_id, _spec), _result = message.payload
-            workload, spec, arrival, container, served_by = self.inflight.pop(
-                request_id
-            )
+            entry = self.inflight.pop(request_id, None)
+            if entry is None:
+                # The serving machine crashed while this request was in
+                # flight and the request was failed over; its late reply
+                # must not crash the dispatcher or double-complete.
+                self.late_replies += 1
+                return
+            workload, spec, arrival, container, served_by = entry
             now = self.cluster.simulator.now
             result = ClusterRequestResult(
                 request_id=request_id,
@@ -258,6 +420,7 @@ class Dispatcher:
             self.results.append(result)
             served_by.facility.registry.decref(container.id)
             served_by.facility.complete_request(container)
+            self._record_success(served_by.name)
             self.profiles.record(
                 served_by.name,
                 f"{workload.name}:{spec.rtype}",

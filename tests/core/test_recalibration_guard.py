@@ -1,0 +1,172 @@
+"""Unit tests for the recalibration guard rail and sample-ingestion filter.
+
+One NaN measurement must never reach a least-square refit, and one absurd
+refit must never reach the live model -- these tests pin both defenses at
+the unit level (the chaos scenarios exercise them end to end).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineRecalibrator, PowerModel, RecalibrationGuard
+
+FEATURES = ("mcore", "mins")
+#: True coefficients of the toy linear world the tests fit against.
+TRUE_COEF = np.array([8.0, 1.5])
+
+
+def _offline_data(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 4.0, size=(n, len(FEATURES)))
+    y = X @ TRUE_COEF
+    return X, y
+
+
+def _recalibrator(guard=None, seed=0):
+    X, y = _offline_data(seed=seed)
+    model = PowerModel.fit(X, y, FEATURES, label="test")
+    return OnlineRecalibrator(model, X, y, guard=guard), X, y
+
+
+# ----------------------------------------------------------------------
+# add_pairs ingestion filter (regression: NaN poisoning)
+# ----------------------------------------------------------------------
+def test_add_pairs_filters_nonfinite_and_negative_watts():
+    recal, _X, _y = _recalibrator()
+    rows = np.array([
+        [1.0, 1.0],           # clean
+        [2.0, 0.5],           # NaN watts below
+        [1.5, 1.5],           # -inf watts below
+        [0.5, 2.0],           # negative watts below
+        [np.nan, 1.0],        # NaN metric row
+        [3.0, 0.2],           # clean
+    ])
+    watts = np.array([10.0, np.nan, -np.inf, -4.0, 12.0, 30.0])
+    recal.add_pairs(rows, watts)
+    assert recal.online_sample_count == 2
+    assert recal.rejected_sample_count == 4
+
+
+def test_one_nan_pair_cannot_poison_the_refit():
+    """Regression: before filtering, a single NaN sample turned every
+    subsequent refit into NaN coefficients."""
+    recal, X, _y = _recalibrator()
+    recal.add_pairs(np.array([[1.0, np.nan]]), np.array([np.nan]))
+    recal.add_pairs(X[:5], X[:5] @ TRUE_COEF)
+    coefficients = recal.recalibrate()
+    assert np.isfinite(coefficients).all()
+    assert recal.recalibration_count == 1
+
+
+# ----------------------------------------------------------------------
+# RecalibrationGuard validation rules
+# ----------------------------------------------------------------------
+def test_guard_rejects_nonfinite_candidate():
+    guard = RecalibrationGuard()
+    X, y = _offline_data()
+    ok = guard.evaluate(np.array([np.nan, 1.0]), TRUE_COEF, X, y)
+    assert not ok
+    assert guard.rejected_count == 1
+    assert "non-finite" in guard.last_rejection
+
+
+def test_guard_rejects_excessive_drift():
+    guard = RecalibrationGuard(max_relative_drift=1.0)
+    X, y = _offline_data()
+    wild = TRUE_COEF * 100.0
+    assert not guard.evaluate(wild, TRUE_COEF, X, y)
+    assert "drift" in guard.last_rejection
+
+
+def test_guard_error_floor_tolerates_benign_refits():
+    """The offline fit is near-exact (RMSE ~ 0); a refit that moves the
+    held-out error within the scale-aware floor is a legitimate online
+    adaptation, not a regression."""
+    guard = RecalibrationGuard()
+    X, y = _offline_data()
+    nudged = TRUE_COEF + np.array([0.05, 0.02])  # ~0.1 W held-out RMSE
+    assert guard.evaluate(nudged, TRUE_COEF, X, y)
+    assert guard.accepted_count == 1
+    assert np.allclose(guard.last_good, nudged)
+
+
+def test_guard_rejects_large_error_regression():
+    guard = RecalibrationGuard()
+    X, y = _offline_data()
+    broken = TRUE_COEF + np.array([50.0, -1.5])
+    assert not guard.evaluate(broken, TRUE_COEF, X, y)
+    assert "RMSE" in guard.last_rejection
+
+
+def test_guard_backoff_doubles_then_resets_on_acceptance():
+    guard = RecalibrationGuard(backoff_initial=1, backoff_max=4)
+    X, y = _offline_data()
+    bad = TRUE_COEF + np.array([50.0, 0.0])
+
+    def skips_until_clear():
+        count = 0
+        while guard.should_skip():
+            count += 1
+        return count
+
+    guard.evaluate(bad, TRUE_COEF, X, y)
+    assert skips_until_clear() == 1
+    guard.evaluate(bad, TRUE_COEF, X, y)
+    assert skips_until_clear() == 2
+    guard.evaluate(bad, TRUE_COEF, X, y)
+    assert skips_until_clear() == 4
+    guard.evaluate(bad, TRUE_COEF, X, y)
+    assert skips_until_clear() == 4  # capped at backoff_max
+    guard.evaluate(TRUE_COEF + 0.01, TRUE_COEF, X, y)
+    assert guard.accepted_count == 1
+    guard.evaluate(bad, TRUE_COEF, X, y)
+    assert skips_until_clear() == 1  # reset by the acceptance
+    assert guard.skipped_count == 12
+
+
+def test_guard_constructor_validates():
+    with pytest.raises(ValueError):
+        RecalibrationGuard(max_relative_drift=0.0)
+    with pytest.raises(ValueError):
+        RecalibrationGuard(backoff_initial=0)
+    with pytest.raises(ValueError):
+        RecalibrationGuard(backoff_initial=8, backoff_max=4)
+
+
+# ----------------------------------------------------------------------
+# Guarded recalibrator end-to-end
+# ----------------------------------------------------------------------
+def test_rejected_refit_rolls_back_to_current_coefficients():
+    recal, X, _y = _recalibrator(guard=RecalibrationGuard())
+    before = recal.model.coefficients
+    # Consistent garbage: finite, so it survives ingestion, but it pulls
+    # the fit far enough off the offline data that the guard must veto.
+    rows = np.tile(np.array([[1.0, 1.0]]), (200, 1))
+    recal.add_pairs(rows, np.full(200, 5000.0))
+    after = recal.recalibrate()
+    assert np.array_equal(after, before)
+    assert recal.rolled_back_count == 1
+    assert recal.recalibration_count == 0
+    assert recal.guard.rejected_count == 1
+
+
+def test_last_good_coefficients_fall_back_to_offline():
+    recal, _X, _y = _recalibrator(guard=RecalibrationGuard())
+    assert np.array_equal(
+        recal.last_good_coefficients(), recal.offline_coefficients
+    )
+    recal.add_pairs(np.array([[1.0, 1.0]]), np.array([9.5]))
+    recal.recalibrate()
+    assert recal.guard.last_good is not None
+    assert np.array_equal(recal.last_good_coefficients(), recal.guard.last_good)
+
+
+def test_guarded_recalibrator_skips_during_backoff():
+    recal, _X, _y = _recalibrator(guard=RecalibrationGuard())
+    rows = np.tile(np.array([[1.0, 1.0]]), (200, 1))
+    recal.add_pairs(rows, np.full(200, 5000.0))
+    recal.recalibrate()  # rejected -> starts backoff
+    recal.recalibrate()  # skipped, not another rejection
+    assert recal.guard.rejected_count == 1
+    assert recal.guard.skipped_count == 1
+    assert recal.rolled_back_count == 1

@@ -1,0 +1,137 @@
+"""Unit tests for the fault-plan layer: composition, random generation,
+resolution errors, and the seeded injector filters in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultTargets,
+    MeterFaultInjector,
+    MeterFaultProfile,
+)
+from repro.hardware import PackageMeter, SANDYBRIDGE, build_machine
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# Plan composition
+# ----------------------------------------------------------------------
+def test_window_constructors_emit_paired_events():
+    plan = FaultPlan().meter_outage(0.5, 0.2).mailbox_freeze(2, 0.1, 0.3)
+    assert len(plan) == 4
+    ordered = plan.sorted_events()
+    assert [(e.at, e.site, e.action) for e in ordered] == [
+        (0.1, "mailbox", "freeze"),
+        (0.4, "mailbox", "thaw"),
+        (0.5, "meter", "kill"),
+        (0.7, "meter", "restore"),
+    ]
+    assert ordered[0].param("core") == 2
+    assert ordered[0].param("missing", "fallback") == "fallback"
+
+
+def test_merge_is_non_destructive():
+    a = FaultPlan().meter_outage(0.1, 0.1)
+    b = FaultPlan().machine_crash("sb1", 0.3, 0.1)
+    merged = a.merge(b)
+    assert len(merged) == 4
+    assert len(a) == 2 and len(b) == 2  # originals untouched
+
+
+def test_random_plans_are_seed_reproducible_and_windowed():
+    def build(seed):
+        rng = np.random.default_rng(seed)
+        return FaultPlan.random(
+            rng, duration=2.0, endpoints=("listener",),
+            machines=("sb0", "sb1"), n_cores=4,
+        )
+
+    first, second = build(7), build(7)
+    assert [
+        (e.at, e.site, e.action, e.params) for e in first.sorted_events()
+    ] == [
+        (e.at, e.site, e.action, e.params) for e in second.sorted_events()
+    ]
+    assert first.sorted_events() != build(8).sorted_events()
+    # Every window starts in the first 70% and ends before the horizon
+    # (start <= 0.7*d, span <= 0.25*d), leaving recovery headroom.
+    for event in first.sorted_events():
+        assert 0.0 < event.at <= 2.0 * 0.95 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Resolution errors: a mis-bound plan fails loudly
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("event,fragment", [
+    (FaultEvent(0.1, "meter", "kill"), "no meter injector"),
+    (FaultEvent(0.1, "tags:listener", "activate"), "no tag injector"),
+    (FaultEvent(0.1, "mailbox", "freeze", (("core", 0),)), "no injector"),
+    (FaultEvent(0.1, "cluster", "crash", (("machine", "x"),)),
+     "no cluster injector"),
+    (FaultEvent(0.1, "nonsense", "kaboom"), "unknown fault event"),
+])
+def test_apply_rejects_unbound_sites(event, fragment):
+    plan = FaultPlan([event])
+    with pytest.raises(ValueError, match=fragment):
+        plan.apply(Simulator(), FaultTargets())
+
+
+def test_meter_fault_profile_validates():
+    with pytest.raises(ValueError):
+        MeterFaultProfile(drop_prob=1.5)
+    with pytest.raises(ValueError):
+        MeterFaultProfile(nan_prob=0.6, negative_prob=0.6)
+
+
+# ----------------------------------------------------------------------
+# Meter injector filter in isolation
+# ----------------------------------------------------------------------
+def _metered_injector(rng_seed=0):
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    meter = PackageMeter(machine, sim, period=1e-3, delay=1e-3)
+    return sim, meter, MeterFaultInjector(meter, np.random.default_rng(rng_seed))
+
+
+def test_meter_injector_passthrough_without_profile():
+    sim, meter, injector = _metered_injector()
+    meter.start()
+    sim.run_until(0.05)
+    assert len(meter.all_samples) == 49  # one per period, none touched
+    assert injector.export_stats() == {
+        "meter_dropped": 0.0, "meter_corrupted": 0.0,
+        "meter_duplicated": 0.0, "meter_delayed": 0.0, "meter_outages": 0.0,
+    }
+
+
+def test_meter_injector_drop_all_yields_no_samples():
+    sim, meter, injector = _metered_injector()
+    injector.set_profile(MeterFaultProfile(drop_prob=1.0))
+    meter.start()
+    sim.run_until(0.05)
+    assert meter.all_samples == []
+    assert injector.dropped == 49
+
+
+def test_meter_injector_duplicate_all_doubles_samples():
+    sim, meter, injector = _metered_injector()
+    injector.set_profile(MeterFaultProfile(duplicate_prob=1.0))
+    meter.start()
+    sim.run_until(0.05)
+    assert len(meter.all_samples) == 2 * injector.duplicated
+    assert injector.duplicated == 49
+
+
+def test_meter_injector_outage_window_via_plan():
+    sim, meter, injector = _metered_injector()
+    meter.start()
+    FaultPlan().meter_outage(0.02, 0.02).apply(
+        sim, FaultTargets(meter=injector)
+    )
+    sim.run_until(0.06)
+    assert injector.outages == 1
+    assert meter.start_count == 2
+    # No sample interval ends inside the dead window.
+    assert not any(0.021 < s.interval_end < 0.04 for s in meter.all_samples)
