@@ -25,7 +25,7 @@ from ci.report import Finding
 DOC_FILES = (
     "README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
     "docs/api.md", "docs/architecture.md", "docs/paper_mapping.md",
-    "docs/ci.md", "docs/robustness.md",
+    "docs/ci.md", "docs/robustness.md", "docs/performance.md",
 )
 
 _SECTION_RE = re.compile(r"^##\s+`(repro(?:\.\w+)?)`")

@@ -12,6 +12,10 @@ other automated guard in this repo:
 * ``W191`` tab indentation, ``W291`` trailing whitespace, ``W292`` missing
   final newline (``--fix`` rewrites these three in place)
 * ``E501`` line longer than ``MAX_LINE`` characters
+* ``H100`` ``dataclasses.fields()`` inside a function under the hot-path
+  packages (``src/repro/{core,hardware,sim}``) -- reflection there once
+  cost a double-digit share of every attribution sample; cold paths go on
+  the explicit allowlist instead
 
 Run:  ``python -m ci lint [--fix]``
 """
@@ -32,6 +36,18 @@ SKIP_DIRS = {
 
 #: Decorators that make re-definition intentional.
 _REDEF_OK_DECORATORS = {"overload", "setter", "getter", "deleter", "register"}
+
+#: Packages whose functions run on the per-sample/per-event hot path, where
+#: ``dataclasses.fields()`` reflection is a measurable per-call cost (H100).
+_HOT_PATH_PREFIXES = tuple(
+    os.path.join("src", "repro", pkg) + os.sep
+    for pkg in ("core", "hardware", "sim")
+)
+
+#: ``(relpath, function_name)`` pairs allowed to call ``dataclasses.fields``
+#: because they are cold paths (setup, reporting -- run per experiment, not
+#: per sample).  Additions need a comment saying why the path is cold.
+_FIELDS_ALLOWLIST: set[tuple[str, str]] = set()
 
 
 def iter_python_files(root: str) -> list[str]:
@@ -150,6 +166,53 @@ def _check_debugger(tree: ast.Module, relpath: str) -> list[Finding]:
     return findings
 
 
+def _is_fields_call(node: ast.Call, fields_aliases: set[str]) -> bool:
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id in fields_aliases
+    return (
+        isinstance(fn, ast.Attribute)
+        and fn.attr == "fields"
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id == "dataclasses"
+    )
+
+
+def _check_hot_reflection(tree: ast.Module, relpath: str) -> list[Finding]:
+    """H100: ``dataclasses.fields()`` inside a hot-path function."""
+    if not relpath.startswith(_HOT_PATH_PREFIXES):
+        return []
+    # Names that ``dataclasses.fields`` is bound to in this module.
+    fields_aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "dataclasses":
+            for alias in node.names:
+                if alias.name == "fields":
+                    fields_aliases.add(alias.asname or alias.name)
+    findings = []
+    reported: set[int] = set()  # call ids (nested defs are walked twice)
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if (relpath, func.name) in _FIELDS_ALLOWLIST:
+            continue
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and id(node) not in reported
+                and _is_fields_call(node, fields_aliases)
+            ):
+                reported.add(id(node))
+                findings.append(Finding(
+                    relpath, node.lineno, "H100",
+                    f"dataclasses.fields() inside {func.name!r} -- "
+                    "reflection on the attribution hot path; precompute "
+                    "the field tuple at class/module level, or allowlist "
+                    "the function in ci/lint.py if the path is cold",
+                ))
+    return findings
+
+
 def _check_text(source: str, relpath: str) -> list[Finding]:
     findings = []
     lines = source.splitlines()
@@ -208,6 +271,7 @@ def lint_file(path: str, root: str, fix: bool = False) -> list[Finding]:
 
     findings.extend(_check_redefinitions(tree, relpath))
     findings.extend(_check_debugger(tree, relpath))
+    findings.extend(_check_hot_reflection(tree, relpath))
     if os.path.basename(path) != "__init__.py":
         findings.extend(_check_unused_imports(tree, relpath))
     return sorted(findings, key=lambda f: (f.path, f.line, f.code))

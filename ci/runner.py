@@ -69,6 +69,38 @@ def run_chaos():
                             extra_env={"CI": "true"})
 
 
+def run_perf_lane():
+    """Perf lane: benchmark regression check bracketed by fingerprint runs.
+
+    ``ci/determinism.py``'s seeded experiment runs once before and once
+    after the benchmark suite; the two fingerprints must be identical, so a
+    benchmark that leaks global state (or an optimization that changes
+    attribution math) fails here even if it is fast.
+    """
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from ci.determinism import _run_once
+    from repro.perf import check_regressions, run_suite
+
+    findings = []
+    before = _run_once()
+    results = run_suite()
+    for problem in check_regressions(
+        results, os.path.join(ROOT, "BENCH_perf.json")
+    ):
+        findings.append(Finding("BENCH_perf.json", 1, "PERF", problem))
+    after = _run_once()
+    for key in before:
+        if before[key] != after[key]:
+            findings.append(Finding(
+                "ci/runner.py", 1, "NDET",
+                f"fingerprint {key!r} differs across the perf suite -- "
+                f"a benchmark perturbed global state",
+            ))
+    detail = (f"{len(results)} benchmarks, "
+              f"{len(before)} fingerprint keys compared")
+    return not findings, findings, detail
+
+
 def run_examples():
     """Every example script end-to-end in quick mode, each its own process."""
     findings = []
@@ -105,9 +137,12 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("examples", help="run every example in quick mode")
     sub.add_parser("bench", help="regenerate the benchmark figures")
     sub.add_parser("chaos", help="fault-injection scenarios + invariants")
+    sub.add_parser(
+        "perf", help="benchmark regression check + fingerprint guard",
+    )
     all_parser = sub.add_parser(
         "all", help="the merge gate: lint + docs + tests + examples "
-                    "+ chaos + determinism",
+                    "+ chaos + perf + determinism",
     )
     all_parser.add_argument(
         "--fast", action="store_true",
@@ -130,6 +165,8 @@ def main(argv: list[str] | None = None) -> int:
         reporter.run("bench", run_bench)
     elif args.lane == "chaos":
         reporter.run("chaos", run_chaos)
+    elif args.lane == "perf":
+        reporter.run("perf", run_perf_lane)
     elif args.lane == "all":
         reporter.run("lint", run_lint_lane)
         reporter.run("docs", run_docs_lane)
@@ -137,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
         if not args.fast:
             reporter.run("examples", run_examples)
             reporter.run("chaos", run_chaos)
+            reporter.run("perf", run_perf_lane)
         reporter.run("determinism", run_determinism_lane)
 
     print(reporter.summary())

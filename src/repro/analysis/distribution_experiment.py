@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.analysis.parallel import parallel_starmap
 from repro.hardware.specs import SANDYBRIDGE, WOODCREST
 from repro.server.cluster import HeterogeneousCluster
 from repro.server.dispatch import (
@@ -83,9 +84,32 @@ def run_distribution_policy(
     }
 
 
-def run_all_distribution_policies(calibrations: dict, **kwargs) -> dict:
-    """Run all three Section 4.4 policies; returns name -> result dict."""
+def _run_policy_by_index(index: int, calibrations: dict, kwargs: dict) -> dict:
+    """Worker for the policy fan-out.
+
+    Policies are identified by their index in :data:`DISTRIBUTION_POLICIES`
+    because the policy *factories* are lambdas (not picklable); the index
+    plus this module-level function is.
+    """
+    _name, factory = DISTRIBUTION_POLICIES[index]
+    return run_distribution_policy(factory(), calibrations, **kwargs)
+
+
+def run_all_distribution_policies(
+    calibrations: dict, jobs: int | None = None, **kwargs
+) -> dict:
+    """Run all three Section 4.4 policies; returns name -> result dict.
+
+    Each policy's cluster simulation is independent, so the three run in
+    parallel worker processes (``jobs``); results are keyed and ordered as
+    in :data:`DISTRIBUTION_POLICIES` regardless of completion order.
+    """
+    results = parallel_starmap(
+        _run_policy_by_index,
+        [(i, calibrations, kwargs) for i in range(len(DISTRIBUTION_POLICIES))],
+        jobs=jobs,
+    )
     return {
-        name: run_distribution_policy(factory(), calibrations, **kwargs)
-        for name, factory in DISTRIBUTION_POLICIES
+        name: result
+        for (name, _factory), result in zip(DISTRIBUTION_POLICIES, results)
     }

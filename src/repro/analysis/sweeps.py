@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.parallel import parallel_starmap
 from repro.core.calibration import CalibrationResult
 from repro.hardware.specs import MachineSpec
 from repro.workloads.base import Workload, run_workload
@@ -30,10 +31,6 @@ class SweepPoint:
     completed: int
     validation_error: float
     energy_per_request: float
-
-    @property
-    def joules_per_request_column(self) -> float:  # pragma: no cover - alias
-        return self.energy_per_request
 
 
 def _run_point(
@@ -76,14 +73,21 @@ def load_sweep(
     loads: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
     duration: float = 4.0,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
-    """Sweep the offered load on one machine."""
+    """Sweep the offered load on one machine.
+
+    Points are independent seeded simulations, so they fan out across a
+    process pool (``jobs`` workers; see :mod:`repro.analysis.parallel`).
+    Results are identical to the serial loop for any worker count.
+    """
     if not loads:
         raise ValueError("need at least one load level")
-    return [
-        _run_point(workload, spec, calibration, load, duration, seed)
-        for load in loads
-    ]
+    return parallel_starmap(
+        _run_point,
+        [(workload, spec, calibration, load, duration, seed) for load in loads],
+        jobs=jobs,
+    )
 
 
 def machine_sweep(
@@ -92,11 +96,16 @@ def machine_sweep(
     load: float = 1.0,
     duration: float = 4.0,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
-    """Run one workload at a fixed load across machine models."""
+    """Run one workload at a fixed load across machine models (in parallel)."""
     if not specs_with_calibrations:
         raise ValueError("need at least one machine")
-    return [
-        _run_point(workload, spec, calibration, load, duration, seed)
-        for spec, calibration in specs_with_calibrations
-    ]
+    return parallel_starmap(
+        _run_point,
+        [
+            (workload, spec, calibration, load, duration, seed)
+            for spec, calibration in specs_with_calibrations
+        ],
+        jobs=jobs,
+    )

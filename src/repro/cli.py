@@ -14,15 +14,14 @@ from typing import Callable
 from repro.analysis import render_table
 
 
-def _calibrations(machines=("sandybridge", "woodcrest", "westmere")):
-    from repro.core import calibrate_machine
+def _calibrations(machines=("sandybridge", "woodcrest", "westmere"), jobs=None):
+    from repro.core import calibrate_machines
     from repro.hardware import spec_by_name
 
     print("calibrating:", ", ".join(machines), "...", flush=True)
-    return {
-        name: calibrate_machine(spec_by_name(name), duration=0.25)
-        for name in machines
-    }
+    return calibrate_machines(
+        [spec_by_name(name) for name in machines], duration=0.25, jobs=jobs
+    )
 
 
 # ----------------------------------------------------------------------
@@ -150,6 +149,7 @@ def cmd_sweep(args) -> None:
     points = load_sweep(
         workload_by_name(args.workload), spec_by_name(machine),
         cals[machine], loads=(0.25, 0.5, 0.75, 1.0), duration=4.0,
+        jobs=args.jobs,
     )
     rows = [
         [p.load_fraction, p.measured_active_watts,
@@ -163,15 +163,15 @@ def cmd_sweep(args) -> None:
     ))
 
 
-def cmd_distribution(_args) -> None:
+def cmd_distribution(args) -> None:
     """Regenerate Fig. 14 / Table 1 dispatch comparison."""
     from repro.analysis.distribution_experiment import (
         run_all_distribution_policies,
     )
 
-    cals = _calibrations(("sandybridge", "woodcrest"))
+    cals = _calibrations(("sandybridge", "woodcrest"), jobs=args.jobs)
     rows = []
-    for name, result in run_all_distribution_policies(cals).items():
+    for name, result in run_all_distribution_policies(cals, jobs=args.jobs).items():
         rows.append([
             name, result["sb_watts"] + result["wc_watts"],
             result["rt_vosao"] * 1e3, result["rt_rsa"] * 1e3,
@@ -181,6 +181,35 @@ def cmd_distribution(_args) -> None:
         title="Figure 14 / Table 1: request distribution",
         float_format="{:.1f}",
     ))
+
+
+def cmd_perf(args) -> int:
+    """Run the performance suite; write or check ``BENCH_perf.json``."""
+    from repro.perf import check_regressions, run_suite, write_bench_json
+
+    results = run_suite()
+    rows = []
+    for result in results.values():
+        throughput = ", ".join(
+            f"{key}={value:,.0f}" for key, value in result.throughput.items()
+        )
+        rows.append([result.name, result.kind, result.seconds, throughput])
+    print(render_table(
+        ["benchmark", "kind", "seconds", "throughput"], rows,
+        title="performance suite", float_format="{:.5f}",
+    ))
+    if args.check:
+        problems = check_regressions(
+            results, args.check, threshold=args.threshold
+        )
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        if not problems:
+            print(f"no regressions against {args.check}")
+        return 1 if problems else 0
+    write_bench_json(results, args.output)
+    print(f"wrote {args.output}")
+    return 0
 
 
 def cmd_chaos(args) -> int:
@@ -227,6 +256,7 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "distribution": (cmd_distribution, "Fig. 14/Table 1: dispatch policies"),
     "sweep": (cmd_sweep, "load sweep of one workload on one machine"),
     "chaos": (cmd_chaos, "chaos scenarios: seeded faults + invariant checks"),
+    "perf": (cmd_perf, "performance suite: micro/macro benchmarks"),
 }
 
 
@@ -255,6 +285,29 @@ def main(argv: list[str] | None = None) -> int:
                 choices=("sandybridge", "woodcrest", "westmere"),
             )
             cmd_parser.add_argument("--workload", default="solr")
+            cmd_parser.add_argument(
+                "--jobs", type=int, default=None,
+                help="worker processes for sweep points (default: all cores)",
+            )
+        elif name == "distribution":
+            cmd_parser.add_argument(
+                "--jobs", type=int, default=None,
+                help="worker processes for policies (default: all cores)",
+            )
+        elif name == "perf":
+            cmd_parser.add_argument(
+                "--output", default="BENCH_perf.json",
+                help="where to write results (default: BENCH_perf.json)",
+            )
+            cmd_parser.add_argument(
+                "--check", metavar="BASELINE",
+                help="compare against a committed BENCH_perf.json instead "
+                     "of writing; non-zero exit on regression",
+            )
+            cmd_parser.add_argument(
+                "--threshold", type=float, default=3.0,
+                help="allowed slowdown multiple vs the committed baseline",
+            )
         elif name == "chaos":
             cmd_parser.add_argument(
                 "--all", action="store_true",

@@ -23,11 +23,18 @@ from repro.core.model import MetricSample, PowerModel, FEATURES_EQ1, FEATURES_EQ
 from repro.core.chipshare import ChipShareEstimator
 from repro.core.container import ContainerStats, PowerContainer
 from repro.core.registry import BACKGROUND_CONTAINER_ID, ContainerRegistry
-from repro.core.alignment import align_series, cross_correlation, estimate_delay
+from repro.core.alignment import (
+    align_series,
+    correlation_curve,
+    correlation_curve_reference,
+    cross_correlation,
+    estimate_delay,
+)
 from repro.core.recalibration import OnlineRecalibrator, RecalibrationGuard
 from repro.core.calibration import (
     CalibrationResult,
     calibrate_machine,
+    calibrate_machines,
     calibration_microbenchmarks,
 )
 from repro.core.accounting import CoreAccountant, ObserverEffect
@@ -58,12 +65,15 @@ __all__ = [
     "BACKGROUND_CONTAINER_ID",
     "ContainerRegistry",
     "align_series",
+    "correlation_curve",
+    "correlation_curve_reference",
     "cross_correlation",
     "estimate_delay",
     "OnlineRecalibrator",
     "RecalibrationGuard",
     "CalibrationResult",
     "calibrate_machine",
+    "calibrate_machines",
     "calibration_microbenchmarks",
     "CoreAccountant",
     "ObserverEffect",

@@ -103,6 +103,18 @@ class CoreAccountant:
         self._last_time = 0.0
         self._pending_overhead_ops = 0
         self.samples_taken = 0
+        # The observer-effect unit vector and the true energy of one
+        # maintenance op are invariants of (observer, true model, core
+        # frequency), all fixed at construction time; caching them removes
+        # an EventVector build and a power-model evaluation per sample.
+        if observer is not None:
+            self._observer_unit = observer.event_vector(1)
+            self._maintenance_joules = machine.true_model.energy_for_events(
+                self._observer_unit, core.freq_hz
+            )
+        else:
+            self._observer_unit = None
+            self._maintenance_joules = 0.0
 
     # ------------------------------------------------------------------
     # Sampling
@@ -135,32 +147,27 @@ class CoreAccountant:
             return None
 
         delta = wrapped_delta(snapshot, self._last_events)
-        if (
-            self.observer is not None
-            and self.subtract_observer
-            and self._pending_overhead_ops > 0
-        ):
-            delta.subtract(
-                self.observer.event_vector(self._pending_overhead_ops), clamp=True
+        ops = self._pending_overhead_ops
+        if self.observer is not None and self.subtract_observer and ops > 0:
+            overhead = (
+                self._observer_unit if ops == 1 else self._observer_unit.scaled(ops)
             )
+            delta.subtract(overhead, clamp=True)
         self._pending_overhead_ops = 0
 
         elapsed_cycles = self.core.freq_hz * dt
         mcore = min(max(delta.nonhalt_cycles / elapsed_cycles, 0.0), 1.0)
-        base = dict(
-            mcore=mcore,
-            mins=delta.instructions / elapsed_cycles,
-            mfloat=delta.flops / elapsed_cycles,
-            mcache=delta.cache_refs / elapsed_cycles,
-            mmem=delta.mem_trans / elapsed_cycles,
-        )
+        mins = delta.instructions / elapsed_cycles
+        mfloat = delta.flops / elapsed_cycles
+        mcache = delta.cache_refs / elapsed_cycles
+        mmem = delta.mem_trans / elapsed_cycles
 
         container = self.registry.get(self.current_container_id)
         energy_by_approach: dict[str, float] = {}
         primary_sample: Optional[MetricSample] = None
         for approach in self.approaches:
             share = approach.chipshare.estimate(self.core, mcore)
-            metric = MetricSample(mchipshare=share, **base)
+            metric = MetricSample(mcore, mins, mfloat, mcache, mmem, share)
             watts = approach.model.active_power(metric)
             energy_by_approach[approach.name] = watts * dt
             container.observe_power(
@@ -217,12 +224,10 @@ class CoreAccountant:
         """Charge the sampling operation's own cost to hardware truth."""
         if self.observer is None:
             return
-        overhead = self.observer.event_vector(1)
-        self.core.inject_events(overhead)
-        joules = self.machine.true_model.energy_for_events(
-            overhead, self.core.freq_hz
+        self.core.inject_events(self._observer_unit)
+        self.machine.add_impulse_energy(
+            self._maintenance_joules, core_index=self.core.index
         )
-        self.machine.add_impulse_energy(joules, core_index=self.core.index)
         self._pending_overhead_ops += 1
 
     # ------------------------------------------------------------------

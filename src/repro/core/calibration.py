@@ -170,7 +170,7 @@ class _OsStateSampler:
         self.total_ticks = 0
 
     def start(self) -> None:
-        self.simulator.schedule(self.period, self._tick)
+        self.simulator.schedule_recurring(self.period, self._tick)
 
     def _tick(self) -> None:
         self.total_ticks += 1
@@ -181,7 +181,6 @@ class _OsStateSampler:
             self.disk_busy_ticks += 1
         if self.machine.net.busy:
             self.net_busy_ticks += 1
-        self.simulator.schedule(self.period, self._tick)
 
     @property
     def chipshare_metric(self) -> float:
@@ -295,6 +294,31 @@ def calibrate_machine(
         metric_max=metric_max,
         package_idle_watts=_measure_package_idle(spec),
     )
+
+
+def calibrate_machines(
+    specs: list[MachineSpec] | tuple[MachineSpec, ...],
+    loads: tuple[float, ...] = (1.0, 0.75, 0.5, 0.25),
+    duration: float = 0.25,
+    jobs: int | None = None,
+) -> dict[str, CalibrationResult]:
+    """Calibrate several machine models, one worker process per machine.
+
+    Returns ``{spec.name: CalibrationResult}`` in the order given.  Each
+    machine's calibration is an independent seeded simulation, so results
+    are identical to calling :func:`calibrate_machine` in a loop.
+    """
+    # Imported lazily: repro.analysis imports repro.core at package import
+    # time, so a module-level import here would be circular.
+    from repro.analysis.parallel import parallel_starmap
+
+    specs = list(specs)
+    results = parallel_starmap(
+        calibrate_machine,
+        [(spec, loads, duration) for spec in specs],
+        jobs=jobs,
+    )
+    return {spec.name: result for spec, result in zip(specs, results)}
 
 
 def _measure_package_idle(spec: MachineSpec, duration: float = 0.05) -> float:

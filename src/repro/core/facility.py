@@ -232,6 +232,14 @@ class PowerContainerFacility(KernelHooks):
         self._trace_last_counters = [
             kernel.effective_counters(core) for core in self.machine.cores
         ]
+        #: Positions of the primary model's features within FEATURES_FULL,
+        #: precomputed once -- the trace tick projects every row with it.
+        #: The feature set of a model never changes (recalibration only
+        #: swaps coefficients), so this cannot go stale.
+        self._trace_feature_indexes = np.array(
+            [FEATURES_FULL.index(f) for f in self.models[self.primary].features],
+            dtype=np.intp,
+        )
         self._tracing = False
 
         #: Optional conditioning policy (see attach_conditioner).
@@ -278,14 +286,17 @@ class PowerContainerFacility(KernelHooks):
         self._trace_last_counters = [
             self.kernel.effective_counters(core) for core in self.machine.cores
         ]
-        self.simulator.schedule(self.os_subsample, self._os_tick)
-        self.simulator.schedule(self.trace_period, self._trace_tick)
+        self.simulator.schedule_recurring(self.os_subsample, self._os_tick)
+        self.simulator.schedule_recurring(self.trace_period, self._trace_tick)
         if self.meter is not None:
             self.meter.start()
-            self.simulator.schedule(self.recalib_interval, self._recalib_tick)
+            self.simulator.schedule_recurring(
+                self.recalib_interval, self._recalib_tick
+            )
 
     def _os_tick(self) -> None:
         if not self._tracing:
+            self.simulator.current_event.cancel()
             return
         self._tick_subsamples += 1
         for chip in self.machine.chips:
@@ -295,27 +306,28 @@ class PowerContainerFacility(KernelHooks):
             self._tick_disk += 1
         if self.machine.net.busy:
             self._tick_net += 1
-        self.simulator.schedule(self.os_subsample, self._os_tick)
 
     def _trace_tick(self) -> None:
         if not self._tracing:
+            self.simulator.current_event.cancel()
             return
         now = self.simulator.now
         elapsed_cycles = self.machine.freq_hz * self.trace_period
-        totals = np.zeros(5)
+        # Plain-float accumulators, added in the same core order as the
+        # previous ndarray accumulation: elementwise IEEE adds in a fixed
+        # order are bit-identical, without two array allocations per core.
+        t_cycles = t_ins = t_flops = t_cache = t_mem = 0.0
+        last = self._trace_last_counters
+        effective_counters = self.kernel.effective_counters
         for i, core in enumerate(self.machine.cores):
-            snap = self.kernel.effective_counters(core)
-            delta = wrapped_delta(snap, self._trace_last_counters[i])
-            self._trace_last_counters[i] = snap
-            totals += np.array(
-                [
-                    delta.nonhalt_cycles,
-                    delta.instructions,
-                    delta.flops,
-                    delta.cache_refs,
-                    delta.mem_trans,
-                ]
-            )
+            snap = effective_counters(core)
+            delta = wrapped_delta(snap, last[i])
+            last[i] = snap
+            t_cycles += delta.nonhalt_cycles
+            t_ins += delta.instructions
+            t_flops += delta.flops
+            t_cache += delta.cache_refs
+            t_mem += delta.mem_trans
         subs = max(self._tick_subsamples, 1)
         chipshare = sum(t / subs for t in self._tick_chip_active)
         mdisk = self._tick_disk / subs
@@ -325,22 +337,31 @@ class PowerContainerFacility(KernelHooks):
         self._tick_net = 0
         self._tick_subsamples = 0
 
-        row = np.concatenate([totals / elapsed_cycles, [chipshare, mdisk, mnet]])
-        primary_model = self.models[self.primary]
-        indexes = [FEATURES_FULL.index(f) for f in primary_model.features]
-        watts = float(
-            np.clip(row[indexes] @ primary_model.coefficients, 0.0, None)
+        row = np.array(
+            [
+                t_cycles / elapsed_cycles,
+                t_ins / elapsed_cycles,
+                t_flops / elapsed_cycles,
+                t_cache / elapsed_cycles,
+                t_mem / elapsed_cycles,
+                chipshare,
+                mdisk,
+                mnet,
+            ]
         )
+        primary_model = self.models[self.primary]
+        watts = float(row[self._trace_feature_indexes] @ primary_model.coef_view)
+        if watts < 0.0:
+            watts = 0.0
         self.trace.append(ModelTracePoint(time=now, row=row, watts=watts))
-        self.simulator.schedule(self.trace_period, self._trace_tick)
 
     def _recalib_tick(self) -> None:
         if not self._tracing:
+            self.simulator.current_event.cancel()
             return
         self._check_meter_health()
         if self.health.meter_state == "ok":
             self._run_recalibration()
-        self.simulator.schedule(self.recalib_interval, self._recalib_tick)
 
     def _check_meter_health(self) -> None:
         """Meter-health watchdog: detect staleness, fall back, re-arm.

@@ -21,6 +21,7 @@ which online recalibration (Section 3.2) uses to swap in refitted values.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 
 import numpy as np
 
@@ -46,7 +47,7 @@ FEATURES_EQ2 = FEATURES_EQ1 + ("mchipshare",)
 FEATURES_FULL = FEATURES_EQ2 + ("mdisk", "mnet")
 
 
-@dataclass
+@dataclass(slots=True)
 class MetricSample:
     """One observation of the modelled metrics.
 
@@ -95,6 +96,13 @@ class PowerModel:
             )
         self.features = tuple(features)
         self._coef = coefficients.copy()
+        # Hot-path machinery for :meth:`active_power`: an attrgetter pulls
+        # the feature fields out of a sample in one C call, and a reusable
+        # buffer avoids a fresh ndarray per sample.  The reduction itself
+        # stays ``coef @ buf`` -- BLAS and a pure-Python loop round
+        # differently, and attribution must stay bit-identical.
+        self._getter = attrgetter(*self.features)
+        self._buf = np.empty(len(self.features), dtype=float)
         #: Constant idle power measured at calibration time (Cidle).  Not
         #: part of the active-power estimate; recorded for completeness and
         #: for converting measured full power to active power.
@@ -106,6 +114,16 @@ class PowerModel:
         """Copy of the current coefficient vector (aligned with features)."""
         return self._coef.copy()
 
+    @property
+    def coef_view(self) -> np.ndarray:
+        """The live coefficient vector itself, for hot paths.
+
+        Callers must treat the array as read-only; mutating it would bypass
+        :meth:`update_coefficients`.  Do not hold on to the reference across
+        recalibrations -- updates swap in a fresh array.
+        """
+        return self._coef
+
     def coefficient(self, feature: str) -> float:
         """Coefficient of one feature (0.0 when the feature is not used)."""
         if feature not in self.features:
@@ -114,7 +132,9 @@ class PowerModel:
 
     def active_power(self, sample: MetricSample) -> float:
         """Estimated active power for one metric observation, clamped >= 0."""
-        watts = float(self._coef @ sample.as_vector(self.features))
+        buf = self._buf
+        buf[:] = self._getter(sample)
+        watts = float(self._coef @ buf)
         return max(watts, 0.0)
 
     def active_power_batch(self, samples: np.ndarray) -> np.ndarray:

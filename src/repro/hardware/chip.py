@@ -54,6 +54,7 @@ class Chip:
             )
             for _ in range(n_cores)
         ]
+        self._siblings: dict[int, tuple[Core, ...]] = {}
 
     # ------------------------------------------------------------------
     # DVFS
@@ -70,6 +71,8 @@ class Chip:
                 f"scale {scale} not in supported P-states {DVFS_SCALES}"
             )
         self._freq_scale = scale
+        for core in self.cores:
+            core._refresh_effective_hz()
 
     @property
     def relative_voltage(self) -> float:
@@ -101,9 +104,14 @@ class Chip:
         """Number of currently busy cores."""
         return sum(1 for core in self.cores if core.busy)
 
-    def siblings_of(self, core: Core) -> list[Core]:
-        """All other cores on the same package."""
-        return [c for c in self.cores if c is not core]
+    def siblings_of(self, core: Core) -> tuple[Core, ...]:
+        """All other cores on the same package (cached; membership is fixed
+        after construction and this is read on every accounting sample)."""
+        siblings = self._siblings.get(core.index)
+        if siblings is None:
+            siblings = tuple(c for c in self.cores if c is not core)
+            self._siblings[core.index] = siblings
+        return siblings
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Chip(#{self.index}, {self.busy_core_count}/{self.n_cores} busy)"

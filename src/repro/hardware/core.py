@@ -46,6 +46,10 @@ class Core:
         self.counters = CounterBank(overflow_threshold_cycles)
         self.mailbox = SampleMailbox()
         self._duty_level = DUTY_LEVELS
+        # freq_hz, duty level, and the chip's DVFS scale only change through
+        # their setters, so the product is cached and refreshed on writes
+        # (it is read on every slice start/end and accounting sample).
+        self._effective_hz = freq_hz * 1.0 * chip.freq_scale
         #: Profile of the code currently on the core, or ``None`` when idle
         #: (the OS idle task halts the core).
         self.active_profile: Optional[RateProfile] = None
@@ -69,6 +73,7 @@ class Core:
         if not 1 <= level <= DUTY_LEVELS:
             raise ValueError(f"duty level must be in [1, {DUTY_LEVELS}]")
         self._duty_level = level
+        self._refresh_effective_hz()
 
     @property
     def duty_ratio(self) -> float:
@@ -87,7 +92,11 @@ class Core:
     def effective_hz(self) -> float:
         """Non-halt cycles per wall second under the current duty level
         and the chip's DVFS frequency scale."""
-        return self.freq_hz * self.duty_ratio * self.chip.freq_scale
+        return self._effective_hz
+
+    def _refresh_effective_hz(self) -> None:
+        """Recompute the cached rate (duty or chip DVFS scale changed)."""
+        self._effective_hz = self.freq_hz * self.duty_ratio * self.chip.freq_scale
 
     def begin_activity(self, profile: RateProfile, owner: object | None = None) -> None:
         """Install a running task's profile (scheduler dispatch)."""
@@ -107,13 +116,13 @@ class Core:
         """Wall time needed to execute ``nonhalt_cycles`` at current duty."""
         if nonhalt_cycles < 0:
             raise ValueError("cycle count must be non-negative")
-        return nonhalt_cycles / self.effective_hz
+        return nonhalt_cycles / self._effective_hz
 
     def cycles_for_seconds(self, seconds: float) -> float:
         """Non-halt cycles executed in ``seconds`` at the current duty level."""
         if seconds < 0:
             raise ValueError("duration must be non-negative")
-        return seconds * self.effective_hz
+        return seconds * self._effective_hz
 
     def run_for_cycles(
         self, nonhalt_cycles: float, work_fraction: float = 1.0

@@ -56,11 +56,18 @@ class CounterBank:
         With ``wrap`` enabled each field is reduced modulo the 48-bit
         register width, as software would observe on real hardware.
         """
-        snapshot = self.totals.copy()
-        if self.wrap:
-            for name, value in snapshot.as_dict().items():
-                setattr(snapshot, name, value % COUNTER_WRAP)
-        return snapshot
+        totals = self.totals
+        if not self.wrap:
+            return totals.copy()
+        return EventVector(
+            totals.nonhalt_cycles % COUNTER_WRAP,
+            totals.instructions % COUNTER_WRAP,
+            totals.flops % COUNTER_WRAP,
+            totals.cache_refs % COUNTER_WRAP,
+            totals.mem_trans % COUNTER_WRAP,
+            totals.disk_bytes % COUNTER_WRAP,
+            totals.net_bytes % COUNTER_WRAP,
+        )
 
     def cycles_until_overflow(self) -> float:
         """Non-halt cycles remaining before the next overflow interrupt.
@@ -92,12 +99,28 @@ def wrapped_delta(later: EventVector, earlier: EventVector) -> EventVector:
     sampling guarantees by ~5 orders of magnitude.)
     """
     delta = later.delta_from(earlier)
-    for name, value in delta.as_dict().items():
-        if value < -0.5:
-            setattr(delta, name, value + COUNTER_WRAP)
-        elif value < 0.0:
-            # Sub-event negative residue is floating-point noise, not wrap.
-            setattr(delta, name, 0.0)
+    # Unrolled over the fixed field set (hot path: every counter sample).
+    value = delta.nonhalt_cycles
+    if value < 0.0:
+        delta.nonhalt_cycles = value + COUNTER_WRAP if value < -0.5 else 0.0
+    value = delta.instructions
+    if value < 0.0:
+        delta.instructions = value + COUNTER_WRAP if value < -0.5 else 0.0
+    value = delta.flops
+    if value < 0.0:
+        delta.flops = value + COUNTER_WRAP if value < -0.5 else 0.0
+    value = delta.cache_refs
+    if value < 0.0:
+        delta.cache_refs = value + COUNTER_WRAP if value < -0.5 else 0.0
+    value = delta.mem_trans
+    if value < 0.0:
+        delta.mem_trans = value + COUNTER_WRAP if value < -0.5 else 0.0
+    value = delta.disk_bytes
+    if value < 0.0:
+        delta.disk_bytes = value + COUNTER_WRAP if value < -0.5 else 0.0
+    value = delta.net_bytes
+    if value < 0.0:
+        delta.net_bytes = value + COUNTER_WRAP if value < -0.5 else 0.0
     return delta
 
 

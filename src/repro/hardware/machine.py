@@ -192,6 +192,65 @@ class Machine:
             idle_watts=model.idle_machine_watts,
         )
 
+    def integrate_power(self, acc, dt: float) -> None:
+        """Accumulate ``dt`` seconds at the current power level into ``acc``.
+
+        Hot-path twin of :meth:`power_breakdown` used by the energy
+        integrator: identical arithmetic in identical order (so joule totals
+        are bit-for-bit the same), but accumulating straight into the
+        integrator's lists instead of materializing a
+        :class:`~repro.hardware.power.PowerBreakdown` per checkpoint.
+        """
+        model = self.true_model
+        per_core_joules = acc.per_core_joules
+        package_joules = acc.package_joules
+        maintenance_joules = acc.maintenance_joules
+        core_sum = 0.0
+        maint_sum = 0.0
+        core_index = 0
+        for chip in self.chips:
+            chip_core_watts = 0.0
+            chip_busy = False
+            dynamic_factor = chip.dynamic_power_factor
+            for core in chip.cores:
+                profile = core.active_profile
+                if profile is None:
+                    watts = 0.0
+                else:
+                    chip_busy = True
+                    wf = core.current_work_fraction
+                    watts = model.core_active_watts(
+                        utilization=core.duty_ratio,
+                        ipc=profile.ipc * wf,
+                        flops_per_cycle=profile.flops_per_cycle * wf,
+                        cache_per_cycle=profile.cache_per_cycle * wf,
+                        mem_per_cycle=profile.mem_per_cycle * wf,
+                        hidden_watts=profile.hidden_watts,
+                    ) * dynamic_factor
+                per_core_joules[core_index] += watts * dt
+                core_index += 1
+                chip_core_watts += watts
+                core_sum += watts
+            maint = (
+                model.maintenance_watts * chip.static_power_factor
+                if chip_busy
+                else 0.0
+            )
+            maint_sum += maint
+            maintenance_joules[chip.index] += maint * dt
+            package_joules[chip.index] += (
+                chip_core_watts + maint + model.package_idle_watts
+            ) * dt
+        peripheral = 0.0
+        if self.disk.busy:
+            peripheral += model.disk_active_watts
+        if self.net.busy:
+            peripheral += model.net_active_watts
+        active = core_sum + maint_sum + peripheral
+        acc.machine_joules += (model.idle_machine_watts + active) * dt
+        acc.active_joules += active * dt
+        acc.peripheral_joules += peripheral * dt
+
     def checkpoint(self) -> None:
         """Close the current energy interval at the present simulated time."""
         self.integrator.checkpoint(self.simulator.now)

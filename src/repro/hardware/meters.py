@@ -80,14 +80,25 @@ class _PeriodicMeter:
         self._running = True
         self.start_count += 1
         self._last_energy = self._read_energy()
-        self.simulator.schedule(self.period, self._tick, label="meter-tick")
+        self.simulator.schedule_recurring(
+            self.period, self._tick, label="meter-tick"
+        )
 
     def stop(self) -> None:
-        """Stop sampling after the current interval."""
+        """Stop sampling after the current interval.
+
+        The pending tick is deliberately left armed: it self-cancels when it
+        fires and finds the meter stopped.  A stop/start flap faster than
+        one period therefore briefly runs two tick chains -- mirroring real
+        drivers that cannot revoke an already-latched timer interrupt.
+        """
         self._running = False
 
     def _tick(self) -> None:
         if not self._running:
+            # Stopped since this tick was armed: end this chain (the handle
+            # currently firing is ours -- a flap may have started another).
+            self.simulator.current_event.cancel()
             return
         self.machine.checkpoint()
         now = self.simulator.now
@@ -103,7 +114,6 @@ class _PeriodicMeter:
             self._samples.append(sample)
         else:
             self._samples.extend(self.fault_hook(sample))
-        self.simulator.schedule(self.period, self._tick, label="meter-tick")
 
     def _read_energy(self) -> float:  # pragma: no cover - overridden
         raise NotImplementedError

@@ -175,17 +175,10 @@ class EnergyIntegrator:
             raise ValueError(f"time went backwards: {now} < {self._last_time}")
         if dt == 0.0:
             return
-        breakdown = self._machine.power_breakdown()
-        acc = self._acc
-        acc.machine_joules += breakdown.machine_watts * dt
-        acc.active_joules += breakdown.active_watts * dt
-        acc.peripheral_joules += breakdown.peripheral_watts * dt
-        for i, watts in enumerate(breakdown.package_watts):
-            acc.package_joules[i] += watts * dt
-        for i, watts in enumerate(breakdown.per_core_watts):
-            acc.per_core_joules[i] += watts * dt
-        for i, watts in enumerate(breakdown.maintenance_watts):
-            acc.maintenance_joules[i] += watts * dt
+        # Fused with the power computation (Machine.integrate_power) so the
+        # hot path allocates nothing; arithmetic matches power_breakdown()
+        # term for term.
+        self._machine.integrate_power(self._acc, dt)
         self._last_time = now
 
     def add_impulse(self, joules: float, core_index: int | None = None) -> None:

@@ -89,7 +89,7 @@ class KernelHooks:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class _Slice:
     """Bookkeeping for one in-progress Compute slice on a core."""
 

@@ -1,0 +1,23 @@
+"""Performance-regression harness: micro/macro benchmarks + BENCH_perf.json.
+
+Run with ``python -m repro perf``; see :mod:`repro.perf.suite` and
+``docs/performance.md``.
+"""
+
+from repro.perf.suite import (
+    BenchResult,
+    PRE_PR_SECONDS,
+    check_regressions,
+    load_bench_json,
+    run_suite,
+    write_bench_json,
+)
+
+__all__ = [
+    "BenchResult",
+    "PRE_PR_SECONDS",
+    "check_regressions",
+    "load_bench_json",
+    "run_suite",
+    "write_bench_json",
+]

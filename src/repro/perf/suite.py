@@ -1,0 +1,306 @@
+"""The benchmark suite behind ``python -m repro perf``.
+
+Two kinds of benchmarks guard the attribution stack's speed:
+
+* **micro** -- isolated hot kernels (event-vector math, ``active_power``,
+  the simulator queue, ``correlation_curve``), each timed over enough
+  iterations that per-call overhead dominates noise;
+* **macro** -- one end-to-end seeded Solr workload run, the same shape the
+  determinism gate replays, timing the whole simulator -> accounting ->
+  tracing pipeline.
+
+Results are emitted as ``BENCH_perf.json``.  The committed copy at the repo
+root records, per benchmark: the wall time measured when the file was last
+regenerated (``seconds``), derived throughput (events/sec, samples/sec),
+and -- for the two benchmarks that existed before the optimization PR --
+the pre-optimization wall time (``pre_pr_seconds``) measured with the same
+methodology on the same machine, so the speedup is an apples-to-apples
+ratio inside one file.
+
+:func:`check_regressions` is the CI contract (the ``perf`` lane): a fresh
+run must stay under ``threshold`` x the committed wall times, and the
+machine-independent ratio between the vectorized ``correlation_curve`` and
+its loop oracle must hold.  Wall-clock comparisons against a committed file
+are inherently machine-relative, hence the generous default threshold; the
+ratio check has no such dependence.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Wall times measured immediately before the optimization PR, with the
+#: exact methodology of the corresponding benchmark below, committed so the
+#: speedup claims stay auditable.  Do not update these when regenerating
+#: baselines -- they are the historical reference point.
+PRE_PR_SECONDS = {
+    "macro-solr-workload": 0.8485575700005938,
+    "micro-correlation-curve": 0.005122571666712854,
+}
+
+#: CI regression threshold: fresh wall time may be at most this multiple of
+#: the committed wall time (absorbs machine and load variance).
+DEFAULT_THRESHOLD = 3.0
+
+#: Minimum required speed ratio of the vectorized ``correlation_curve``
+#: over the loop oracle (machine-independent; measured ~27x).
+MIN_CORRELATION_RATIO = 5.0
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's timing plus derived throughput numbers."""
+
+    name: str
+    kind: str  # "micro" or "macro"
+    seconds: float
+    throughput: dict[str, float] = field(default_factory=dict)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall time over ``repeats`` runs (noise-robust estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Macro benchmark
+# ---------------------------------------------------------------------------
+def bench_macro_solr() -> BenchResult:
+    """End-to-end seeded Solr run, best of 3 (calibration excluded, like
+    the pre-PR measurement): simulator + kernel + accounting + tracing."""
+    from repro.core import calibrate_machine
+    from repro.hardware import SANDYBRIDGE
+    from repro.workloads import SolrWorkload, run_workload
+
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.1)
+
+    run = None
+    seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        run = run_workload(
+            SolrWorkload(), SANDYBRIDGE, calibration,
+            load_fraction=0.6, duration=1.5, warmup=0.2, seed=7,
+        )
+        seconds = min(seconds, time.perf_counter() - start)
+    events = run.facility.simulator.events_processed
+    requests = len(run.driver.results)
+    return BenchResult(
+        "macro-solr-workload", "macro", seconds,
+        throughput={
+            "events_per_sec": events / seconds,
+            "requests_per_sec": requests / seconds,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Micro benchmarks
+# ---------------------------------------------------------------------------
+def bench_correlation_curve() -> BenchResult:
+    """Eq. 4 delay search at recalibration scale (4000-sample series,
+    1500-sample delay window) -- the pre-PR measurement's exact shape."""
+    from repro.core.alignment import correlation_curve
+
+    rng = np.random.default_rng(0)
+    measured = rng.normal(50, 5, 4000)
+    modeled = rng.normal(50, 5, 4000)
+    correlation_curve(measured, modeled, 1500)  # warm numpy's FFT setup
+
+    start = time.perf_counter()
+    for _ in range(3):
+        correlation_curve(measured, modeled, 1500)
+    seconds = (time.perf_counter() - start) / 3
+    return BenchResult(
+        "micro-correlation-curve", "micro", seconds,
+        throughput={"delays_per_sec": 1501 / seconds},
+    )
+
+
+def bench_correlation_ratio() -> BenchResult:
+    """Loop oracle vs vectorized curve on the same inputs.  The ``seconds``
+    field holds the *ratio* (machine-independent), not a wall time."""
+    from repro.core.alignment import correlation_curve, correlation_curve_reference
+
+    rng = np.random.default_rng(0)
+    measured = rng.normal(50, 5, 4000)
+    modeled = rng.normal(50, 5, 4000)
+    correlation_curve(measured, modeled, 1500)
+
+    vectorized = _best_of(lambda: correlation_curve(measured, modeled, 1500))
+    reference = _best_of(
+        lambda: correlation_curve_reference(measured, modeled, 1500), repeats=1
+    )
+    return BenchResult(
+        "micro-correlation-vs-oracle-ratio", "micro", reference / vectorized,
+        throughput={
+            "vectorized_seconds": vectorized,
+            "reference_seconds": reference,
+        },
+    )
+
+
+def bench_event_vector() -> BenchResult:
+    """Slot-backed EventVector arithmetic: add/subtract/scaled round trips."""
+    from repro.hardware.events import EventVector
+
+    iterations = 20_000
+    a = EventVector(1e6, 2e6, 3e4, 4e3, 5e2, 10.0, 11.0)
+    b = EventVector(5e5, 1e6, 1e4, 2e3, 2e2, 3.0, 4.0)
+
+    def body():
+        acc = EventVector()
+        for _ in range(iterations):
+            acc.add(a)
+            acc.subtract(b)
+            a.scaled(2.0)
+
+    seconds = _best_of(body)
+    ops = iterations * 3
+    return BenchResult(
+        "micro-event-vector", "micro", seconds,
+        throughput={"ops_per_sec": ops / seconds},
+    )
+
+
+def bench_active_power() -> BenchResult:
+    """Per-sample model evaluation: the Eq. 1/2 inner product."""
+    from repro.core.model import FEATURES_EQ2, MetricSample, PowerModel
+
+    model = PowerModel(
+        features=FEATURES_EQ2,
+        coefficients=np.array([20.0, 4.0, 6.0, 9.0, 14.0, 11.0]),
+        idle_watts=80.0,
+    )
+    sample = MetricSample(
+        mcore=0.8, mins=1.2, mfloat=0.1, mcache=0.02, mmem=0.01,
+        mchipshare=0.5,
+    )
+    iterations = 50_000
+
+    def body():
+        for _ in range(iterations):
+            model.active_power(sample)
+
+    seconds = _best_of(body)
+    return BenchResult(
+        "micro-active-power", "micro", seconds,
+        throughput={"samples_per_sec": iterations / seconds},
+    )
+
+
+def bench_simulator_queue() -> BenchResult:
+    """Event queue churn: one-shot scheduling plus a recurring tick."""
+    from repro.sim.engine import Simulator
+
+    def body():
+        sim = Simulator()
+        counter = [0]
+
+        def bump():
+            counter[0] += 1
+
+        sim.schedule_recurring(1e-4, bump, label="tick")
+        for i in range(10_000):
+            sim.schedule(1e-6 * (i + 1), bump, label="one-shot")
+        sim.run_until(1.0)
+
+    seconds = _best_of(body)
+    # 10k one-shots + 10k recurring firings per run.
+    return BenchResult(
+        "micro-simulator-queue", "micro", seconds,
+        throughput={"events_per_sec": 20_000 / seconds},
+    )
+
+
+#: All benchmarks, run in this order.
+SUITE = (
+    bench_event_vector,
+    bench_active_power,
+    bench_simulator_queue,
+    bench_correlation_curve,
+    bench_correlation_ratio,
+    bench_macro_solr,
+)
+
+
+def run_suite() -> dict[str, BenchResult]:
+    """Run every benchmark; returns ``{name: BenchResult}`` in suite order."""
+    results = {}
+    for bench in SUITE:
+        result = bench()
+        results[result.name] = result
+    return results
+
+
+# ---------------------------------------------------------------------------
+# BENCH_perf.json I/O and the CI regression contract
+# ---------------------------------------------------------------------------
+def write_bench_json(results: dict[str, BenchResult], path: str) -> dict:
+    """Serialize results (plus pre-PR baselines and speedups) to ``path``."""
+    benchmarks = {}
+    for name, result in results.items():
+        entry: dict = {"kind": result.kind, "seconds": result.seconds}
+        entry.update(result.throughput)
+        pre = PRE_PR_SECONDS.get(name)
+        if pre is not None:
+            entry["pre_pr_seconds"] = pre
+            entry["speedup_vs_pre_pr"] = pre / result.seconds
+        benchmarks[name] = entry
+    payload = {"schema": 1, "benchmarks": benchmarks}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def load_bench_json(path: str) -> dict:
+    """Load a committed ``BENCH_perf.json``."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_regressions(
+    results: dict[str, BenchResult],
+    committed_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Compare a fresh run against the committed baselines.
+
+    Returns a list of human-readable problems (empty = pass): wall-time
+    benchmarks must stay under ``threshold`` x their committed ``seconds``;
+    the correlation ratio benchmark must stay above
+    :data:`MIN_CORRELATION_RATIO` (and is exempt from the wall-time rule,
+    since its ``seconds`` field is a ratio where *bigger* is better).
+    """
+    committed = load_bench_json(committed_path)["benchmarks"]
+    problems = []
+    for name, result in results.items():
+        if name == "micro-correlation-vs-oracle-ratio":
+            if result.seconds < MIN_CORRELATION_RATIO:
+                problems.append(
+                    f"{name}: vectorized/oracle ratio {result.seconds:.1f}x "
+                    f"below required {MIN_CORRELATION_RATIO:.1f}x"
+                )
+            continue
+        baseline = committed.get(name)
+        if baseline is None:
+            problems.append(f"{name}: no committed baseline in {committed_path}")
+            continue
+        limit = baseline["seconds"] * threshold
+        if result.seconds > limit:
+            problems.append(
+                f"{name}: {result.seconds:.4f}s exceeds "
+                f"{threshold:.1f}x committed baseline "
+                f"({baseline['seconds']:.4f}s)"
+            )
+    return problems

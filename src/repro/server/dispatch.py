@@ -247,7 +247,7 @@ class Dispatcher:
         """Begin Poisson arrivals and utilization sampling."""
         sim = self.cluster.simulator
         self._deadline = sim.now + duration
-        sim.schedule(self._util_period, self._sample_utilization)
+        sim.schedule_recurring(self._util_period, self._sample_utilization)
         self._schedule_next_arrival()
 
     def smoothed_utilization(self, machine_name: str) -> float:
@@ -262,8 +262,8 @@ class Dispatcher:
             self._util_ewma[member.name] = (
                 (1 - self._util_alpha) * previous + self._util_alpha * current
             )
-        if self._deadline is None or sim.now < self._deadline:
-            sim.schedule(self._util_period, self._sample_utilization)
+        if self._deadline is not None and sim.now >= self._deadline:
+            sim.current_event.cancel()
 
     def _schedule_next_arrival(self) -> None:
         sim = self.cluster.simulator

@@ -8,6 +8,23 @@ reproducible experiments and for the resumable accounting logic built on top.
 Time is measured in simulated **seconds** as a float.  Sub-microsecond
 activity (e.g. a container maintenance operation that takes 0.95 us) is
 representable without special handling.
+
+Performance notes (this is the innermost loop of every experiment):
+
+* Queue entries are plain ``(time, seq, event)`` tuples.  The ``seq`` drawn
+  from a single monotonic counter is unique, so tuple comparison never falls
+  through to the event object, and heap operations stay in C.
+* Periodic activity (meters, trace ticks, counter-overflow sampling) uses
+  :meth:`schedule_recurring`: the engine re-pushes the same event object
+  after each firing instead of allocating a fresh handle per period.  The
+  re-push draws its ``seq`` immediately after the callback returns -- the
+  exact point where the old "reschedule yourself as your last statement"
+  pattern drew it -- so event interleaving (and therefore every seeded
+  fingerprint) is unchanged.
+* Cancelled entries are swept (filter + re-heapify) once they dominate an
+  oversized queue, bounding memory under workloads that cancel most of what
+  they schedule (e.g. slice-end events cut short by context switches).
+  Heapify preserves pop order because ``(time, seq)`` is a total order.
 """
 
 from __future__ import annotations
@@ -15,7 +32,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 
@@ -23,26 +40,30 @@ class SimulationError(RuntimeError):
     """Raised on invalid use of the simulation engine."""
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    event: "ScheduledEvent" = field(compare=False)
-
-
-@dataclass
+@dataclass(slots=True)
 class ScheduledEvent:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
+
+    ``period`` is ``None`` for one-shot events.  For recurring events it is
+    the firing interval: after the callback returns the engine re-arms the
+    same handle ``period`` seconds later, until :meth:`cancel` is called
+    (from inside the callback or outside).
+    """
 
     time: float
     callback: Callable[..., None]
     args: tuple
     label: str = ""
     cancelled: bool = False
+    period: Optional[float] = None
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when its time arrives."""
+        """Mark the event so the engine skips (and stops re-arming) it."""
         self.cancelled = True
+
+
+#: Queue length below which cancelled-entry sweeps are never attempted.
+_SWEEP_MIN_SIZE = 512
 
 
 class Simulator:
@@ -56,11 +77,19 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[_QueueEntry] = []
+        #: Heap of ``(time, seq, ScheduledEvent)`` tuples.
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._event_count = 0
+        #: Queue length that triggers the next cancelled-entry sweep check.
+        self._sweep_threshold = _SWEEP_MIN_SIZE
+        #: The event whose callback is currently executing (``None`` between
+        #: events).  A recurring callback cancels *this* to stop its own
+        #: chain -- self-identifying, so two live chains sharing a callback
+        #: (a stop/start flap race) each shut down independently.
+        self.current_event: Optional[ScheduledEvent] = None
 
     @property
     def now(self) -> float:
@@ -74,7 +103,17 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of live (non-cancelled) events still queued.
+
+        Linear in queue size; intended for tests and progress reporting,
+        not for per-event polling.  See :attr:`raw_pending` for the raw
+        entry count including cancelled-but-unswept entries.
+        """
+        return sum(1 for entry in self._queue if not entry[2].cancelled)
+
+    @property
+    def raw_pending(self) -> int:
+        """Raw queue entry count, including cancelled entries (diagnostic)."""
         return len(self._queue)
 
     def schedule(
@@ -104,7 +143,34 @@ class Simulator:
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
         event = ScheduledEvent(time=time, callback=callback, args=args, label=label)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), event))
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+        if len(self._queue) >= self._sweep_threshold:
+            self._sweep_cancelled()
+        return event
+
+    def schedule_recurring(
+        self,
+        period: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+        first_delay: Optional[float] = None,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` every ``period`` seconds.
+
+        The first firing happens ``first_delay`` seconds from now (default:
+        one full period).  After each firing the engine re-arms the same
+        handle, so periodic work costs one heap push per period and zero
+        handle allocations.  Stop the chain with ``handle.cancel()`` --
+        typically from inside the callback, which reproduces the classic
+        "check a running flag, return without rescheduling" shutdown of
+        self-rescheduling callbacks.
+        """
+        if period <= 0 or math.isnan(period) or math.isinf(period):
+            raise SimulationError(f"invalid recurrence period {period!r}")
+        delay = period if first_delay is None else first_delay
+        event = self.schedule(delay, callback, *args, label=label)
+        event.period = period
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -112,17 +178,27 @@ class Simulator:
         self._drop_cancelled_head()
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]
 
     def step(self) -> bool:
         """Execute the next live event.  Returns ``False`` when none remain."""
         self._drop_cancelled_head()
         if not self._queue:
             return False
-        entry = heapq.heappop(self._queue)
-        self._now = entry.time
+        _, _, event = heapq.heappop(self._queue)
+        self._now = event.time
         self._event_count += 1
-        entry.event.callback(*entry.event.args)
+        self.current_event = event
+        try:
+            event.callback(*event.args)
+        finally:
+            self.current_event = None
+        # Re-arm recurring events after (and only after) a normal return.
+        # Drawing the seq here keeps the global scheduling order identical
+        # to a callback that rescheduled itself as its last statement.
+        if event.period is not None and not event.cancelled:
+            event.time = self._now + event.period
+            heapq.heappush(self._queue, (event.time, next(self._seq), event))
         return True
 
     def run_until(self, time: float) -> None:
@@ -165,5 +241,20 @@ class Simulator:
             raise SimulationError("simulator is not reentrant; already running")
 
     def _drop_cancelled_head(self) -> None:
-        while self._queue and self._queue[0].event.cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+
+    def _sweep_cancelled(self) -> None:
+        """Drop cancelled entries when they dominate an oversized queue.
+
+        Deterministic: pop order depends only on the ``(time, seq)`` total
+        order, which filtering + heapify preserves.  The threshold doubles
+        with the surviving queue so the amortized cost per push is O(1).
+        """
+        queue = self._queue
+        live = [entry for entry in queue if not entry[2].cancelled]
+        if len(live) <= len(queue) // 2:
+            heapq.heapify(live)
+            self._queue = live
+        self._sweep_threshold = max(_SWEEP_MIN_SIZE, 2 * len(self._queue))

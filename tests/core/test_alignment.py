@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import align_series, cross_correlation, estimate_delay
-from repro.core.alignment import correlation_curve
+from repro.core.alignment import correlation_curve, correlation_curve_reference
 
 
 def _phased_signal(n, period=40, amplitude=5.0, base=30.0, seed=0):
@@ -98,3 +98,62 @@ def test_property_any_delay_recovered(delay):
     model = _phased_signal(500, period=23, seed=9)
     measured = model if delay == 0 else model[:-delay]
     assert estimate_delay(measured, model, max_delay_samples=30) == delay
+
+
+# ---------------------------------------------------------------------------
+# Vectorized curve vs. the loop oracle
+# ---------------------------------------------------------------------------
+
+_series = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    min_size=0,
+    max_size=64,
+)
+
+
+@settings(max_examples=120)
+@given(measured=_series, modeled=_series, max_delay=st.integers(0, 90))
+def test_vectorized_curve_matches_loop_oracle(measured, modeled, max_delay):
+    """Both vectorized strategies agree with the per-delay loop to 1e-12."""
+    measured = np.array(measured)
+    modeled = np.array(modeled)
+    oracle = correlation_curve_reference(measured, modeled, max_delay)
+    # FFT roundoff is bounded by the magnitude of the products summed, not by
+    # the (possibly cancelling-to-zero) result, so scale the tolerance by the
+    # inputs: 1e-12 relative to max|measured| * max|modeled|.
+    peak_m = float(np.max(np.abs(measured))) if len(measured) else 0.0
+    peak_x = float(np.max(np.abs(modeled))) if len(modeled) else 0.0
+    scale = max(1.0, peak_m * peak_x)
+    for method in ("auto", "windows", "fft"):
+        curve = correlation_curve(measured, modeled, max_delay, method=method)
+        assert curve.shape == oracle.shape
+        np.testing.assert_allclose(curve, oracle, rtol=0, atol=1e-12 * scale)
+
+
+def test_vectorized_curve_matches_oracle_at_recalibration_scale():
+    """The FFT path (chosen by auto at real sizes) stays within 1e-12."""
+    rng = np.random.default_rng(11)
+    measured = 50.0 + 10.0 * rng.normal(size=1500)
+    modeled = 48.0 + 9.0 * rng.normal(size=1500)
+    measured -= measured.mean()
+    modeled -= modeled.mean()
+    oracle = correlation_curve_reference(measured, modeled, 1499)
+    curve = correlation_curve(measured, modeled, 1499)
+    scale = float(np.max(np.abs(oracle)))
+    np.testing.assert_allclose(curve, oracle, rtol=0, atol=1e-12 * scale)
+    assert np.argmax(curve) == np.argmax(oracle)
+
+
+def test_correlation_curve_rejects_unknown_method():
+    with pytest.raises(ValueError):
+        correlation_curve(np.ones(5), np.ones(5), 2, method="loop")
+
+
+def test_correlation_curve_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        correlation_curve(np.ones(5), np.ones(5), -1)
+
+
+def test_correlation_curve_empty_series_is_zero():
+    assert np.all(correlation_curve(np.array([]), np.ones(5), 3) == 0.0)
+    assert np.all(correlation_curve(np.ones(5), np.array([]), 3) == 0.0)

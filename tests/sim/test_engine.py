@@ -161,3 +161,113 @@ def test_reentrant_run_rejected():
     sim.schedule(1.0, nested)
     sim.run_until(5.0)
     assert len(errors) == 1
+
+
+# ---------------------------------------------------------------------------
+# Recurring events
+# ---------------------------------------------------------------------------
+def test_recurring_event_fires_every_period():
+    sim = Simulator()
+    times = []
+    sim.schedule_recurring(1.0, lambda: times.append(sim.now))
+    sim.run_until(4.5)
+    assert times == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_recurring_first_delay_overrides_first_firing():
+    sim = Simulator()
+    times = []
+    sim.schedule_recurring(1.0, lambda: times.append(sim.now), first_delay=0.25)
+    sim.run_until(3.0)
+    assert times == [0.25, 1.25, 2.25]
+
+
+def test_recurring_event_cancel_stops_rearming():
+    sim = Simulator()
+    times = []
+    event = sim.schedule_recurring(1.0, lambda: times.append(sim.now))
+    sim.run_until(2.5)
+    event.cancel()
+    sim.run_until(10.0)
+    assert times == [1.0, 2.0]
+
+
+def test_recurring_callback_self_cancels_via_current_event():
+    sim = Simulator()
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        if len(times) == 3:
+            sim.current_event.cancel()
+
+    sim.schedule_recurring(1.0, tick)
+    sim.run_until(10.0)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_current_event_is_none_outside_callbacks():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(sim.current_event is not None))
+    assert sim.current_event is None
+    sim.run_until(2.0)
+    assert seen == [True]
+    assert sim.current_event is None
+
+
+def test_recurring_rejects_bad_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_recurring(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_recurring(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_recurring(float("inf"), lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# pending / raw_pending and the cancelled-entry sweep
+# ---------------------------------------------------------------------------
+def test_pending_counts_only_live_events():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    assert sim.pending == 4
+    handles[0].cancel()
+    handles[2].cancel()
+    assert sim.pending == 2
+    assert sim.raw_pending == 4
+
+
+def test_sweep_bounds_queue_under_cancel_churn():
+    from repro.sim.engine import _SWEEP_MIN_SIZE
+
+    sim = Simulator()
+    live = 0
+    for i in range(8 * _SWEEP_MIN_SIZE):
+        handle = sim.schedule(float(i + 1), lambda: None)
+        if i % 97 == 0:
+            live += 1
+        else:
+            handle.cancel()
+    # Crossing the sweep threshold compacts cancelled entries, so the raw
+    # queue stays bounded even though ~8x threshold entries were pushed.
+    assert sim.pending == live
+    assert sim.raw_pending <= 2 * _SWEEP_MIN_SIZE
+
+
+def test_sweep_preserves_firing_order():
+    from repro.sim.engine import _SWEEP_MIN_SIZE
+
+    sim = Simulator()
+    fired = []
+    keep = []
+    for i in range(2 * _SWEEP_MIN_SIZE):
+        handle = sim.schedule(float(i + 1), fired.append, i)
+        if i % 97 == 0:
+            keep.append(i)
+        else:
+            handle.cancel()
+    sim.schedule(50000.0, fired.append, -1)
+    sim.run()
+    assert fired == keep + [-1]
