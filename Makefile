@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: help lint fix docs test test-full examples bench chaos perf determinism ci ci-fast
+.PHONY: help lint fix docs test test-full examples bench chaos overload perf determinism ci ci-fast
 
 help:
 	@echo "make lint         - stdlib AST lint (python -m ci lint)"
@@ -14,6 +14,7 @@ help:
 	@echo "make examples     - run every example in quick mode"
 	@echo "make bench        - regenerate every paper table/figure"
 	@echo "make chaos        - fault-injection scenarios + invariants"
+	@echo "make overload     - overload/brownout scenarios double-run + demo"
 	@echo "make perf         - benchmark regression check + fingerprint guard"
 	@echo "make determinism  - seeded double-run equality gate"
 	@echo "make ci           - the full merge gate"
@@ -42,6 +43,9 @@ bench:
 
 chaos:
 	$(PYTHON) -m ci chaos
+
+overload:
+	$(PYTHON) -m ci overload
 
 perf:
 	$(PYTHON) -m ci perf

@@ -55,8 +55,10 @@ def _run_once():
 
 
 #: Chaos scenarios double-run by the gate: one metered single-machine
-#: scenario (meter faults + guards) and the cluster crash/failover path.
-_CHAOS_SCENARIOS = ("meter-nan-burst", "cluster-crash")
+#: scenario (meter faults + guards), the cluster crash/failover path, and
+#: the overload world (the shed set and brownout ladder must replay --
+#: ``shed_fingerprint`` and every ``powercap_*`` counter are in the report).
+_CHAOS_SCENARIOS = ("meter-nan-burst", "cluster-crash", "arrival-storm")
 _CHAOS_SEED = 42
 
 

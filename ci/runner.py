@@ -69,6 +69,42 @@ def run_chaos():
                             extra_env={"CI": "true"})
 
 
+def run_overload():
+    """Overload lane: brownout scenarios double-run + the CLI demo.
+
+    Each overload scenario runs twice with the same seed and the two report
+    fingerprints must match bit-for-bit -- the shed set, the brownout
+    ladder, and every admission counter are part of the fingerprint, so a
+    nondeterministic shedding decision fails here even if both runs pass
+    their invariants.
+    """
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from repro.faults import run_scenario, scenario_by_name
+
+    findings = []
+    names = ("arrival-storm", "cap-squeeze", "storm-during-crash")
+    for name in names:
+        first = run_scenario(scenario_by_name(name), seed=42)
+        second = run_scenario(scenario_by_name(name), seed=42)
+        for violation in first.violations:
+            findings.append(Finding(
+                "ci/runner.py", 1, "CHAOS", f"{name}: {violation}",
+            ))
+        if first.fingerprint() != second.fingerprint():
+            findings.append(Finding(
+                "ci/runner.py", 1, "NDET",
+                f"overload scenario {name!r} fingerprint differs between "
+                f"identically-seeded runs",
+            ))
+    ok, lane_findings, _ = _subprocess_lane(
+        [sys.executable, "-m", "repro", "overload", "--seed", "42"],
+        "repro overload --seed 42", extra_env={"CI": "true"},
+    )
+    findings.extend(lane_findings)
+    detail = f"{len(names)} scenarios double-run + CLI demo"
+    return not findings, findings, detail
+
+
 def run_perf_lane():
     """Perf lane: benchmark regression check bracketed by fingerprint runs.
 
@@ -138,11 +174,15 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("bench", help="regenerate the benchmark figures")
     sub.add_parser("chaos", help="fault-injection scenarios + invariants")
     sub.add_parser(
+        "overload",
+        help="overload/brownout scenarios double-run + the CLI demo",
+    )
+    sub.add_parser(
         "perf", help="benchmark regression check + fingerprint guard",
     )
     all_parser = sub.add_parser(
         "all", help="the merge gate: lint + docs + tests + examples "
-                    "+ chaos + perf + determinism",
+                    "+ chaos + overload + perf + determinism",
     )
     all_parser.add_argument(
         "--fast", action="store_true",
@@ -165,6 +205,8 @@ def main(argv: list[str] | None = None) -> int:
         reporter.run("bench", run_bench)
     elif args.lane == "chaos":
         reporter.run("chaos", run_chaos)
+    elif args.lane == "overload":
+        reporter.run("overload", run_overload)
     elif args.lane == "perf":
         reporter.run("perf", run_perf_lane)
     elif args.lane == "all":
@@ -174,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
         if not args.fast:
             reporter.run("examples", run_examples)
             reporter.run("chaos", run_chaos)
+            reporter.run("overload", run_overload)
             reporter.run("perf", run_perf_lane)
         reporter.run("determinism", run_determinism_lane)
 

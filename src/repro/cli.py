@@ -247,6 +247,60 @@ def cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_overload(args) -> int:
+    """Overload/brownout demo: storm + cap squeeze on a protected cluster."""
+    from collections import Counter
+
+    from repro.faults.harness import build_overload_world
+    from repro.faults.plan import FaultPlan
+
+    duration = args.duration
+    world = build_overload_world(
+        args.seed, duration, cap_watts=args.cap_watts
+    )
+    plan = FaultPlan()
+    plan.arrival_storm(0.15 * duration, 0.3 * duration, multiplier=args.storm)
+    plan.cap_squeeze(0.55 * duration, 0.25 * duration, fraction=args.squeeze)
+    plan.apply(world.simulator, world.targets)
+    world.start()
+    world.simulator.run_until(duration)
+
+    protector, enforcer = world.protector, world.enforcer
+    outcomes = Counter(
+        (result.outcome, result.reason) for result in protector.shed_log
+    )
+    rows = [["completed", "served", float(protector.completed)]]
+    rows += [
+        [outcome, reason, float(count)]
+        for (outcome, reason), count in sorted(outcomes.items())
+    ]
+    print(render_table(
+        ["outcome", "reason", "requests"], rows,
+        title=f"admission outcomes (seed {args.seed}, "
+              f"storm x{args.storm:g}, squeeze x{args.squeeze:g})",
+        float_format="{:.0f}",
+    ))
+    print(render_table(
+        ["time s", "rung", "ladder", "measured W", "cap W"],
+        [
+            [t.at, float(t.level), t.name, t.measured_watts, t.effective_cap]
+            for t in enforcer.transitions
+        ],
+        title="brownout ladder transitions", float_format="{:.2f}",
+    ))
+    gap = protector.accounting_gap()
+    print(
+        f"arrivals {protector.arrivals} = completed {protector.completed} "
+        f"+ shed {protector.shed} + rejected {protector.rejected} "
+        f"+ pending {protector.pending()}  (gap {gap})"
+    )
+    print(f"shed-set fingerprint {protector.shed_fingerprint()}")
+    if gap != 0:
+        print("OVERLOAD ACCOUNTING VIOLATION")
+        return 1
+    return 0
+
+
 COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig01": (cmd_fig01, "Fig. 1: incremental per-core power"),
     "calibration": (cmd_calibration, "Sec. 4.1: calibration table"),
@@ -256,6 +310,7 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "distribution": (cmd_distribution, "Fig. 14/Table 1: dispatch policies"),
     "sweep": (cmd_sweep, "load sweep of one workload on one machine"),
     "chaos": (cmd_chaos, "chaos scenarios: seeded faults + invariant checks"),
+    "overload": (cmd_overload, "overload demo: storm + cap-squeeze brownout"),
     "perf": (cmd_perf, "performance suite: micro/macro benchmarks"),
 }
 
@@ -325,6 +380,24 @@ def main(argv: list[str] | None = None) -> int:
             cmd_parser.add_argument(
                 "--fingerprints", action="store_true",
                 help="print each report's canonical fingerprint",
+            )
+        elif name == "overload":
+            cmd_parser.add_argument("--seed", type=int, default=42)
+            cmd_parser.add_argument(
+                "--duration", type=float, default=1.6,
+                help="simulated seconds to run",
+            )
+            cmd_parser.add_argument(
+                "--storm", type=float, default=5.0,
+                help="arrival-surge multiplier during the storm window",
+            )
+            cmd_parser.add_argument(
+                "--squeeze", type=float, default=0.45,
+                help="cap fraction during the squeeze window",
+            )
+            cmd_parser.add_argument(
+                "--cap-watts", type=float, default=95.0,
+                help="baseline cluster power cap in watts",
             )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

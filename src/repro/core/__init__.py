@@ -53,6 +53,11 @@ from repro.core.anomaly import (
 from repro.core.budget import EnergyBudgetConditioner
 from repro.core.clients import ClientEnergyLedger, ClientUsage
 from repro.core.dvfs import DvfsConditioner
+from repro.core.powercap import (
+    BROWNOUT_LADDER,
+    BrownoutTransition,
+    PowerCapEnforcer,
+)
 
 __all__ = [
     "MetricSample",
@@ -89,4 +94,7 @@ __all__ = [
     "ClientUsage",
     "DvfsConditioner",
     "EnergyBudgetConditioner",
+    "BROWNOUT_LADDER",
+    "BrownoutTransition",
+    "PowerCapEnforcer",
 ]

@@ -19,6 +19,7 @@ This composes with the facility exactly like the Section 3.4 conditioner
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 from repro.core.container import PowerContainer
@@ -68,14 +69,50 @@ class EnergyBudgetConditioner:
         return self.budget_of(container) - container.total_energy(self.approach)
 
     def grant(self, container: PowerContainer, joules: float) -> None:
-        """Delegate extra energy to a container at runtime."""
-        if joules < 0:
-            raise ValueError("grants must be non-negative")
+        """Delegate extra energy to a container at runtime.
+
+        Amounts must be finite and non-negative: a NaN grant would poison
+        every later ``remaining()`` comparison for the container (NaN
+        compares false, so the request would silently run unthrottled
+        forever), and an infinite one is subdivision without a subdivider.
+        """
+        if not math.isfinite(joules) or joules < 0:
+            raise ValueError(
+                f"grants must be finite and non-negative, got {joules!r}"
+            )
         self._grants[container.id] = (
             self._grants.get(container.id, 0.0) + joules
         )
         if self.remaining(container) > 0:
             self.exhausted.discard(container.id)
+
+    def revoke_grant(
+        self, container: PowerContainer, joules: Optional[float] = None
+    ) -> float:
+        """Take back runtime-granted energy (the inverse of :meth:`grant`).
+
+        Revokes ``joules`` of the container's outstanding grants (all of
+        them when ``None``), never more than was actually granted -- base
+        budgets are not revocable, only delegated extras.  Returns the
+        amount actually revoked.  A container pushed back over its
+        allowance is throttled again from the next conditioning callback.
+        """
+        if joules is not None and (not math.isfinite(joules) or joules < 0):
+            raise ValueError(
+                f"revocations must be finite and non-negative, got {joules!r}"
+            )
+        outstanding = self._grants.get(container.id, 0.0)
+        revoked = outstanding if joules is None else min(joules, outstanding)
+        if revoked <= 0.0:
+            return 0.0
+        remaining_grant = outstanding - revoked
+        if remaining_grant > 0.0:
+            self._grants[container.id] = remaining_grant
+        else:
+            self._grants.pop(container.id, None)
+        if self.remaining(container) <= 0:
+            self.exhausted.add(container.id)
+        return revoked
 
     def _level_for(self, container: PowerContainer) -> int:
         if container.id == BACKGROUND_CONTAINER_ID:

@@ -19,10 +19,12 @@ seed fixes the workload, the faults, and the report.
 """
 
 from repro.faults.injectors import (
+    ArrivalSurgeInjector,
     ClusterFaultInjector,
     MailboxFaultInjector,
     MeterFaultInjector,
     MeterFaultProfile,
+    PowerCapInjector,
     TagFaultInjector,
     schedule_meter_outage,
 )
@@ -31,9 +33,11 @@ from repro.faults.harness import (
     ChaosReport,
     ChaosWorld,
     ClusterWorld,
+    OverloadWorld,
     Scenario,
     SingleMachineWorld,
     build_cluster_world,
+    build_overload_world,
     build_single_world,
     chaos_calibration,
     chaos_workload,
@@ -42,10 +46,12 @@ from repro.faults.harness import (
 from repro.faults.scenarios import SCENARIOS, scenario_by_name
 
 __all__ = [
+    "ArrivalSurgeInjector",
     "ClusterFaultInjector",
     "MailboxFaultInjector",
     "MeterFaultInjector",
     "MeterFaultProfile",
+    "PowerCapInjector",
     "TagFaultInjector",
     "schedule_meter_outage",
     "FaultEvent",
@@ -54,9 +60,11 @@ __all__ = [
     "ChaosReport",
     "ChaosWorld",
     "ClusterWorld",
+    "OverloadWorld",
     "Scenario",
     "SingleMachineWorld",
     "build_cluster_world",
+    "build_overload_world",
     "build_single_world",
     "chaos_calibration",
     "chaos_workload",

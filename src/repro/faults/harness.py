@@ -30,10 +30,13 @@ import numpy as np
 
 from repro.core.calibration import CalibrationResult, calibrate_machine
 from repro.core.facility import PowerContainerFacility
+from repro.core.powercap import PowerCapEnforcer
 from repro.faults.injectors import (
+    ArrivalSurgeInjector,
     ClusterFaultInjector,
     MailboxFaultInjector,
     MeterFaultInjector,
+    PowerCapInjector,
     TagFaultInjector,
 )
 from repro.faults.plan import FaultPlan, FaultTargets
@@ -43,6 +46,7 @@ from repro.hardware.specs import SANDYBRIDGE, build_machine
 from repro.kernel import Kernel
 from repro.server.cluster import HeterogeneousCluster
 from repro.server.dispatch import Dispatcher, SimpleLoadBalancePolicy
+from repro.server.overload import OverloadConfig, OverloadProtector
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngHub
 from repro.workloads.base import OpenLoopDriver
@@ -155,6 +159,26 @@ class ClusterWorld:
         )
 
 
+@dataclass
+class OverloadWorld(ClusterWorld):
+    """A metered cluster with overload protection and a power-cap enforcer.
+
+    Extends the plain cluster world with per-machine package meters (so the
+    facility watchdogs -- and therefore the enforcer's degraded-telemetry
+    mode -- are live), an :class:`~repro.server.overload.OverloadProtector`
+    on the dispatcher, and a :class:`~repro.core.powercap.PowerCapEnforcer`
+    driving the brownout ladder.
+    """
+
+    protector: OverloadProtector = None  # type: ignore[assignment]
+    enforcer: PowerCapEnforcer = None  # type: ignore[assignment]
+
+    def start(self) -> None:
+        """Begin the cap control loop and request arrivals."""
+        self.enforcer.start()
+        self.dispatcher.start(self.duration)
+
+
 ChaosWorld = Union[SingleMachineWorld, ClusterWorld]
 
 
@@ -236,6 +260,87 @@ def build_cluster_world(
     )
 
 
+def build_overload_world(
+    seed: int,
+    duration: float,
+    load_fraction: float = 0.35,
+    cap_watts: float = 95.0,
+) -> OverloadWorld:
+    """Assemble the overload/brownout chaos world.
+
+    Two metered machines behind an overload-protected dispatcher, with a
+    cluster power-cap enforcer whose default ``cap_watts`` leaves headroom
+    at the base load (the brownout ladder stays at full-speed until a storm
+    or a squeeze pushes the cluster over).
+    """
+    calibration = chaos_calibration()
+    hub = RngHub(seed)
+    cluster = HeterogeneousCluster()
+    for name in ("sb0", "sb1"):
+        cluster.add_machine(
+            SANDYBRIDGE,
+            calibration,
+            name=name,
+            facility_kwargs=dict(
+                meter_idle_watts=calibration.package_idle_watts,
+                trace_period=1e-3,
+                recalib_interval=0.1,
+                max_delay_seconds=0.01,
+                route_untagged_to_background=True,
+            ),
+            meter_factory=lambda machine, sim: PackageMeter(
+                machine, sim, period=1e-3, delay=1e-3
+            ),
+        )
+    workload = chaos_workload()
+    cluster.build_workload(workload)
+    demand = workload.mean_demand_seconds("sandybridge")
+    total_cores = sum(m.machine.n_cores for m in cluster.machines)
+    request_rate = load_fraction * total_cores / demand
+    protector = OverloadProtector(
+        OverloadConfig(
+            max_inflight=6,
+            queue_depth=8,
+            # Per-machine bucket: the full base cluster rate, so a 2x storm
+            # saturates both machines' buckets while the base load never
+            # touches them.
+            bucket_rate=request_rate,
+            bucket_capacity=max(8.0, request_rate * 0.02),
+            deadline_budget=0.08,
+        ),
+        priority_rng=hub.stream("chaos-priorities"),
+    )
+    dispatcher = Dispatcher(
+        cluster,
+        [(workload, 1.0)],
+        SimpleLoadBalancePolicy(),
+        request_rate=request_rate,
+        rng=hub.stream("chaos-arrivals"),
+        overload=protector,
+    )
+    enforcer = PowerCapEnforcer(
+        cluster, cap_watts=cap_watts, protector=protector, interval=0.02
+    )
+    for member in cluster.machines:
+        member.facility.start_tracing()
+    targets = FaultTargets(
+        cluster=ClusterFaultInjector({m.name: m for m in cluster.machines}),
+        meters={
+            member.name: MeterFaultInjector(
+                member.facility.meter, hub.stream(f"chaos-meter-{member.name}")
+            )
+            for member in cluster.machines
+        },
+        arrivals=ArrivalSurgeInjector(dispatcher),
+        powercap=PowerCapInjector(enforcer),
+    )
+    return OverloadWorld(
+        cluster=cluster, dispatcher=dispatcher, workload=workload,
+        targets=targets, hub=hub, duration=duration,
+        protector=protector, enforcer=enforcer,
+    )
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A named chaos scenario: a world kind, a fault plan, expectations.
@@ -249,14 +354,14 @@ class Scenario:
 
     name: str
     description: str
-    kind: str  # "single" | "cluster"
+    kind: str  # "single" | "cluster" | "overload"
     duration: float
     tolerance: float
     build_plan: Callable[[ChaosWorld, np.random.Generator], FaultPlan]
     expects: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in ("single", "cluster"):
+        if self.kind not in ("single", "cluster", "overload"):
             raise ValueError(f"unknown scenario kind {self.kind!r}")
         if self.duration <= 0 or self.tolerance <= 0:
             raise ValueError("duration and tolerance must be positive")
@@ -323,6 +428,39 @@ def _check_containers(
             )
 
 
+def _check_overload(world: "OverloadWorld", violations: list[str]) -> None:
+    """Audit the overload/brownout contract after a run.
+
+    * **Exact accounting**: every arrival is in exactly one terminal or
+      pending state (``arrivals == completed + shed + rejected + pending``).
+      A nonzero gap means a request was silently dropped or double-counted.
+    * **Cap convergence**: the brownout ladder has one rung per control
+      interval, so measured power may exceed the effective cap for at most
+      ``len(BROWNOUT_LADDER) - 1`` consecutive intervals before the ladder
+      has escalated as far as it can; any longer streak means capping
+      failed to bite.
+    """
+    from repro.core.powercap import BROWNOUT_LADDER
+
+    gap = world.protector.accounting_gap()
+    if gap != 0:
+        violations.append(
+            f"overload accounting broken: {gap:+d} arrivals unaccounted "
+            f"(arrivals {world.protector.arrivals}, completed "
+            f"{world.protector.completed}, shed {world.protector.shed}, "
+            f"rejected {world.protector.rejected}, pending "
+            f"{world.protector.pending()})"
+        )
+    max_streak = len(BROWNOUT_LADDER) - 1
+    if world.enforcer.max_consecutive_over > max_streak:
+        violations.append(
+            f"power cap never converged: measured power exceeded the "
+            f"effective cap for {world.enforcer.max_consecutive_over} "
+            f"consecutive control intervals (ladder needs at most "
+            f"{max_streak})"
+        )
+
+
 def _check_conservation(
     attributed: float, measured: float, tolerance: float, violations: list[str]
 ) -> float:
@@ -348,6 +486,8 @@ def run_scenario(
     duration = scenario.duration * duration_scale
     if scenario.kind == "single":
         world: ChaosWorld = build_single_world(seed, duration)
+    elif scenario.kind == "overload":
+        world = build_overload_world(seed, duration)
     else:
         world = build_cluster_world(seed, duration)
     plan = scenario.build_plan(world, world.hub.stream("chaos-plan"))
@@ -372,15 +512,14 @@ def run_scenario(
             member.facility.flush()
             _check_models(member.facility, violations)
             _check_containers(member.facility, violations)
+            if isinstance(world, OverloadWorld):
+                _check_finite_trace(member.facility, violations)
             for key, value in member.facility.health_stats().items():
                 stats[f"{member.name}_{key}"] = value
-        dispatcher = world.dispatcher
-        stats["completed"] = float(dispatcher.completed)
-        stats["dispatch_failures"] = float(dispatcher.dispatch_failures)
-        stats["retries"] = float(dispatcher.retries)
-        stats["dropped_requests"] = float(dispatcher.dropped_requests)
-        stats["failed_over"] = float(dispatcher.failed_over)
-        stats["late_replies"] = float(dispatcher.late_replies)
+        stats.update(world.dispatcher.health_stats())
+        if isinstance(world, OverloadWorld):
+            stats.update(world.enforcer.health_stats())
+            _check_overload(world, violations)
 
     attributed = world.attributed_joules()
     measured = world.measured_joules()

@@ -261,6 +261,65 @@ class ClusterFaultInjector:
         return {"machine_crashes": float(self.crashes)}
 
 
+class ArrivalSurgeInjector:
+    """Multiplies a dispatcher's open-loop arrival rate (traffic storms).
+
+    The dispatcher samples ``request_rate`` afresh for every inter-arrival
+    gap, so changing it mid-run takes effect from the next arrival on --
+    no rescheduling needed, and the arrival RNG stream stays untouched
+    (the same draws just map to shorter gaps).
+    """
+
+    def __init__(self, dispatcher) -> None:
+        self.dispatcher = dispatcher
+        self.base_rate = dispatcher.request_rate
+        self.surges = 0
+
+    def surge(self, multiplier: float) -> None:
+        """Scale arrivals to ``multiplier`` times the base rate."""
+        if multiplier <= 0:
+            raise ValueError("surge multiplier must be positive")
+        self.dispatcher.request_rate = self.base_rate * multiplier
+        self.surges += 1
+
+    def calm(self) -> None:
+        """Restore the base arrival rate."""
+        self.dispatcher.request_rate = self.base_rate
+
+    def export_stats(self) -> dict[str, float]:
+        """What this injector did (chaos-report material)."""
+        return {"arrival_surges": float(self.surges)}
+
+
+class PowerCapInjector:
+    """Squeezes a cluster power cap (utility brownout, thermal event).
+
+    The :class:`~repro.core.powercap.PowerCapEnforcer` reads ``cap_watts``
+    every control interval, so a squeeze takes effect within one interval
+    and the brownout ladder escalates deterministically from there.
+    """
+
+    def __init__(self, enforcer) -> None:
+        self.enforcer = enforcer
+        self.base_cap = enforcer.cap_watts
+        self.squeezes = 0
+
+    def squeeze(self, fraction: float) -> None:
+        """Drop the cap to ``fraction`` of its base value."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("cap squeeze fraction must be in (0, 1]")
+        self.enforcer.cap_watts = self.base_cap * fraction
+        self.squeezes += 1
+
+    def release(self) -> None:
+        """Restore the base cap."""
+        self.enforcer.cap_watts = self.base_cap
+
+    def export_stats(self) -> dict[str, float]:
+        """What this injector did (chaos-report material)."""
+        return {"cap_squeezes": float(self.squeezes)}
+
+
 def schedule_meter_outage(
     simulator: Simulator,
     injector: MeterFaultInjector,

@@ -21,6 +21,15 @@ Sites and their actions:
     ``freeze`` / ``thaw`` of core ``params["core"]``.
 ``cluster``
     ``crash`` / ``recover`` of machine ``params["machine"]``.
+``meter:<machine>``
+    Per-machine meter faults in cluster worlds: same actions as ``meter``,
+    resolved against ``targets.meters[machine]``.
+``arrivals``
+    ``surge`` (``params["multiplier"]``) / ``calm`` on the dispatcher's
+    open-loop arrival rate (traffic storms).
+``powercap``
+    ``squeeze`` (``params["fraction"]``) / ``release`` on the cluster
+    power-cap enforcer (utility brownouts).
 """
 
 from __future__ import annotations
@@ -31,10 +40,12 @@ from typing import Optional
 import numpy as np
 
 from repro.faults.injectors import (
+    ArrivalSurgeInjector,
     ClusterFaultInjector,
     MailboxFaultInjector,
     MeterFaultInjector,
     MeterFaultProfile,
+    PowerCapInjector,
     TagFaultInjector,
 )
 from repro.sim.engine import Simulator
@@ -69,6 +80,10 @@ class FaultTargets:
     tags: dict[str, TagFaultInjector] = field(default_factory=dict)
     mailbox: Optional[MailboxFaultInjector] = None
     cluster: Optional[ClusterFaultInjector] = None
+    #: Per-machine meter injectors for cluster worlds (site ``meter:<name>``).
+    meters: dict[str, MeterFaultInjector] = field(default_factory=dict)
+    arrivals: Optional[ArrivalSurgeInjector] = None
+    powercap: Optional[PowerCapInjector] = None
 
     def export_stats(self) -> dict[str, float]:
         """Merged injection counters from every bound injector."""
@@ -82,6 +97,13 @@ class FaultTargets:
             stats.update(self.mailbox.export_stats())
         if self.cluster is not None:
             stats.update(self.cluster.export_stats())
+        for name, injector in sorted(self.meters.items()):
+            for key, value in injector.export_stats().items():
+                stats[f"{name}_{key}"] = value
+        if self.arrivals is not None:
+            stats.update(self.arrivals.export_stats())
+        if self.powercap is not None:
+            stats.update(self.powercap.export_stats())
         return stats
 
 
@@ -161,6 +183,34 @@ class FaultPlan:
         )
         return self
 
+    def arrival_storm(
+        self, at: float, duration: float, multiplier: float
+    ) -> "FaultPlan":
+        """Arrival-rate surge: ``multiplier`` times base over a window."""
+        self.add(
+            FaultEvent(at, "arrivals", "surge", _params(multiplier=multiplier))
+        )
+        self.add(FaultEvent(at + duration, "arrivals", "calm"))
+        return self
+
+    def cap_squeeze(
+        self, at: float, duration: float, fraction: float
+    ) -> "FaultPlan":
+        """Power-cap squeeze to ``fraction`` of the base cap over a window."""
+        self.add(
+            FaultEvent(at, "powercap", "squeeze", _params(fraction=fraction))
+        )
+        self.add(FaultEvent(at + duration, "powercap", "release"))
+        return self
+
+    def machine_meter_outage(
+        self, machine: str, at: float, duration: float
+    ) -> "FaultPlan":
+        """One cluster member's meter dies at ``at``; recovers later."""
+        self.add(FaultEvent(at, f"meter:{machine}", "kill"))
+        self.add(FaultEvent(at + duration, f"meter:{machine}", "restore"))
+        return self
+
     # -- random plan generation -----------------------------------------
     @classmethod
     def random(
@@ -237,10 +287,15 @@ class FaultPlan:
 
     def _resolve(self, event: FaultEvent, targets: FaultTargets):
         site, action = event.site, event.action
-        if site == "meter":
-            injector = targets.meter
+        if site == "meter" or site.startswith("meter:"):
+            if site == "meter":
+                injector = targets.meter
+            else:
+                injector = targets.meters.get(site.split(":", 1)[1])
             if injector is None:
-                raise ValueError("plan targets the meter but no meter injector bound")
+                raise ValueError(
+                    f"plan targets {site!r} but no meter injector bound"
+                )
             if action == "kill":
                 return injector.kill
             if action == "restore":
@@ -279,4 +334,22 @@ class FaultPlan:
                 return lambda: cluster.crash(machine)
             if action == "recover":
                 return lambda: cluster.recover(machine)
+        elif site == "arrivals":
+            arrivals = targets.arrivals
+            if arrivals is None:
+                raise ValueError("plan surges arrivals but no injector bound")
+            if action == "surge":
+                multiplier = event.param("multiplier")
+                return lambda: arrivals.surge(multiplier)
+            if action == "calm":
+                return arrivals.calm
+        elif site == "powercap":
+            powercap = targets.powercap
+            if powercap is None:
+                raise ValueError("plan squeezes the cap but no injector bound")
+            if action == "squeeze":
+                fraction = event.param("fraction")
+                return lambda: powercap.squeeze(fraction)
+            if action == "release":
+                return powercap.release
         raise ValueError(f"unknown fault event {site!r}/{action!r}")

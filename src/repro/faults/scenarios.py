@@ -78,6 +78,40 @@ def _cluster_crash_plan(world: ChaosWorld, rng: np.random.Generator) -> FaultPla
     return plan
 
 
+def _arrival_storm_plan(world: ChaosWorld, rng: np.random.Generator) -> FaultPlan:
+    # A 5x open-loop surge: the token buckets saturate, queues fill, and
+    # low-priority arrivals are shed -- all before the fault-free tail
+    # demonstrates the system draining back to normal admission.
+    return FaultPlan().arrival_storm(0.2 * world.duration,
+                                     0.45 * world.duration, multiplier=5.0)
+
+
+def _cap_squeeze_plan(world: ChaosWorld, rng: np.random.Generator) -> FaultPlan:
+    d = world.duration
+    plan = FaultPlan()
+    # The utility halves the cluster's power budget mid-run; the brownout
+    # ladder must walk up (condition -> shed -> reject) until measured
+    # power fits, then back down as the squeeze lifts.
+    plan.cap_squeeze(0.25 * d, 0.35 * d, fraction=0.45)
+    # One machine's meter dies inside the squeeze window: the enforcer's
+    # degraded-telemetry mode must drop to the conservative cap on top.
+    plan.machine_meter_outage("sb0", 0.35 * d, 0.2 * d)
+    return plan
+
+
+def _storm_during_crash_plan(
+    world: ChaosWorld, rng: np.random.Generator
+) -> FaultPlan:
+    d = world.duration
+    plan = FaultPlan()
+    # Half the cluster dies, then traffic triples while it is down: the
+    # worst realistic day.  The surviving machine's admission control must
+    # shed the overflow instead of melting, and recovery must re-admit.
+    plan.machine_crash("sb1", 0.3 * d, 0.3 * d)
+    plan.arrival_storm(0.35 * d, 0.3 * d, multiplier=3.0)
+    return plan
+
+
 def _kitchen_sink_plan(world: ChaosWorld, rng: np.random.Generator) -> FaultPlan:
     d = world.duration
     # One guaranteed outage plus a seeded random storm over every site the
@@ -185,6 +219,54 @@ SCENARIOS: tuple[Scenario, ...] = (
         expects=(
             ("machine_crashes", 2.0),
             ("retries", 1.0),
+        ),
+    ),
+    Scenario(
+        name="arrival-storm",
+        description="Open-loop arrivals surge to 5x capacity planning; "
+        "token buckets and bounded queues shed the overflow "
+        "deterministically, every arrival reaching exactly one of "
+        "completed/shed/rejected.",
+        kind="overload",
+        duration=1.6,
+        tolerance=0.35,
+        build_plan=_arrival_storm_plan,
+        expects=(
+            ("arrival_surges", 1.0),
+            ("overload_rejected", 10.0),
+            ("overload_queued_total", 5.0),
+        ),
+    ),
+    Scenario(
+        name="cap-squeeze",
+        description="The cluster power cap is halved mid-run and one "
+        "machine's meter dies inside the window; the brownout ladder "
+        "escalates (condition -> shed -> reject) under the degraded-"
+        "telemetry conservative cap, then steps back down with hysteresis.",
+        kind="overload",
+        duration=1.6,
+        tolerance=0.35,
+        build_plan=_cap_squeeze_plan,
+        expects=(
+            ("cap_squeezes", 1.0),
+            ("powercap_escalations", 1.0),
+            ("powercap_deescalations", 1.0),
+            ("powercap_degraded_intervals", 1.0),
+        ),
+    ),
+    Scenario(
+        name="storm-during-crash",
+        description="Half the cluster crashes and traffic triples while it "
+        "is down; the survivor's admission control sheds the overflow, "
+        "in-flight requests fail over, and recovery re-admits the machine.",
+        kind="overload",
+        duration=1.6,
+        tolerance=0.35,
+        build_plan=_storm_during_crash_plan,
+        expects=(
+            ("machine_crashes", 1.0),
+            ("arrival_surges", 1.0),
+            ("overload_rejected", 5.0),
         ),
     ),
     Scenario(

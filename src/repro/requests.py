@@ -7,17 +7,27 @@ workload package can both use them without import cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 from repro.core.container import PowerContainer
 
 
 @dataclass(frozen=True)
 class RequestSpec:
-    """One sampled request: its type plus handler parameters."""
+    """One sampled request: its type plus handler parameters.
+
+    ``priority`` and ``deadline`` exist for overload protection
+    (:mod:`repro.server.overload`): higher priorities survive load shedding
+    longer, and ``deadline`` is the *absolute* simulated time after which
+    serving the request is pointless (expired requests are shed rather than
+    queued).  Both default to "no special treatment" so workloads that never
+    think about overload keep working unchanged.
+    """
 
     rtype: str
     params: dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    deadline: Optional[float] = None
 
 
 @dataclass

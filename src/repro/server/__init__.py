@@ -19,6 +19,14 @@ from repro.server.dispatch import (
 )
 from repro.server.inband import InBandDispatcher
 from repro.server.eventdriven import EventDrivenServer
+from repro.server.overload import (
+    AdmissionTicket,
+    CircuitBreaker,
+    OverloadConfig,
+    OverloadProtector,
+    ShedResult,
+    TokenBucket,
+)
 
 __all__ = [
     "CallbackEndpoint",
@@ -33,4 +41,10 @@ __all__ = [
     "WorkloadHeterogeneityAwarePolicy",
     "InBandDispatcher",
     "EventDrivenServer",
+    "AdmissionTicket",
+    "CircuitBreaker",
+    "OverloadConfig",
+    "OverloadProtector",
+    "ShedResult",
+    "TokenBucket",
 ]

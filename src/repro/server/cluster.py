@@ -110,11 +110,20 @@ class HeterogeneousCluster:
         calibration: CalibrationResult,
         name: Optional[str] = None,
         facility_kwargs: Optional[dict] = None,
+        meter_factory: Optional[Callable[[Machine, Simulator], object]] = None,
     ) -> ClusterMachine:
-        """Add one machine built from a spec and its calibration."""
+        """Add one machine built from a spec and its calibration.
+
+        ``meter_factory(machine, simulator)`` builds the member's power
+        meter once the machine exists; the result is passed to the facility
+        as its ``meter`` (so cluster members can have live per-machine
+        telemetry, e.g. for the power-cap enforcer's degraded mode).
+        """
         machine = build_machine(spec, self.simulator, name=name)
         kernel = Kernel(machine, self.simulator)
         kwargs = dict(facility_kwargs) if facility_kwargs else {}
+        if meter_factory is not None:
+            kwargs["meter"] = meter_factory(machine, self.simulator)
         facility = PowerContainerFacility(kernel, calibration, **kwargs)
         member = ClusterMachine(
             spec=spec, machine=machine, kernel=kernel, facility=facility

@@ -29,6 +29,11 @@ from repro.core.distribution import EnergyProfileTable
 from repro.kernel import ContextTag, Message
 from repro.requests import RequestResult, RequestSpec
 from repro.server.cluster import ClusterMachine, HeterogeneousCluster
+from repro.server.overload import (
+    DECISION_ADMIT,
+    AdmissionTicket,
+    OverloadProtector,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.workloads.base import Workload
@@ -195,6 +200,7 @@ class Dispatcher:
         retry_backoff: float = 5e-3,
         failure_threshold: int = 3,
         exclusion_cooldown: float = 0.25,
+        overload: Optional[OverloadProtector] = None,
     ) -> None:
         if request_rate <= 0:
             raise ValueError("request rate must be positive")
@@ -231,6 +237,11 @@ class Dispatcher:
         self._health: dict[str, _MachineDispatchHealth] = {
             m.name: _MachineDispatchHealth() for m in cluster.machines
         }
+        #: Optional overload protection (admission control + shedding);
+        #: ``None`` preserves the pre-overload dispatch path bit-for-bit.
+        self.overload = overload
+        if overload is not None:
+            overload.bind([m.name for m in cluster.machines])
         self._next_request_id = 0
         self._deadline: Optional[float] = None
         self._util_ewma: dict[str, float] = {m.name: 0.0 for m in cluster.machines}
@@ -275,7 +286,13 @@ class Dispatcher:
     def _arrive(self) -> None:
         workload = self._pick_component()
         spec = workload.sample_request(self.rng)
-        self._dispatch(workload, spec, attempt=0)
+        if self.overload is not None:
+            ticket = self.overload.register_arrival(
+                spec, self.cluster.simulator.now
+            )
+            self._overload_dispatch(workload, ticket, attempt=0)
+        else:
+            self._dispatch(workload, spec, attempt=0)
         self._schedule_next_arrival()
 
     def _pick_component(self) -> Workload:
@@ -287,8 +304,17 @@ class Dispatcher:
     # Machine health / retry machinery
     # ------------------------------------------------------------------
     def is_dispatchable(self, member) -> bool:
-        """True when ``member`` is alive and not under failure exclusion."""
+        """True when ``member`` is alive, not excluded, and breaker-open-free.
+
+        Composes PR 2's health-based exclusion window with the overload
+        protector's per-machine circuit breaker: a machine must pass both
+        gates before a policy may choose it.
+        """
         if not getattr(member, "alive", True):
+            return False
+        if self.overload is not None and not self.overload.machine_available(
+            member.name, self.cluster.simulator.now
+        ):
             return False
         health = self._health.get(member.name)
         if health is None or health.excluded_until is None:
@@ -306,11 +332,19 @@ class Dispatcher:
             health.excluded_until = (
                 self.cluster.simulator.now + self.exclusion_cooldown
             )
+        if self.overload is not None:
+            self.overload.on_machine_failure(
+                machine_name, self.cluster.simulator.now
+            )
 
     def _record_success(self, machine_name: str) -> None:
         health = self._health.setdefault(machine_name, _MachineDispatchHealth())
         health.consecutive_failures = 0
         health.excluded_until = None
+        if self.overload is not None:
+            self.overload.on_machine_success(
+                machine_name, self.cluster.simulator.now
+            )
 
     def _retry_later(self, workload: Workload, spec: RequestSpec, attempt: int) -> None:
         if attempt > self.max_retries:
@@ -334,19 +368,69 @@ class Dispatcher:
             return
         self._inject(workload, spec, member, attempt=attempt)
 
+    # -- overload-protected dispatch path ------------------------------
+    def _retry_overload(
+        self, workload: Workload, ticket: AdmissionTicket, attempt: int
+    ) -> None:
+        """Backoff-retry one ticketed request, or reject it for good.
+
+        The overload analogue of :meth:`_retry_later`: a ticket that runs
+        out of retries reaches an *explicit* terminal state (rejected,
+        reason ``retries-exhausted``) instead of vanishing into a counter.
+        """
+        assert self.overload is not None
+        now = self.cluster.simulator.now
+        if attempt > self.max_retries:
+            self.dropped_requests += 1
+            self.overload.reject(ticket, "retries-exhausted", now)
+            return
+        self.retries += 1
+        self.overload.note_retry_scheduled()
+        backoff = self.retry_backoff * (2 ** (attempt - 1))
+
+        def fire() -> None:
+            self.overload.note_retry_fired()
+            self._overload_dispatch(workload, ticket, attempt)
+
+        self.cluster.simulator.schedule(backoff, fire, label="dispatch-retry")
+
+    def _overload_dispatch(
+        self, workload: Workload, ticket: AdmissionTicket, attempt: int
+    ) -> None:
+        """Place one ticketed request through admission control."""
+        assert self.overload is not None
+        try:
+            member = self.policy.choose(workload, ticket.spec, self)
+        except NoAvailableMachine:
+            self.dispatch_failures += 1
+            self._retry_overload(workload, ticket, attempt + 1)
+            return
+        decision = self.overload.admit(
+            workload, ticket, member.name, self.cluster.simulator.now
+        )
+        if decision == DECISION_ADMIT:
+            self._inject(workload, ticket.spec, member, attempt=attempt,
+                         ticket=ticket)
+        # "queue" parks the ticket at the machine (drained on completion);
+        # "shed"/"rejected" are terminal and already logged by the protector.
+
     def _inject(
         self,
         workload: Workload,
         spec: RequestSpec,
         member: ClusterMachine,
         attempt: int = 0,
+        ticket: Optional[AdmissionTicket] = None,
     ) -> None:
         if not getattr(member, "alive", True):
             # The policy's pick crashed between choice and injection (or a
             # caller bypassed the policy): never hand work to a dead box.
             self.dispatch_failures += 1
             self._record_failure(member.name)
-            self._retry_later(workload, spec, attempt + 1)
+            if ticket is not None:
+                self._retry_overload(workload, ticket, attempt + 1)
+            else:
+                self._retry_later(workload, spec, attempt + 1)
             return
         request_id = self._next_request_id
         self._next_request_id += 1
@@ -360,8 +444,11 @@ class Dispatcher:
         )
         member.facility.registry.incref(container.id)  # in-flight message ref
         now = self.cluster.simulator.now
-        self.inflight[request_id] = (workload, spec, now, container, member)
+        self.inflight[request_id] = (workload, spec, now, container, member,
+                                     ticket)
         self.dispatched_to[member.name] += 1
+        if ticket is not None:
+            self.overload.note_inject(member.name, ticket)
         member.servers[workload.name].inject(
             Message(
                 nbytes=workload.request_bytes(),
@@ -385,12 +472,22 @@ class Dispatcher:
             for request_id, entry in self.inflight.items()
             if entry[4] is member
         ]
-        for request_id, (workload, spec, _arrival, container, served_by) in stranded:
+        for request_id, entry in stranded:
+            workload, spec, _arrival, container, served_by, ticket = entry
             del self.inflight[request_id]
             served_by.facility.registry.decref(container.id)
             served_by.facility.complete_request(container)
             self.failed_over += 1
-            self._retry_later(workload, spec, attempt=1)
+            if ticket is not None:
+                self.overload.on_failover(served_by.name)
+                self._retry_overload(workload, ticket, attempt=1)
+            else:
+                self._retry_later(workload, spec, attempt=1)
+        if self.overload is not None:
+            # Queued arrivals waiting at the dead machine re-enter dispatch
+            # and will be re-admitted elsewhere (or shed) by the policy.
+            for entry in self.overload.evict_queue(member.name):
+                self._retry_overload(entry.workload, entry.ticket, attempt=1)
 
     def _handle_machine_recover(self, member: ClusterMachine) -> None:
         """Re-admit a recovered machine for dispatch immediately."""
@@ -406,7 +503,7 @@ class Dispatcher:
                 # must not crash the dispatcher or double-complete.
                 self.late_replies += 1
                 return
-            workload, spec, arrival, container, served_by = entry
+            workload, spec, arrival, container, served_by, ticket = entry
             now = self.cluster.simulator.now
             result = ClusterRequestResult(
                 request_id=request_id,
@@ -426,10 +523,50 @@ class Dispatcher:
                 f"{workload.name}:{spec.rtype}",
                 container.total_energy(served_by.facility.primary),
             )
+            if ticket is not None:
+                # The freed slot drains the machine's admission queue.
+                for queued in self.overload.on_complete(served_by.name, now):
+                    self._inject(
+                        queued.workload, queued.ticket.spec, served_by,
+                        attempt=0, ticket=queued.ticket,
+                    )
 
         return on_reply
 
     # ------------------------------------------------------------------
+    def health_stats(self) -> dict[str, float]:
+        """Robustness counters, named like the facility's ``health_stats``.
+
+        Stable keys, float values: global dispatch counters, per-machine
+        exclusion state, and (when overload protection is enabled) the
+        protector's admission/shedding/breaker counters.  Chaos reports and
+        the CI overload lane read this one schema.
+        """
+        stats = {
+            "completed": float(self.completed),
+            "dispatch_failures": float(self.dispatch_failures),
+            "retries": float(self.retries),
+            "dropped_requests": float(self.dropped_requests),
+            "failed_over": float(self.failed_over),
+            "late_replies": float(self.late_replies),
+        }
+        now = self.cluster.simulator.now
+        for name in sorted(self._health):
+            health = self._health[name]
+            stats[f"{name}_consecutive_failures"] = float(
+                health.consecutive_failures
+            )
+            stats[f"{name}_excluded"] = (
+                1.0
+                if health.excluded_until is not None
+                and now < health.excluded_until
+                else 0.0
+            )
+            stats[f"{name}_dispatched"] = float(self.dispatched_to.get(name, 0))
+        if self.overload is not None:
+            stats.update(self.overload.health_stats())
+        return stats
+
     def mean_response_time(
         self, workload_name: Optional[str] = None, since: float = 0.0
     ) -> float:

@@ -100,8 +100,49 @@ def test_per_type_budgets(sb_cal):
 def test_grant_validation(sb_cal):
     sim, machine, kernel, facility, conditioner = _world(sb_cal, budget=1.0)
     c = facility.create_request_container("r")
+    container = facility.registry.get(c.id)
     with pytest.raises(ValueError):
-        conditioner.grant(facility.registry.get(c.id), -1.0)
+        conditioner.grant(container, -1.0)
+    # NaN would make every later remaining() comparison silently false and
+    # the request would run unthrottled forever; inf is unbounded budget.
+    with pytest.raises(ValueError):
+        conditioner.grant(container, float("nan"))
+    with pytest.raises(ValueError):
+        conditioner.grant(container, float("inf"))
+    assert conditioner.budget_of(container) == pytest.approx(1.0)
+
+
+def test_revoke_grant_inverse(sb_cal):
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, budget=1.0)
+    container = facility.registry.get(facility.create_request_container("r").id)
+    conditioner.grant(container, 5.0)
+    assert conditioner.budget_of(container) == pytest.approx(6.0)
+    assert conditioner.revoke_grant(container, 2.0) == pytest.approx(2.0)
+    assert conditioner.budget_of(container) == pytest.approx(4.0)
+    # Revocation is capped at the outstanding grant: the base budget is
+    # the container's own, only delegated extras can be taken back.
+    assert conditioner.revoke_grant(container, 100.0) == pytest.approx(3.0)
+    assert conditioner.budget_of(container) == pytest.approx(1.0)
+    assert conditioner.revoke_grant(container) == 0.0
+    with pytest.raises(ValueError):
+        conditioner.revoke_grant(container, -1.0)
+    with pytest.raises(ValueError):
+        conditioner.revoke_grant(container, float("nan"))
+
+
+def test_revoke_all_and_rethrottle(sb_cal):
+    """Revoking the grant that rescued an exhausted request re-clamps it."""
+    sim, machine, kernel, facility, conditioner = _world(sb_cal, budget=0.3)
+    c = facility.create_request_container("hog")
+    kernel.spawn(_spin(machine, 0.1), "w", container_id=c.id)
+    sim.run_until(0.05)  # exhausted by now
+    container = facility.registry.get(c.id)
+    conditioner.grant(container, 100.0)
+    assert c.id not in conditioner.exhausted
+    # None revokes everything outstanding.
+    assert conditioner.revoke_grant(container) == pytest.approx(100.0)
+    assert c.id in conditioner.exhausted
+    assert conditioner.remaining(container) < 0
 
 
 def test_background_unthrottled(sb_cal):

@@ -194,6 +194,77 @@ def test_total_outage_drops_requests_after_max_retries(sb_cal):
     assert sim.now == 0.6
 
 
+def test_health_stats_exports_the_full_dispatch_schema(sb_cal):
+    """``Dispatcher.health_stats()`` is the one schema chaos reports and
+    the CI overload lane read: global counters plus per-machine exclusion
+    state, all floats, stable keys."""
+    cluster, dispatcher = _cluster_with_dispatcher(
+        sb_cal, failure_threshold=2, exclusion_cooldown=0.5,
+    )
+    dispatcher._record_failure("m0")
+    dispatcher._record_failure("m0")  # m0 now excluded
+    stats = dispatcher.health_stats()
+    for key in ("completed", "dispatch_failures", "retries",
+                "dropped_requests", "failed_over", "late_replies"):
+        assert key in stats
+    assert stats["m0_consecutive_failures"] == 2.0
+    assert stats["m0_excluded"] == 1.0
+    assert stats["m1_excluded"] == 0.0
+    assert stats["m0_dispatched"] == 0.0
+    assert all(isinstance(v, float) for v in stats.values())
+    # Without an overload protector the overload keys stay absent: the
+    # schema reflects what is actually wired, not aspirations.
+    assert "overload_arrivals" not in stats
+
+
+def test_overload_dispatcher_serves_storms_with_exact_accounting(sb_cal):
+    """End to end: an overload-protected dispatcher under 3x overload keeps
+    serving, sheds/rejects the excess explicitly, and accounts for every
+    arrival exactly once."""
+    from repro.server import OverloadConfig, OverloadProtector
+
+    protector = OverloadProtector(OverloadConfig(
+        max_inflight=3, queue_depth=4, bucket_rate=300.0,
+        bucket_capacity=10.0, deadline_budget=0.1,
+    ))
+    cluster, dispatcher = _cluster_with_dispatcher(
+        sb_cal, rate=1200.0, overload=protector,
+    )
+    dispatcher.start(0.5)
+    cluster.simulator.run_until(0.5)
+    assert dispatcher.completed > 0
+    assert protector.rejected + protector.shed > 0
+    assert protector.completed == dispatcher.completed
+    assert protector.accounting_gap() == 0
+    stats = dispatcher.health_stats()
+    assert stats["overload_arrivals"] == float(protector.arrivals)
+    assert stats["overload_accounting_gap"] == 0.0
+    assert "m0_breaker_state" in stats
+
+
+def test_overload_breaker_composes_with_exclusion_in_is_dispatchable(sb_cal):
+    """Both PR 2's health exclusion and the circuit breaker must admit a
+    machine; either one alone blocks dispatch to it."""
+    from repro.server import OverloadConfig, OverloadProtector
+
+    protector = OverloadProtector(OverloadConfig(
+        breaker_failure_threshold=2, breaker_reset_timeout=10.0,
+    ))
+    cluster, dispatcher = _cluster_with_dispatcher(
+        sb_cal, overload=protector, failure_threshold=5,
+    )
+    member = cluster.by_name("m0")
+    # Two failures trip the breaker (threshold 2) while staying below the
+    # dispatcher's own exclusion threshold (5): the breaker alone blocks.
+    dispatcher._record_failure("m0")
+    dispatcher._record_failure("m0")
+    assert dispatcher._health["m0"].excluded_until is None
+    assert not dispatcher.is_dispatchable(member)
+    # A success closes the breaker and the machine is dispatchable again.
+    dispatcher._record_success("m0")
+    assert dispatcher.is_dispatchable(member)
+
+
 def test_failure_exclusion_and_cooldown_probe(sb_cal):
     cluster, dispatcher = _cluster_with_dispatcher(
         sb_cal, failure_threshold=2, exclusion_cooldown=0.1,
