@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: help lint fix docs test test-full examples bench chaos overload perf determinism ci ci-fast
+.PHONY: help lint fix docs test test-full examples bench chaos overload telemetry perf determinism ci ci-fast
 
 help:
 	@echo "make lint         - stdlib AST lint (python -m ci lint)"
@@ -15,6 +15,7 @@ help:
 	@echo "make bench        - regenerate every paper table/figure"
 	@echo "make chaos        - fault-injection scenarios + invariants"
 	@echo "make overload     - overload/brownout scenarios double-run + demo"
+	@echo "make telemetry    - trace-fingerprint double-run + neutrality gate"
 	@echo "make perf         - benchmark regression check + fingerprint guard"
 	@echo "make determinism  - seeded double-run equality gate"
 	@echo "make ci           - the full merge gate"
@@ -46,6 +47,9 @@ chaos:
 
 overload:
 	$(PYTHON) -m ci overload
+
+telemetry:
+	$(PYTHON) -m ci telemetry
 
 perf:
 	$(PYTHON) -m ci perf

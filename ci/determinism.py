@@ -29,7 +29,7 @@ _CAL_DURATION = 0.1
 _RUN_DURATION = 1.5
 
 
-def _run_once():
+def _run_once(facility_kwargs=None):
     from repro.core import calibrate_machine
     from repro.hardware import SANDYBRIDGE
     from repro.workloads import SolrWorkload, run_workload
@@ -38,6 +38,7 @@ def _run_once():
     run = run_workload(
         SolrWorkload(), SANDYBRIDGE, calibration,
         load_fraction=0.6, duration=_RUN_DURATION, warmup=0.2, seed=7,
+        facility_kwargs=facility_kwargs,
     )
     primary = run.facility.primary
     fingerprint = {

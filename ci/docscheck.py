@@ -26,6 +26,7 @@ DOC_FILES = (
     "README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
     "docs/api.md", "docs/architecture.md", "docs/paper_mapping.md",
     "docs/ci.md", "docs/robustness.md", "docs/performance.md",
+    "docs/observability.md",
 )
 
 _SECTION_RE = re.compile(r"^##\s+`(repro(?:\.\w+)?)`")

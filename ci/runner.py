@@ -105,6 +105,71 @@ def run_overload():
     return not findings, findings, detail
 
 
+def run_telemetry():
+    """Telemetry lane: tracing must be deterministic and strictly neutral.
+
+    For every determinism-gate chaos scenario: (1) a baseline run without
+    telemetry and an instrumented run must produce bit-identical report
+    fingerprints (enabling telemetry never changes attribution); (2) two
+    instrumented runs with the same seed must produce bit-identical
+    ``trace_fingerprint()`` digests; (3) a run with a disabled handle must
+    record zero events.  A Solr workload run repeats the neutrality check
+    against the determinism gate's own fingerprint dict.
+    """
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from ci.determinism import _CHAOS_SCENARIOS, _CHAOS_SEED, _run_once
+    from repro.faults import run_scenario, scenario_by_name
+    from repro.telemetry import Telemetry
+
+    findings = []
+    for name in _CHAOS_SCENARIOS:
+        scenario = scenario_by_name(name)
+        baseline = run_scenario(scenario, seed=_CHAOS_SEED)
+        first = Telemetry()
+        traced = run_scenario(scenario, seed=_CHAOS_SEED, telemetry=first)
+        if baseline.fingerprint() != traced.fingerprint():
+            findings.append(Finding(
+                "ci/runner.py", 1, "TELEM",
+                f"scenario {name!r}: enabling telemetry changed the report "
+                f"fingerprint (instrumentation is not neutral)",
+            ))
+        second = Telemetry()
+        run_scenario(scenario, seed=_CHAOS_SEED, telemetry=second)
+        if first.trace_fingerprint() != second.trace_fingerprint():
+            findings.append(Finding(
+                "ci/runner.py", 1, "NDET",
+                f"scenario {name!r}: trace fingerprint differs between "
+                f"identically-seeded runs",
+            ))
+        disabled = Telemetry(enabled=False)
+        off = run_scenario(scenario, seed=_CHAOS_SEED, telemetry=disabled)
+        if len(disabled.tracer.events) or len(disabled.registry):
+            findings.append(Finding(
+                "ci/runner.py", 1, "TELEM",
+                f"scenario {name!r}: a disabled telemetry handle recorded "
+                f"events or metrics",
+            ))
+        if baseline.fingerprint() != off.fingerprint():
+            findings.append(Finding(
+                "ci/runner.py", 1, "TELEM",
+                f"scenario {name!r}: a disabled telemetry handle changed "
+                f"the report fingerprint",
+            ))
+
+    solr_baseline = _run_once()
+    solr_traced = _run_once(facility_kwargs={"telemetry": Telemetry()})
+    for key in solr_baseline:
+        if solr_baseline[key] != solr_traced[key]:
+            findings.append(Finding(
+                "ci/runner.py", 1, "TELEM",
+                f"determinism-gate key {key!r} changed when telemetry was "
+                f"enabled on the Solr run",
+            ))
+    detail = (f"{len(_CHAOS_SCENARIOS)} scenarios x (neutrality + double-run "
+              f"+ disabled identity) + Solr gate neutrality")
+    return not findings, findings, detail
+
+
 def run_perf_lane():
     """Perf lane: benchmark regression check bracketed by fingerprint runs.
 
@@ -180,9 +245,13 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "perf", help="benchmark regression check + fingerprint guard",
     )
+    sub.add_parser(
+        "telemetry",
+        help="trace-fingerprint double-run + telemetry-neutrality gate",
+    )
     all_parser = sub.add_parser(
         "all", help="the merge gate: lint + docs + tests + examples "
-                    "+ chaos + overload + perf + determinism",
+                    "+ chaos + overload + telemetry + perf + determinism",
     )
     all_parser.add_argument(
         "--fast", action="store_true",
@@ -209,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
         reporter.run("overload", run_overload)
     elif args.lane == "perf":
         reporter.run("perf", run_perf_lane)
+    elif args.lane == "telemetry":
+        reporter.run("telemetry", run_telemetry)
     elif args.lane == "all":
         reporter.run("lint", run_lint_lane)
         reporter.run("docs", run_docs_lane)
@@ -217,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
             reporter.run("examples", run_examples)
             reporter.run("chaos", run_chaos)
             reporter.run("overload", run_overload)
+            reporter.run("telemetry", run_telemetry)
             reporter.run("perf", run_perf_lane)
         reporter.run("determinism", run_determinism_lane)
 

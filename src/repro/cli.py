@@ -301,6 +301,60 @@ def cmd_overload(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Trace one chaos scenario: request spans + energy timeline export."""
+    import os
+
+    from repro.faults import run_scenario, scenario_by_name
+    from repro.telemetry import Telemetry
+
+    scenario = scenario_by_name(args.scenario)
+    telemetry = Telemetry(capacity=args.capacity)
+    report = run_scenario(
+        scenario, seed=args.seed, duration_scale=args.duration_scale,
+        telemetry=telemetry,
+    )
+    out = args.out or os.path.join("results", f"trace-{scenario.name}.json")
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w") as handle:
+        handle.write(telemetry.tracer.to_chrome_json())
+    tracer = telemetry.tracer
+    print(tracer.timeline(limit=args.limit))
+    print(
+        f"{len(tracer.events)} events ({tracer.dropped_events} dropped); "
+        f"trace fingerprint {telemetry.trace_fingerprint()}"
+    )
+    print(f"wrote Chrome trace_event JSON to {out}")
+    return 0 if report.passed else 1
+
+
+def cmd_metrics(args) -> int:
+    """Run one chaos scenario and dump the unified metrics exposition."""
+    import os
+
+    from repro.faults import run_scenario, scenario_by_name
+    from repro.telemetry import Telemetry
+
+    scenario = scenario_by_name(args.scenario)
+    telemetry = Telemetry()
+    report = run_scenario(
+        scenario, seed=args.seed, duration_scale=args.duration_scale,
+        telemetry=telemetry,
+    )
+    text = telemetry.registry.exposition()
+    out = args.out or os.path.join("results", f"metrics-{scenario.name}.txt")
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w") as handle:
+        handle.write(text)
+    print(text, end="")
+    print(f"wrote {len(telemetry.registry)} metrics to {out}")
+    return 0 if report.passed else 1
+
+
 COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig01": (cmd_fig01, "Fig. 1: incremental per-core power"),
     "calibration": (cmd_calibration, "Sec. 4.1: calibration table"),
@@ -312,6 +366,8 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "chaos": (cmd_chaos, "chaos scenarios: seeded faults + invariant checks"),
     "overload": (cmd_overload, "overload demo: storm + cap-squeeze brownout"),
     "perf": (cmd_perf, "performance suite: micro/macro benchmarks"),
+    "trace": (cmd_trace, "trace a chaos scenario: spans + energy timeline"),
+    "metrics": (cmd_metrics, "unified metrics exposition for one scenario"),
 }
 
 
@@ -381,6 +437,29 @@ def main(argv: list[str] | None = None) -> int:
                 "--fingerprints", action="store_true",
                 help="print each report's canonical fingerprint",
             )
+        elif name in ("trace", "metrics"):
+            cmd_parser.add_argument(
+                "--scenario", default="arrival-storm",
+                help="chaos scenario to run under telemetry",
+            )
+            cmd_parser.add_argument("--seed", type=int, default=42)
+            cmd_parser.add_argument(
+                "--duration-scale", type=float, default=1.0,
+                help="scale the scenario's duration (and fault windows)",
+            )
+            cmd_parser.add_argument(
+                "--out", default=None,
+                help="output path (default: results/<cmd>-<scenario>.*)",
+            )
+            if name == "trace":
+                cmd_parser.add_argument(
+                    "--capacity", type=int, default=65536,
+                    help="trace ring-buffer capacity in events",
+                )
+                cmd_parser.add_argument(
+                    "--limit", type=int, default=40,
+                    help="timeline lines to print (full trace goes to --out)",
+                )
         elif name == "overload":
             cmd_parser.add_argument("--seed", type=int, default=42)
             cmd_parser.add_argument(

@@ -77,6 +77,8 @@ class CoreAccountant:
         observer: Optional[ObserverEffect] = None,
         subtract_observer: bool = True,
         record_power_history: bool = False,
+        telemetry=None,
+        telemetry_prefix: str = "",
     ) -> None:
         if not approaches:
             raise ValueError("at least one accounting approach is required")
@@ -91,6 +93,11 @@ class CoreAccountant:
         self.observer = observer
         self.subtract_observer = subtract_observer
         self.record_power_history = record_power_history
+        #: Optional :class:`~repro.telemetry.Telemetry` handle; when
+        #: enabled, every accounting event emits the container's energy
+        #: timeline (cumulative joules, chip share, observer correction).
+        self.telemetry = telemetry
+        self._telemetry_prefix = telemetry_prefix
         self.current_container_id: Optional[int] = None
         #: Name of the process (server stage) currently on the core; used
         #: for the per-stage breakdown (paper Fig. 4 annotations).
@@ -198,6 +205,18 @@ class CoreAccountant:
         self._last_time = now
         self.samples_taken += 1
         self._perform_maintenance_work()
+        t = self.telemetry
+        if t is not None and t.enabled:
+            # Energy-timeline profiling (Section 3.3): one counter sample
+            # per accounting event, on the charged container's track.
+            tracer = t.tracer
+            track = f"container:{self._telemetry_prefix}{container.id}"
+            tracer.counter(
+                now, track, "energy_j", container.total_energy(self.primary)
+            )
+            tracer.counter(now, track, "chipshare", primary_sample.mchipshare)
+            if ops:
+                tracer.counter(now, track, "observer_ops", float(ops))
         return primary_sample
 
     def sample_and_rebind(

@@ -140,12 +140,37 @@ class PowerContainerFacility(KernelHooks):
         recalibration_guard: bool = True,
         meter_staleness_timeout: Optional[float] = None,
         route_untagged_to_background: bool = False,
+        telemetry=None,
+        telemetry_node: str = "",
     ) -> None:
         self.kernel = kernel
         self.machine = kernel.machine
         self.simulator = kernel.simulator
         self.calibration = calibration
         self.registry = ContainerRegistry()
+        #: Optional :class:`~repro.telemetry.Telemetry` handle.  ``None``
+        #: (the default) leaves every instrumented path byte-identical to
+        #: the uninstrumented code; ``telemetry_node`` prefixes track and
+        #: metric names so cluster machines sharing one handle stay apart.
+        self.telemetry = telemetry
+        self.telemetry_node = telemetry_node
+        self._tprefix = f"{telemetry_node}/" if telemetry_node else ""
+        self._t_facility_track = f"facility:{telemetry_node or 'machine'}"
+        if telemetry is not None and telemetry.enabled:
+            mprefix = (
+                f"facility_{telemetry_node}_" if telemetry_node else "facility_"
+            )
+            self._m_untagged = telemetry.registry.counter(
+                mprefix + "segments_untagged_total",
+                help="received socket segments whose in-band tag was lost",
+            )
+            self._m_overflows = telemetry.registry.counter(
+                mprefix + "overflow_interrupts_total",
+                help="counter-overflow sampling interrupts taken",
+            )
+        else:
+            self._m_untagged = None
+            self._m_overflows = None
         configs = approaches if approaches is not None else default_approaches()
         self.approach_configs = {c.name: c for c in configs}
         self.primary = primary if primary is not None else configs[-1].name
@@ -188,6 +213,8 @@ class PowerContainerFacility(KernelHooks):
                 observer=observer,
                 subtract_observer=subtract_observer,
                 record_power_history=record_power_history,
+                telemetry=telemetry,
+                telemetry_prefix=self._tprefix,
             )
             for core in self.machine.cores
         }
@@ -265,10 +292,26 @@ class PowerContainerFacility(KernelHooks):
             label=label, created_at=self.simulator.now, meta=meta
         )
         container.refcount += 1
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.begin(
+                self.simulator.now,
+                f"request:{self._tprefix}{container.id}",
+                "request",
+                {"container": container.id, "label": label},
+            )
         return container
 
     def complete_request(self, container: PowerContainer) -> None:
         """Release the driver's reference when the response is delivered."""
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.end(
+                self.simulator.now,
+                f"request:{self._tprefix}{container.id}",
+                "request",
+                {"energy_j": container.total_energy(self.primary)},
+            )
         self.registry.decref(container.id)
 
     def attach_conditioner(self, conditioner) -> None:
@@ -386,9 +429,15 @@ class PowerContainerFacility(KernelHooks):
                 self.models[name].update_coefficients(
                     recalibrator.last_good_coefficients()
                 )
+            t = self.telemetry
+            if t is not None and t.enabled:
+                t.tracer.instant(now, self._t_facility_track, "meter.stale")
         elif not stale and self.health.meter_state == "stale":
             self.health.meter_state = "ok"
             self.health.meter_recoveries += 1
+            t = self.telemetry
+            if t is not None and t.enabled:
+                t.tracer.instant(now, self._t_facility_track, "meter.recovered")
 
     def _run_recalibration(self) -> None:
         """Align newly delivered meter samples and refit the live model."""
@@ -453,6 +502,14 @@ class PowerContainerFacility(KernelHooks):
             indexes = [FEATURES_FULL.index(f) for f in features]
             recalibrator.add_pairs(row_matrix[:, indexes], np.array(watts))
             recalibrator.recalibrate()
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.instant(
+                self.simulator.now,
+                self._t_facility_track,
+                "recal.refit",
+                {"rows": len(rows), "delay_samples": delay},
+            )
 
     # ------------------------------------------------------------------
     # Kernel hook implementations
@@ -465,17 +522,42 @@ class PowerContainerFacility(KernelHooks):
         )
         if self.conditioner is not None:
             self.conditioner.on_context_switch(core, accountant.bound_container)
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.begin(
+                self.simulator.now,
+                f"core:{self._tprefix}{core.index}",
+                f"stage:{process.name}",
+                {"container": process.container_id},
+            )
 
     def on_undispatch(self, core: Core, process: Process, reason: str) -> None:
         self.accountants[core.index].sample_and_rebind(
             self.simulator.now, None, occupied=False
         )
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.end(
+                self.simulator.now,
+                f"core:{self._tprefix}{core.index}",
+                f"stage:{process.name}",
+                {"reason": reason},
+            )
 
     def on_overflow(self, core: Core, process: Process) -> None:
         accountant = self.accountants[core.index]
         accountant.sample(self.simulator.now)
         if self.conditioner is not None:
             self.conditioner.adjust(core, accountant.bound_container)
+        t = self.telemetry
+        if t is not None and t.enabled:
+            self._m_overflows.inc()
+            t.tracer.instant(
+                self.simulator.now,
+                f"core:{self._tprefix}{core.index}",
+                "overflow",
+                {"container": process.container_id},
+            )
 
     def on_binding_change(
         self, process: Process, old_id: Optional[int], new_id: Optional[int]
@@ -500,6 +582,14 @@ class PowerContainerFacility(KernelHooks):
     def on_send(self, process: Process, message: Message, dest: Endpoint) -> None:
         if message.tag.container_id is not None:
             self.registry.incref(message.tag.container_id)
+            t = self.telemetry
+            if t is not None and t.enabled:
+                t.tracer.instant(
+                    self.simulator.now,
+                    f"request:{self._tprefix}{message.tag.container_id}",
+                    "socket.send",
+                    {"carried_stats": message.tag.carried_stats is not None},
+                )
 
     def on_recv(self, process: Process, message: Message, source: Endpoint) -> None:
         tag = message.tag
@@ -510,12 +600,29 @@ class PowerContainerFacility(KernelHooks):
             # so the misattribution is visible there instead of polluting a
             # finished request's statistics.
             self.health.untagged_segments += 1
+            t = self.telemetry
+            if t is not None and t.enabled:
+                self._m_untagged.inc()
+                t.tracer.instant(
+                    self.simulator.now,
+                    self._t_facility_track,
+                    "tag.loss",
+                    {"routed_to_background": self.route_untagged_to_background},
+                )
             if (
                 self.route_untagged_to_background
                 and process.container_id is not None
             ):
                 self.kernel.rebind(process, None)
             return
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.instant(
+                self.simulator.now,
+                f"request:{self._tprefix}{tag.container_id}",
+                "socket.recv",
+                {"carried_stats": tag.carried_stats is not None},
+            )
         if tag.carried_stats:
             self.registry.get(tag.container_id).stats.merge_carried(
                 tag.carried_stats
@@ -567,6 +674,12 @@ class PowerContainerFacility(KernelHooks):
 
         Keys are stable, so two identically-seeded runs export identical
         dicts (the chaos determinism gate relies on this).
+
+        .. deprecated::
+            Kept as a thin compatibility schema; prefer
+            :meth:`publish_metrics` + ``MetricsRegistry.snapshot()``,
+            which expose the same counters under the unified
+            ``facility_*`` naming convention (see docs/observability.md).
         """
         stats = self.health.export_stats()
         for name, recalibrator in sorted(self.recalibrators.items()):
@@ -581,6 +694,29 @@ class PowerContainerFacility(KernelHooks):
                 for key, value in recalibrator.guard.export_stats().items():
                     stats[f"{name}_{key}"] = value
         return stats
+
+    def publish_metrics(self, registry=None) -> None:
+        """Mirror :meth:`health_stats` into a telemetry metrics registry.
+
+        Keys become ``facility_<key>`` gauges (``facility_<node>_<key>``
+        when a ``telemetry_node`` name was configured).  With no explicit
+        ``registry`` the attached telemetry handle's registry is used;
+        without either, this is a no-op.
+        """
+        if registry is None:
+            if self.telemetry is None:
+                return
+            registry = self.telemetry.registry
+        prefix = (
+            f"facility_{self.telemetry_node}_"
+            if self.telemetry_node
+            else "facility_"
+        )
+        for key, value in self.health_stats().items():
+            registry.gauge(prefix + key).set(value)
+        registry.gauge(prefix + "samples_taken").set(
+            float(sum(a.samples_taken for a in self.accountants.values()))
+        )
 
     def flush(self) -> None:
         """Force a sample on every core (end-of-experiment accounting)."""

@@ -95,6 +95,7 @@ class PowerCapEnforcer:
         step_down_headroom: float = 0.85,
         hold_intervals: int = 3,
         degraded_cap_fraction: float = 0.6,
+        telemetry=None,
     ) -> None:
         if cap_watts <= 0:
             raise ValueError("power cap must be positive")
@@ -113,6 +114,9 @@ class PowerCapEnforcer:
         self.step_down_headroom = step_down_headroom
         self.hold_intervals = hold_intervals
         self.degraded_cap_fraction = degraded_cap_fraction
+        #: Optional :class:`~repro.telemetry.Telemetry` handle; ``None``
+        #: (the default) keeps the control loop byte-identical.
+        self.telemetry = telemetry
 
         self.level = 0
         self.transitions: list[BrownoutTransition] = []
@@ -218,6 +222,19 @@ class PowerCapEnforcer:
             effective_cap=self.effective_cap(),
             direction="up" if direction > 0 else "down",
         ))
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.instant(
+                now,
+                "powercap",
+                f"brownout.{BROWNOUT_LADDER[new_level]}",
+                {
+                    "level": new_level,
+                    "direction": "up" if direction > 0 else "down",
+                    "measured_watts": self.measured_watts,
+                    "effective_cap": self.effective_cap(),
+                },
+            )
 
     def _apply(self) -> None:
         """Push the current rung into conditioners and the protector."""
@@ -234,7 +251,14 @@ class PowerCapEnforcer:
 
     # ------------------------------------------------------------------
     def health_stats(self) -> dict[str, float]:
-        """Stable-keyed control-loop counters for chaos/CI reports."""
+        """Stable-keyed control-loop counters for chaos/CI reports.
+
+        .. deprecated::
+            Kept as a thin compatibility schema; prefer
+            :meth:`publish_metrics` + ``MetricsRegistry.snapshot()``, which
+            expose the same counters under the unified ``powercap_*``
+            naming convention (see docs/observability.md).
+        """
         return {
             "powercap_level": float(self.level),
             "powercap_cap_watts": float(self.cap_watts),
@@ -252,3 +276,18 @@ class PowerCapEnforcer:
                 sum(c.adjustments for c in self.conditioners.values())
             ),
         }
+
+    def publish_metrics(self, registry=None) -> None:
+        """Mirror :meth:`health_stats` into a telemetry metrics registry.
+
+        All keys already carry the ``powercap_`` prefix and publish
+        unchanged as gauges.  With no explicit ``registry`` the attached
+        telemetry handle's registry is used; without either this is a
+        no-op.
+        """
+        if registry is None:
+            if self.telemetry is None:
+                return
+            registry = self.telemetry.registry
+        for key, value in self.health_stats().items():
+            registry.gauge(key).set(value)

@@ -106,6 +106,8 @@ class SingleMachineWorld:
     targets: FaultTargets
     hub: RngHub
     duration: float
+    #: Optional shared telemetry handle (None = uninstrumented run).
+    telemetry: object = None
 
     def start(self) -> None:
         """Begin request arrivals."""
@@ -131,6 +133,8 @@ class ClusterWorld:
     targets: FaultTargets
     hub: RngHub
     duration: float
+    #: Optional shared telemetry handle (None = uninstrumented run).
+    telemetry: object = None
 
     @property
     def simulator(self) -> Simulator:
@@ -183,7 +187,7 @@ ChaosWorld = Union[SingleMachineWorld, ClusterWorld]
 
 
 def build_single_world(
-    seed: int, duration: float, load_fraction: float = 0.45
+    seed: int, duration: float, load_fraction: float = 0.45, telemetry=None
 ) -> SingleMachineWorld:
     """Assemble the single-machine chaos world with all injectors bound."""
     calibration = chaos_calibration()
@@ -200,6 +204,7 @@ def build_single_world(
         recalib_interval=0.1,
         max_delay_seconds=0.01,
         route_untagged_to_background=True,
+        telemetry=telemetry,
     )
     facility.start_tracing()
     workload = chaos_workload()
@@ -225,19 +230,24 @@ def build_single_world(
     return SingleMachineWorld(
         simulator=sim, machine=machine, kernel=kernel, facility=facility,
         workload=workload, server=server, driver=driver, targets=targets,
-        hub=hub, duration=duration,
+        hub=hub, duration=duration, telemetry=telemetry,
     )
 
 
 def build_cluster_world(
-    seed: int, duration: float, load_fraction: float = 0.35
+    seed: int, duration: float, load_fraction: float = 0.35, telemetry=None
 ) -> ClusterWorld:
     """Assemble the two-machine cluster chaos world."""
     calibration = chaos_calibration()
     hub = RngHub(seed)
     cluster = HeterogeneousCluster()
     for name in ("sb0", "sb1"):
-        cluster.add_machine(SANDYBRIDGE, calibration, name=name)
+        cluster.add_machine(
+            SANDYBRIDGE,
+            calibration,
+            name=name,
+            facility_kwargs=dict(telemetry=telemetry, telemetry_node=name),
+        )
     workload = chaos_workload()
     cluster.build_workload(workload)
     demand = workload.mean_demand_seconds("sandybridge")
@@ -248,6 +258,7 @@ def build_cluster_world(
         SimpleLoadBalancePolicy(),
         request_rate=load_fraction * total_cores / demand,
         rng=hub.stream("chaos-arrivals"),
+        telemetry=telemetry,
     )
     targets = FaultTargets(
         cluster=ClusterFaultInjector(
@@ -256,7 +267,7 @@ def build_cluster_world(
     )
     return ClusterWorld(
         cluster=cluster, dispatcher=dispatcher, workload=workload,
-        targets=targets, hub=hub, duration=duration,
+        targets=targets, hub=hub, duration=duration, telemetry=telemetry,
     )
 
 
@@ -265,6 +276,7 @@ def build_overload_world(
     duration: float,
     load_fraction: float = 0.35,
     cap_watts: float = 95.0,
+    telemetry=None,
 ) -> OverloadWorld:
     """Assemble the overload/brownout chaos world.
 
@@ -287,6 +299,8 @@ def build_overload_world(
                 recalib_interval=0.1,
                 max_delay_seconds=0.01,
                 route_untagged_to_background=True,
+                telemetry=telemetry,
+                telemetry_node=name,
             ),
             meter_factory=lambda machine, sim: PackageMeter(
                 machine, sim, period=1e-3, delay=1e-3
@@ -317,9 +331,11 @@ def build_overload_world(
         request_rate=request_rate,
         rng=hub.stream("chaos-arrivals"),
         overload=protector,
+        telemetry=telemetry,
     )
     enforcer = PowerCapEnforcer(
-        cluster, cap_watts=cap_watts, protector=protector, interval=0.02
+        cluster, cap_watts=cap_watts, protector=protector, interval=0.02,
+        telemetry=telemetry,
     )
     for member in cluster.machines:
         member.facility.start_tracing()
@@ -336,7 +352,7 @@ def build_overload_world(
     )
     return OverloadWorld(
         cluster=cluster, dispatcher=dispatcher, workload=workload,
-        targets=targets, hub=hub, duration=duration,
+        targets=targets, hub=hub, duration=duration, telemetry=telemetry,
         protector=protector, enforcer=enforcer,
     )
 
@@ -478,20 +494,29 @@ def _check_conservation(
 
 
 def run_scenario(
-    scenario: Scenario, seed: int, duration_scale: float = 1.0
+    scenario: Scenario, seed: int, duration_scale: float = 1.0, telemetry=None
 ) -> ChaosReport:
-    """Run one scenario end to end and audit the invariants."""
+    """Run one scenario end to end and audit the invariants.
+
+    An optional :class:`~repro.telemetry.Telemetry` handle threads through
+    every component (facilities, dispatcher, overload protector, power-cap
+    enforcer, fault plan); after the run each component's counters are
+    published into its metrics registry.  ``None`` runs bit-identically to
+    the uninstrumented harness.
+    """
     if duration_scale <= 0:
         raise ValueError("duration scale must be positive")
     duration = scenario.duration * duration_scale
     if scenario.kind == "single":
-        world: ChaosWorld = build_single_world(seed, duration)
+        world: ChaosWorld = build_single_world(
+            seed, duration, telemetry=telemetry
+        )
     elif scenario.kind == "overload":
-        world = build_overload_world(seed, duration)
+        world = build_overload_world(seed, duration, telemetry=telemetry)
     else:
-        world = build_cluster_world(seed, duration)
+        world = build_cluster_world(seed, duration, telemetry=telemetry)
     plan = scenario.build_plan(world, world.hub.stream("chaos-plan"))
-    plan.apply(world.simulator, world.targets)
+    plan.apply(world.simulator, world.targets, telemetry=telemetry)
     world.start()
     world.simulator.run_until(duration)
 
@@ -540,4 +565,14 @@ def run_scenario(
                 f"expected {key} >= {minimum:g}, observed {observed:g} "
                 f"(the fault or guard never engaged)"
             )
+
+    if telemetry is not None and telemetry.enabled:
+        if isinstance(world, SingleMachineWorld):
+            world.facility.publish_metrics(telemetry.registry)
+        else:
+            for member in world.cluster.machines:
+                member.facility.publish_metrics(telemetry.registry)
+            world.dispatcher.publish_metrics(telemetry.registry)
+            if isinstance(world, OverloadWorld):
+                world.enforcer.publish_metrics(telemetry.registry)
     return report

@@ -272,15 +272,35 @@ class FaultPlan:
         return plan
 
     # -- execution ------------------------------------------------------
-    def apply(self, simulator: Simulator, targets: FaultTargets) -> None:
+    def apply(
+        self, simulator: Simulator, targets: FaultTargets, telemetry=None
+    ) -> None:
         """Schedule every event against the bound injectors.
 
         Raises :class:`ValueError` when an event names a site the targets
         cannot resolve -- a mis-built plan should fail loudly, not silently
-        skip its faults and report a spuriously clean run.
+        skip its faults and report a spuriously clean run.  With an enabled
+        ``telemetry`` handle, every firing also emits a ``fault.*`` trace
+        instant (injector firings become part of the request timeline).
         """
         for event in self.sorted_events():
             callback = self._resolve(event, targets)
+            if telemetry is not None:
+                # Default-arg closure: late binding would make every firing
+                # report the last event in the plan.
+                def traced(
+                    cb=callback, site=event.site, action=event.action
+                ) -> None:
+                    t = telemetry
+                    if t.enabled:
+                        t.tracer.instant(
+                            simulator.now,
+                            "faults",
+                            f"fault.{site}.{action}",
+                        )
+                    cb()
+
+                callback = traced
             simulator.schedule_at(
                 event.at, callback, label=f"fault-{event.site}-{event.action}"
             )

@@ -50,6 +50,12 @@ DEFAULT_THRESHOLD = 3.0
 #: over the loop oracle (machine-independent; measured ~27x).
 MIN_CORRELATION_RATIO = 5.0
 
+#: Maximum wall-time ratio of a run with an attached-but-disabled
+#: :class:`~repro.telemetry.Telemetry` handle over a bare run.  The
+#: disabled-mode guards (``if t is not None and t.enabled``) on every hot
+#: path must stay within this budget (machine-independent; measured ~1.0).
+MAX_TELEMETRY_DISABLED_RATIO = 1.05
+
 
 @dataclass
 class BenchResult:
@@ -149,6 +155,72 @@ def bench_correlation_ratio() -> BenchResult:
     )
 
 
+def bench_telemetry_overhead() -> BenchResult:
+    """Disabled-telemetry tax on the hottest instrumented path.
+
+    Times ``CoreAccountant.sample`` -- the per-context-switch/overflow
+    accounting step that runs orders of magnitude more often than any
+    other instrumented site -- on an occupied core, with no telemetry vs
+    an attached-but-disabled :class:`~repro.telemetry.Telemetry` handle.
+    The ``seconds`` field holds the *ratio* (machine-independent, ~1.0),
+    guarding the documented <=5% disabled-mode budget.
+    """
+    from repro.core import PowerContainerFacility, calibrate_machine
+    from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+    from repro.kernel import Compute, Kernel
+    from repro.sim import Simulator
+    from repro.telemetry import Telemetry
+
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.1)
+    spin = RateProfile(name="bench-spin", ipc=1.0)
+    iterations = 10_000
+
+    def build_accountant(telemetry):
+        sim = Simulator()
+        machine = build_machine(SANDYBRIDGE, sim)
+        kernel = Kernel(machine, sim)
+        facility = PowerContainerFacility(
+            kernel, calibration, telemetry=telemetry
+        )
+        container = facility.create_request_container("bench")
+
+        def program():
+            yield Compute(cycles=machine.freq_hz * 60.0, profile=spin)
+
+        kernel.spawn(
+            program(), "spin", container_id=container.id, pinned_core=0
+        )
+        sim.run_until(1e-3)  # dispatch the process so core 0 is occupied
+        return facility.accountants[0]
+
+    def arm_seconds(telemetry):
+        accountant = build_accountant(telemetry)
+        assert accountant.occupied
+        now = 1e-3
+        start = time.perf_counter()
+        for _ in range(iterations):
+            now += 1e-4
+            accountant.sample(now)
+        return time.perf_counter() - start
+
+    arm_seconds(None)  # warm imports and caches
+    # Interleave the arms and keep each arm's minimum: back-to-back pairs
+    # cancel machine-load drift that separated best-of runs cannot, which
+    # matters when the budget is a few percent.
+    bare = float("inf")
+    disabled = float("inf")
+    for _ in range(8):
+        bare = min(bare, arm_seconds(None))
+        disabled = min(disabled, arm_seconds(Telemetry(enabled=False)))
+    return BenchResult(
+        "micro-telemetry-disabled-ratio", "micro", disabled / bare,
+        throughput={
+            "bare_samples_per_sec": iterations / bare,
+            "disabled_samples_per_sec": iterations / disabled,
+        },
+    )
+
+
 def bench_event_vector() -> BenchResult:
     """Slot-backed EventVector arithmetic: add/subtract/scaled round trips."""
     from repro.hardware.events import EventVector
@@ -229,6 +301,7 @@ SUITE = (
     bench_simulator_queue,
     bench_correlation_curve,
     bench_correlation_ratio,
+    bench_telemetry_overhead,
     bench_macro_solr,
 )
 
@@ -279,8 +352,9 @@ def check_regressions(
     Returns a list of human-readable problems (empty = pass): wall-time
     benchmarks must stay under ``threshold`` x their committed ``seconds``;
     the correlation ratio benchmark must stay above
-    :data:`MIN_CORRELATION_RATIO` (and is exempt from the wall-time rule,
-    since its ``seconds`` field is a ratio where *bigger* is better).
+    :data:`MIN_CORRELATION_RATIO` and the disabled-telemetry ratio below
+    :data:`MAX_TELEMETRY_DISABLED_RATIO` (both are exempt from the
+    wall-time rule, since their ``seconds`` fields are ratios).
     """
     committed = load_bench_json(committed_path)["benchmarks"]
     problems = []
@@ -290,6 +364,13 @@ def check_regressions(
                 problems.append(
                     f"{name}: vectorized/oracle ratio {result.seconds:.1f}x "
                     f"below required {MIN_CORRELATION_RATIO:.1f}x"
+                )
+            continue
+        if name == "micro-telemetry-disabled-ratio":
+            if result.seconds > MAX_TELEMETRY_DISABLED_RATIO:
+                problems.append(
+                    f"{name}: disabled-telemetry ratio {result.seconds:.3f}x "
+                    f"exceeds budget {MAX_TELEMETRY_DISABLED_RATIO:.2f}x"
                 )
             continue
         baseline = committed.get(name)

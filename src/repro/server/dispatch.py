@@ -201,6 +201,7 @@ class Dispatcher:
         failure_threshold: int = 3,
         exclusion_cooldown: float = 0.25,
         overload: Optional[OverloadProtector] = None,
+        telemetry=None,
     ) -> None:
         if request_rate <= 0:
             raise ValueError("request rate must be positive")
@@ -242,6 +243,11 @@ class Dispatcher:
         self.overload = overload
         if overload is not None:
             overload.bind([m.name for m in cluster.machines])
+        #: Optional :class:`~repro.telemetry.Telemetry` handle; ``None``
+        #: (the default) keeps the dispatch path byte-identical.
+        self.telemetry = telemetry
+        if overload is not None and overload.telemetry is None:
+            overload.telemetry = telemetry
         self._next_request_id = 0
         self._deadline: Optional[float] = None
         self._util_ewma: dict[str, float] = {m.name: 0.0 for m in cluster.machines}
@@ -286,6 +292,14 @@ class Dispatcher:
     def _arrive(self) -> None:
         workload = self._pick_component()
         spec = workload.sample_request(self.rng)
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.instant(
+                self.cluster.simulator.now,
+                "dispatch",
+                "request.arrival",
+                {"rtype": spec.rtype, "workload": workload.name},
+            )
         if self.overload is not None:
             ticket = self.overload.register_arrival(
                 spec, self.cluster.simulator.now
@@ -447,6 +461,18 @@ class Dispatcher:
         self.inflight[request_id] = (workload, spec, now, container, member,
                                      ticket)
         self.dispatched_to[member.name] += 1
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.instant(
+                now,
+                "dispatch",
+                "request.dispatch",
+                {
+                    "machine": member.name,
+                    "container": container.id,
+                    "attempt": attempt,
+                },
+            )
         if ticket is not None:
             self.overload.note_inject(member.name, ticket)
         member.servers[workload.name].inject(
@@ -541,6 +567,12 @@ class Dispatcher:
         exclusion state, and (when overload protection is enabled) the
         protector's admission/shedding/breaker counters.  Chaos reports and
         the CI overload lane read this one schema.
+
+        .. deprecated::
+            Kept as a thin compatibility schema; prefer
+            :meth:`publish_metrics` + ``MetricsRegistry.snapshot()``, which
+            expose the same counters under the unified ``dispatch_*``
+            naming convention (see docs/observability.md).
         """
         stats = {
             "completed": float(self.completed),
@@ -566,6 +598,30 @@ class Dispatcher:
         if self.overload is not None:
             stats.update(self.overload.health_stats())
         return stats
+
+    def publish_metrics(self, registry=None) -> None:
+        """Mirror :meth:`health_stats` into a telemetry metrics registry.
+
+        Global and per-machine counters become ``dispatch_<key>`` gauges;
+        merged overload-protector keys (already ``overload_*``-prefixed)
+        are delegated to :meth:`OverloadProtector.publish_metrics` so they
+        publish under their own prefix.  With no explicit ``registry`` the
+        attached telemetry handle's registry is used; without either this
+        is a no-op.
+        """
+        if registry is None:
+            if self.telemetry is None:
+                return
+            registry = self.telemetry.registry
+        overload_keys = (
+            set(self.overload.health_stats()) if self.overload else set()
+        )
+        for key, value in self.health_stats().items():
+            if key in overload_keys:
+                continue
+            registry.gauge(f"dispatch_{key}").set(value)
+        if self.overload is not None:
+            self.overload.publish_metrics(registry)
 
     def mean_response_time(
         self, workload_name: Optional[str] = None, since: float = 0.0

@@ -285,6 +285,10 @@ class OverloadProtector:
     ) -> None:
         self.config = config if config is not None else OverloadConfig()
         self.priority_rng = priority_rng
+        #: Optional :class:`~repro.telemetry.Telemetry` handle (settable;
+        #: the dispatcher propagates its own).  ``None`` keeps the
+        #: admission pipeline byte-identical.
+        self.telemetry = None
         #: Brownout ladder rung, driven by repro.core.powercap (0..3).
         self.brownout_level = 0
         self.machines: dict[str, _MachineAdmission] = {}
@@ -421,6 +425,19 @@ class OverloadProtector:
                 self.deadline_sheds += 1
         else:
             self.rejected += 1
+        t = self.telemetry
+        if t is not None and t.enabled:
+            t.tracer.instant(
+                now,
+                "overload",
+                f"request.{outcome}",
+                {
+                    "arrival": ticket.arrival_id,
+                    "reason": reason,
+                    "machine": machine_name,
+                    "priority": ticket.spec.priority,
+                },
+            )
         return outcome
 
     def reject(
@@ -546,7 +563,14 @@ class OverloadProtector:
         return hashlib.sha256(canon.encode()).hexdigest()[:12]
 
     def health_stats(self) -> dict[str, float]:
-        """Stable-keyed overload counters (chaos/CI report material)."""
+        """Stable-keyed overload counters (chaos/CI report material).
+
+        .. deprecated::
+            Kept as a thin compatibility schema; prefer
+            :meth:`publish_metrics` + ``MetricsRegistry.snapshot()``, which
+            expose the same counters under the unified ``overload_*``
+            naming convention (see docs/observability.md).
+        """
         stats = {
             "overload_arrivals": float(self.arrivals),
             "overload_admitted": float(self.admitted),
@@ -572,3 +596,21 @@ class OverloadProtector:
             stats[f"{name}_queue_peak"] = float(machine.queue_peak)
             stats[f"{name}_queue_evictions"] = float(machine.evictions)
         return stats
+
+    def publish_metrics(self, registry=None) -> None:
+        """Mirror :meth:`health_stats` into a telemetry metrics registry.
+
+        Keys already carrying the ``overload_`` prefix publish unchanged;
+        the rest (``brownout_level``, ``shed_fingerprint``, per-machine
+        breaker/queue counters) gain it, e.g. ``overload_brownout_level``
+        and ``overload_<machine>_breaker_state``.  With no explicit
+        ``registry`` the attached telemetry handle's registry is used;
+        without either this is a no-op.
+        """
+        if registry is None:
+            if self.telemetry is None:
+                return
+            registry = self.telemetry.registry
+        for key, value in self.health_stats().items():
+            name = key if key.startswith("overload_") else f"overload_{key}"
+            registry.gauge(name).set(value)

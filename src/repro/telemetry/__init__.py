@@ -1,0 +1,24 @@
+"""Deterministic telemetry: request tracing, metrics, energy timelines.
+
+See ``docs/observability.md`` for the span taxonomy, metric catalog, and
+exporter formats.  The entry point is :class:`Telemetry` -- construct one
+and pass it as the ``telemetry=`` keyword of
+:class:`~repro.core.PowerContainerFacility`,
+:class:`~repro.server.Dispatcher`,
+:class:`~repro.core.PowerCapEnforcer`, or
+:func:`~repro.faults.run_scenario`.  With no handle attached (the
+default) the instrumented code paths are byte-identical to before.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import RequestTracer, Telemetry, TraceSpanEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestTracer",
+    "Telemetry",
+    "TraceSpanEvent",
+]

@@ -1,0 +1,92 @@
+"""Subprocess smoke tests for ``python -m repro trace`` / ``metrics``.
+
+The trace test also checks the telemetry subsystem's acceptance shape: the
+arrival-storm trace must contain at least one request whose stage spans
+cross two distinct pipeline stages, with per-container energy-timeline
+counter samples alongside.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def _run_cli(args, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=ROOT, env=env, capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_trace_command_emits_valid_chrome_trace(tmp_path):
+    out = tmp_path / "trace.json"
+    proc = _run_cli([
+        "trace", "--scenario", "arrival-storm", "--seed", "42",
+        "--out", str(out),
+    ])
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "trace fingerprint" in proc.stdout
+
+    trace = json.loads(out.read_text())
+    events = trace["traceEvents"]
+    assert {"M", "X", "i", "C"} <= {e["ph"] for e in events}
+
+    # At least one request's spans must cross two distinct stages, with an
+    # energy timeline recorded for the same container.
+    stages_by_container = {}
+    for event in events:
+        if event["ph"] == "X" and event["name"].startswith("stage:"):
+            cid = event["args"].get("container")
+            if cid is not None:
+                stages_by_container.setdefault(cid, set()).add(event["name"])
+    multi_stage = {
+        cid for cid, stages in stages_by_container.items() if len(stages) >= 2
+    }
+    assert multi_stage, "no request crossed two stages in the trace"
+
+    energy_containers = set()
+    for event in events:
+        if event["ph"] == "C" and "energy_j" in event["args"]:
+            name = event["name"]  # "container:<prefix><cid> energy_j"
+            token = name.split(" ")[0].rsplit("/", 1)[-1]
+            token = token.split(":")[-1]
+            if token.isdigit():
+                energy_containers.add(int(token))
+    assert multi_stage & energy_containers, (
+        "no multi-stage request has an energy timeline"
+    )
+
+    # Completed request spans carry the final attributed energy.
+    request_spans = [
+        e for e in events
+        if e["ph"] == "X" and e["name"] == "request"
+        and "energy_j" in e["args"]
+    ]
+    assert request_spans
+
+
+def test_metrics_command_writes_exposition(tmp_path):
+    out = tmp_path / "metrics.txt"
+    proc = _run_cli([
+        "metrics", "--scenario", "meter-nan-burst", "--seed", "42",
+        "--out", str(out),
+    ])
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    text = out.read_text()
+    assert "# TYPE" in text
+    assert "facility_" in text
+    assert text.endswith("\n")
+    assert "wrote" in proc.stdout

@@ -1,0 +1,116 @@
+"""Unit tests for the deterministic metrics registry."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_increments_and_rejects_decrease():
+    c = Counter("requests_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_set_and_signed_inc():
+    g = Gauge("queue_depth")
+    g.set(10.0)
+    g.inc(-3.0)
+    assert g.value == 7.0
+
+
+def test_histogram_buckets_values_at_and_between_edges():
+    h = Histogram("latency", edges=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.001, 0.005, 0.05, 5.0):
+        h.observe(value)
+    # 0.0005 and 0.001 land in the first bucket (inclusive upper bound),
+    # 5.0 only in the implicit +Inf bucket.
+    assert h.bucket_counts == [2, 1, 1]
+    assert h.cumulative_counts() == [2, 3, 4]
+    assert h.count == 5
+    assert h.sum == pytest.approx(5.0565)
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram("empty", edges=())
+    with pytest.raises(ValueError):
+        Histogram("unsorted", edges=(0.1, 0.01))
+    with pytest.raises(ValueError):
+        Histogram("duplicate", edges=(0.1, 0.1))
+
+
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    a = registry.counter("hits", help="cache hits")
+    b = registry.counter("hits")
+    assert a is b
+    assert len(registry) == 1
+    assert registry.get("hits") is a
+    assert registry.get("missing") is None
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_registry_rejects_histogram_edge_change():
+    registry = MetricsRegistry()
+    registry.histogram("lat", edges=(0.1, 1.0))
+    assert registry.histogram("lat", edges=(0.1, 1.0)) is registry.get("lat")
+    with pytest.raises(ValueError):
+        registry.histogram("lat", edges=(0.2, 2.0))
+
+
+def test_snapshot_is_sorted_and_expands_histograms():
+    registry = MetricsRegistry()
+    registry.gauge("zeta").set(1.0)
+    registry.counter("alpha").inc(2.0)
+    h = registry.histogram("lat", edges=(0.5, 1.5))
+    h.observe(0.4)
+    h.observe(2.0)
+    snap = registry.snapshot()
+    assert list(snap) == [
+        "alpha", "lat_count", "lat_sum",
+        "lat_bucket_le_0_5", "lat_bucket_le_1_5", "zeta",
+    ]
+    assert snap["alpha"] == 2.0
+    assert snap["zeta"] == 1.0
+    assert snap["lat_count"] == 2.0
+    assert snap["lat_sum"] == pytest.approx(2.4)
+    assert snap["lat_bucket_le_0_5"] == 1.0
+    assert snap["lat_bucket_le_1_5"] == 1.0  # cumulative; 2.0 is +Inf only
+
+
+def test_exposition_renders_prometheus_text():
+    registry = MetricsRegistry()
+    registry.counter("hits", help="cache hits").inc(3.0)
+    registry.gauge("depth").set(2.0)
+    h = registry.histogram("lat", edges=(0.5,), help="latency")
+    h.observe(0.1)
+    h.observe(9.0)
+    text = registry.exposition()
+    assert text.endswith("\n")
+    assert "# HELP hits cache hits" in text
+    assert "# TYPE hits counter" in text
+    assert "hits 3.0" in text
+    assert "# TYPE depth gauge" in text
+    assert 'lat_bucket{le="0.5"} 1' in text
+    assert 'lat_bucket{le="+Inf"} 2' in text
+    assert "lat_count 2" in text
+
+
+def test_equal_registries_render_byte_identically():
+    def build():
+        registry = MetricsRegistry()
+        registry.counter("a").inc(1.0)
+        registry.histogram("h", edges=(1.0, 2.0)).observe(1.5)
+        return registry
+
+    assert build().exposition() == build().exposition()
+    assert build().snapshot() == build().snapshot()
