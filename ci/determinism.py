@@ -74,6 +74,57 @@ def _chaos_fingerprints() -> dict[str, str]:
     }
 
 
+def _batch_fingerprint():
+    """Seeded batch-engine run: synchronous ``sample_all`` accounting ticks
+    interleaved with simulated execution, fingerprinted per container.
+
+    The per-event path is already covered by the Solr double-run above;
+    this exercises the vectorized :class:`BatchAccountingEngine` pass
+    (``Facility.flush`` / sharded-sweep ticks) end to end, so a batch
+    kernel that picks up accumulation-order or dtype nondeterminism fails
+    the gate even though no workload driver calls it on every sample.
+    """
+    from repro.core import PowerContainerFacility, calibrate_machine
+    from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+    from repro.kernel import Compute, Kernel
+    from repro.sim import Simulator
+
+    calibration = calibrate_machine(SANDYBRIDGE, duration=_CAL_DURATION)
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, calibration)
+    spin = RateProfile(name="det-spin", ipc=1.1)
+    containers = []
+    for index in range(len(machine.cores)):
+        container = facility.create_request_container(f"det-{index}")
+        containers.append(container)
+
+        def program():
+            yield Compute(cycles=machine.freq_hz * 0.05, profile=spin)
+
+        kernel.spawn(
+            program(), f"det-spin-{index}", container_id=container.id,
+            pinned_core=index,
+        )
+    charged = 0
+    now = 0.0
+    # Off the facility's 1 ms OS-tick grid, so the batch pass sees real
+    # open intervals instead of already-sampled (dt == 0) ones.
+    for _ in range(40):
+        now += 1.37e-3
+        sim.run_until(now)
+        charged += facility.batch_engine.sample_all(sim.now)
+    primary = facility.primary
+    return {
+        "batch_charged": charged,
+        "batch_energies": tuple(c.energy(primary) for c in containers),
+        "batch_samples": tuple(
+            c.stats.sample_count for c in containers
+        ),
+    }
+
+
 def run_determinism(root: str):
     """Lane entry point -> (ok, findings, detail)."""
     first = _run_once()
@@ -95,7 +146,18 @@ def run_determinism(root: str):
                 f"chaos scenario {name!r} fingerprint differs between "
                 f"identically-seeded runs",
             ))
+    batch_first = _batch_fingerprint()
+    batch_second = _batch_fingerprint()
+    for key in batch_first:
+        if batch_first[key] != batch_second[key]:
+            findings.append(Finding(
+                "ci/determinism.py", 1, "NDET",
+                f"{key} differs between identically-seeded batch-engine "
+                f"runs",
+            ))
     detail = (f"{first['n_requests']} requests, "
               f"{len(first['coefficients'])} coefficients, "
-              f"{len(_CHAOS_SCENARIOS)} chaos fingerprints compared")
+              f"{len(_CHAOS_SCENARIOS)} chaos fingerprints + "
+              f"{len(batch_first['batch_energies'])} batch-engine "
+              f"containers compared")
     return not findings, findings, detail

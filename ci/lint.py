@@ -16,6 +16,10 @@ other automated guard in this repo:
   packages (``src/repro/{core,hardware,sim}``) -- reflection there once
   cost a double-digit share of every attribution sample; cold paths go on
   the explicit allowlist instead
+* ``H101`` list/dict comprehension inside a function whose ``def`` line
+  carries a ``# hot-path`` marker -- each comprehension allocates a fresh
+  container per sample on paths that run per context switch / overflow;
+  hot functions use preallocated buffers and explicit loops instead
 
 Run:  ``python -m ci lint [--fix]``
 """
@@ -213,6 +217,41 @@ def _check_hot_reflection(tree: ast.Module, relpath: str) -> list[Finding]:
     return findings
 
 
+#: The marker that opts a function into the H101 comprehension ban.  It
+#: lives in a comment, so the check reads the ``def`` source line -- the
+#: AST does not carry comments.
+_HOT_PATH_MARKER = "# hot-path"
+
+
+def _check_hot_comprehensions(
+    tree: ast.Module, lines: list[str], relpath: str
+) -> list[Finding]:
+    """H101: list/dict comprehension inside a ``# hot-path`` function."""
+    findings = []
+    reported: set[int] = set()  # node ids (nested defs are walked twice)
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.lineno > len(lines):
+            continue
+        if _HOT_PATH_MARKER not in lines[func.lineno - 1]:
+            continue
+        for node in ast.walk(func):
+            if (
+                isinstance(node, (ast.ListComp, ast.DictComp))
+                and id(node) not in reported
+            ):
+                reported.add(id(node))
+                kind = "list" if isinstance(node, ast.ListComp) else "dict"
+                findings.append(Finding(
+                    relpath, node.lineno, "H101",
+                    f"{kind} comprehension inside hot-path function "
+                    f"{func.name!r} -- allocates a fresh container per "
+                    "sample; use a preallocated buffer or an explicit loop",
+                ))
+    return findings
+
+
 def _check_text(source: str, relpath: str) -> list[Finding]:
     findings = []
     lines = source.splitlines()
@@ -272,6 +311,9 @@ def lint_file(path: str, root: str, fix: bool = False) -> list[Finding]:
     findings.extend(_check_redefinitions(tree, relpath))
     findings.extend(_check_debugger(tree, relpath))
     findings.extend(_check_hot_reflection(tree, relpath))
+    findings.extend(_check_hot_comprehensions(
+        tree, source.splitlines(), relpath
+    ))
     if os.path.basename(path) != "__init__.py":
         findings.extend(_check_unused_imports(tree, relpath))
     return sorted(findings, key=lambda f: (f.path, f.line, f.code))

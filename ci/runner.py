@@ -170,13 +170,60 @@ def run_telemetry():
     return not findings, findings, detail
 
 
-def run_perf_lane():
+#: Regression threshold for ``perf --trend``: the nightly lane runs on one
+#: runner class, so it can afford a much tighter bound than the default
+#: merge-gate threshold -- fail on >20% regression vs the committed file.
+TREND_THRESHOLD = 1.2
+
+#: Where ``perf --trend`` appends its one-line-per-run history.
+TREND_HISTORY = os.path.join("results", "BENCH_history.jsonl")
+
+
+def _append_trend_history(results, problems) -> str:
+    """Append one JSON line summarizing this perf run; returns the path."""
+    import json
+    import time
+
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=ROOT,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        ).stdout.strip() or None
+    except OSError:
+        sha = None
+    benchmarks = {}
+    for name, result in results.items():
+        entry = {"kind": result.kind, "seconds": result.seconds}
+        if result.ratio is not None:
+            entry["ratio"] = result.ratio
+        benchmarks[name] = entry
+    line = {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "sha": sha,
+        "threshold": TREND_THRESHOLD,
+        "problems": list(problems),
+        "benchmarks": benchmarks,
+    }
+    path = os.path.join(ROOT, TREND_HISTORY)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return path
+
+
+def run_perf_lane(trend: bool = False):
     """Perf lane: benchmark regression check bracketed by fingerprint runs.
 
     ``ci/determinism.py``'s seeded experiment runs once before and once
     after the benchmark suite; the two fingerprints must be identical, so a
     benchmark that leaks global state (or an optimization that changes
     attribution math) fails here even if it is fast.
+
+    ``trend=True`` is the nightly mode: the wall-time threshold tightens
+    to :data:`TREND_THRESHOLD` (>20% over the committed baseline fails),
+    and every run appends a one-line JSON summary to
+    ``results/BENCH_history.jsonl`` so the Actions artifact accumulates a
+    queryable per-commit trend.
     """
     sys.path.insert(0, os.path.join(ROOT, "src"))
     from ci.determinism import _run_once
@@ -185,9 +232,11 @@ def run_perf_lane():
     findings = []
     before = _run_once()
     results = run_suite()
-    for problem in check_regressions(
-        results, os.path.join(ROOT, "BENCH_perf.json")
-    ):
+    problems = check_regressions(
+        results, os.path.join(ROOT, "BENCH_perf.json"),
+        **({"threshold": TREND_THRESHOLD} if trend else {}),
+    )
+    for problem in problems:
         findings.append(Finding("BENCH_perf.json", 1, "PERF", problem))
     after = _run_once()
     for key in before:
@@ -199,6 +248,9 @@ def run_perf_lane():
             ))
     detail = (f"{len(results)} benchmarks, "
               f"{len(before)} fingerprint keys compared")
+    if trend:
+        _append_trend_history(results, problems)
+        detail += f", trend line appended to {TREND_HISTORY}"
     return not findings, findings, detail
 
 
@@ -242,8 +294,14 @@ def main(argv: list[str] | None = None) -> int:
         "overload",
         help="overload/brownout scenarios double-run + the CLI demo",
     )
-    sub.add_parser(
+    perf_parser = sub.add_parser(
         "perf", help="benchmark regression check + fingerprint guard",
+    )
+    perf_parser.add_argument(
+        "--trend", action="store_true",
+        help="nightly mode: tighten the threshold to "
+             f"{TREND_THRESHOLD}x and append a summary line to "
+             "results/BENCH_history.jsonl",
     )
     sub.add_parser(
         "telemetry",
@@ -277,7 +335,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.lane == "overload":
         reporter.run("overload", run_overload)
     elif args.lane == "perf":
-        reporter.run("perf", run_perf_lane)
+        reporter.run("perf", lambda: run_perf_lane(trend=args.trend))
     elif args.lane == "telemetry":
         reporter.run("telemetry", run_telemetry)
     elif args.lane == "all":

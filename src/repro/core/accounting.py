@@ -15,6 +15,23 @@ and in-place binding changes -- the accountant:
 5. performs the maintenance work itself: injecting the paper-measured event
    counts (2948 cycles, 1656 instructions, 16 FLOPs, 3 LLC references) into
    the counters and the corresponding true energy into ground truth.
+
+Hot-path layout
+---------------
+
+The accountant keeps its counter baseline as a plain 7-float list
+(structure-of-arrays order, matching ``EVENT_NAMES``) instead of an
+:class:`~repro.hardware.events.EventVector`, and :meth:`CoreAccountant
+.sample` runs the delta / wrap / observer-correction / metric arithmetic on
+local floats -- the same expressions as the vector helpers
+(``wrapped_delta``, ``EventVector.subtract(clamp=True)``), unrolled so no
+intermediate vectors are allocated per sample.  The interval-charging back
+half (:meth:`CoreAccountant._charge`) is shared with the batch accounting
+engine (:mod:`repro.core.batch`), which vectorizes the front half across
+all cores of a machine with numpy kernels; both entry points therefore
+attribute bit-identical energy.  The reference transliteration of the
+original vector-based sampler lives in :func:`repro.core.batch
+.reference_sample` and anchors the equivalence tests.
 """
 
 from __future__ import annotations
@@ -22,12 +39,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.core.chipshare import ChipShareEstimator
 from repro.core.container import PowerContainer
 from repro.core.model import MetricSample, PowerModel
 from repro.core.registry import ContainerRegistry
 from repro.hardware.core import Core
-from repro.hardware.counters import wrapped_delta
+from repro.hardware.counters import COUNTER_WRAP
 from repro.hardware.events import EventVector
 from repro.hardware.machine import Machine
 
@@ -114,32 +133,142 @@ class CoreAccountant:
         # maintenance op are invariants of (observer, true model, core
         # frequency), all fixed at construction time; caching them removes
         # an EventVector build and a power-model evaluation per sample.
+        # The unit's fields are additionally unpacked to plain floats so
+        # the correction and the maintenance injection run without any
+        # attribute chasing per sample.
         if observer is not None:
             self._observer_unit = observer.event_vector(1)
             self._maintenance_joules = machine.true_model.energy_for_events(
                 self._observer_unit, core.freq_hz
             )
+            unit = self._observer_unit
+            self._ob_cycles = unit.nonhalt_cycles
+            self._ob_ins = unit.instructions
+            self._ob_flops = unit.flops
+            self._ob_cache = unit.cache_refs
+            self._ob_mem = unit.mem_trans
         else:
             self._observer_unit = None
             self._maintenance_joules = 0.0
+            self._ob_cycles = 0.0
+            self._ob_ins = 0.0
+            self._ob_flops = 0.0
+            self._ob_cache = 0.0
+            self._ob_mem = 0.0
+        # Fixed topology facts, cached to skip lookups per sample.
+        self._core_index = core.index
+        self._chip_index = core.chip.index
+        self._siblings = core.chip.siblings_of(core)
+        # Approach evaluation plan: chip-share estimators with identical
+        # configuration (mode, idle_task_check) produce identical shares
+        # for the same (core, mcore) input and have no side effects, so
+        # duplicates within one facility's approach list are computed once
+        # per sample.  Entries are (name, model, estimator-or-None,
+        # share-slot, is-primary); a ``None`` estimator reuses the slot
+        # value computed by an earlier entry.
+        plan: list[tuple] = []
+        group_keys: list[tuple] = []
+        for a in approaches:
+            key = (a.chipshare.mode, a.chipshare.idle_task_check)
+            if key in group_keys:
+                slot = group_keys.index(key)
+                estimator = None
+            else:
+                slot = len(group_keys)
+                group_keys.append(key)
+                # Mode "none" always estimates 0.0: fold it to a constant
+                # (the share slot is initialized to 0.0 and never written).
+                estimator = None if a.chipshare.mode == "none" else a.chipshare
+            plan.append(
+                (
+                    a.name,
+                    a.model,
+                    a.model._prefix_len,
+                    estimator,
+                    slot,
+                    a.name == primary,
+                )
+            )
+        self._plan = plan
+        self._shares = [0.0] * len(group_keys)
+        # Reusable per-sample buffers: one feature row laid out over
+        # ALL_FEATURES (mdisk/mnet stay 0 -- per-core accounting has no
+        # peripheral metrics), and the per-approach energy dict (its key
+        # set is fixed by the plan; values are overwritten every sample
+        # and consumed synchronously by the container update).
+        self._row = np.zeros(8, dtype=float)
+        self._energy: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Counter baseline (structure-of-arrays storage)
+    # ------------------------------------------------------------------
+    @property
+    def _last_events(self) -> EventVector:
+        """Vector view of the counter baseline (compatibility shim).
+
+        The baseline is stored as a 7-float list in ``EVENT_NAMES`` order;
+        tests and tools that poke the old ``EventVector`` attribute keep
+        working through this property pair.
+        """
+        last = self._last
+        return EventVector(
+            last[0], last[1], last[2], last[3], last[4], last[5], last[6]
+        )
+
+    @_last_events.setter
+    def _last_events(self, events: EventVector) -> None:
+        self._last = [
+            events.nonhalt_cycles,
+            events.instructions,
+            events.flops,
+            events.cache_refs,
+            events.mem_trans,
+            events.disk_bytes,
+            events.net_bytes,
+        ]
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
-    def sample(self, now: float) -> Optional[MetricSample]:
+    def sample(self, now: float) -> Optional[MetricSample]:  # hot-path
         """Account the interval since the last sample on this core.
 
         Returns the primary-approach metric sample (``None`` for an empty
         interval), mainly for tests and the conditioning policy.
         """
-        snapshot = self.core.counters.read()
+        core = self.core
+        bank = core.counters
+        totals = bank.totals
+        if bank.wrap:
+            s_cycles = totals.nonhalt_cycles % COUNTER_WRAP
+            s_ins = totals.instructions % COUNTER_WRAP
+            s_flops = totals.flops % COUNTER_WRAP
+            s_cache = totals.cache_refs % COUNTER_WRAP
+            s_mem = totals.mem_trans % COUNTER_WRAP
+            s_disk = totals.disk_bytes % COUNTER_WRAP
+            s_net = totals.net_bytes % COUNTER_WRAP
+        else:
+            s_cycles = totals.nonhalt_cycles
+            s_ins = totals.instructions
+            s_flops = totals.flops
+            s_cache = totals.cache_refs
+            s_mem = totals.mem_trans
+            s_disk = totals.disk_bytes
+            s_net = totals.net_bytes
+        last = self._last
         dt = now - self._last_time
         if dt <= 0.0:
             # Empty interval: re-baseline.  The snapshot already contains any
             # maintenance events injected by a sample at this same instant, so
             # the pending correction must reset with it or the next interval
             # would subtract overhead that the new baseline already absorbed.
-            self._last_events = snapshot
+            last[0] = s_cycles
+            last[1] = s_ins
+            last[2] = s_flops
+            last[3] = s_cache
+            last[4] = s_mem
+            last[5] = s_disk
+            last[6] = s_net
             self._pending_overhead_ops = 0
             return None
         if not self.occupied:
@@ -148,63 +277,200 @@ class CoreAccountant:
             # Overhead events injected by the previous sample are absorbed
             # into the new baseline, so the pending correction must reset
             # with them.
-            self._last_events = snapshot
+            last[0] = s_cycles
+            last[1] = s_ins
+            last[2] = s_flops
+            last[3] = s_cache
+            last[4] = s_mem
+            last[5] = s_disk
+            last[6] = s_net
             self._last_time = now
             self._pending_overhead_ops = 0
             return None
 
-        delta = wrapped_delta(snapshot, self._last_events)
+        # Delta with 48-bit wraparound correction (wrapped_delta, unrolled).
+        d_cycles = s_cycles - last[0]
+        if d_cycles < 0.0:
+            d_cycles = d_cycles + COUNTER_WRAP if d_cycles < -0.5 else 0.0
+        d_ins = s_ins - last[1]
+        if d_ins < 0.0:
+            d_ins = d_ins + COUNTER_WRAP if d_ins < -0.5 else 0.0
+        d_flops = s_flops - last[2]
+        if d_flops < 0.0:
+            d_flops = d_flops + COUNTER_WRAP if d_flops < -0.5 else 0.0
+        d_cache = s_cache - last[3]
+        if d_cache < 0.0:
+            d_cache = d_cache + COUNTER_WRAP if d_cache < -0.5 else 0.0
+        d_mem = s_mem - last[4]
+        if d_mem < 0.0:
+            d_mem = d_mem + COUNTER_WRAP if d_mem < -0.5 else 0.0
+        d_disk = s_disk - last[5]
+        if d_disk < 0.0:
+            d_disk = d_disk + COUNTER_WRAP if d_disk < -0.5 else 0.0
+        d_net = s_net - last[6]
+        if d_net < 0.0:
+            d_net = d_net + COUNTER_WRAP if d_net < -0.5 else 0.0
+
+        # Observer-effect correction (EventVector.subtract(clamp=True),
+        # unrolled; the disk/net overhead components are zero so their
+        # clamped subtraction is the identity on the >= 0 deltas above).
         ops = self._pending_overhead_ops
-        if self.observer is not None and self.subtract_observer and ops > 0:
-            overhead = (
-                self._observer_unit if ops == 1 else self._observer_unit.scaled(ops)
-            )
-            delta.subtract(overhead, clamp=True)
+        if ops > 0 and self.observer is not None and self.subtract_observer:
+            value = d_cycles - self._ob_cycles * ops
+            d_cycles = value if value > 0.0 else 0.0
+            value = d_ins - self._ob_ins * ops
+            d_ins = value if value > 0.0 else 0.0
+            value = d_flops - self._ob_flops * ops
+            d_flops = value if value > 0.0 else 0.0
+            value = d_cache - self._ob_cache * ops
+            d_cache = value if value > 0.0 else 0.0
+            value = d_mem - self._ob_mem * ops
+            d_mem = value if value > 0.0 else 0.0
         self._pending_overhead_ops = 0
 
-        elapsed_cycles = self.core.freq_hz * dt
-        mcore = min(max(delta.nonhalt_cycles / elapsed_cycles, 0.0), 1.0)
-        mins = delta.instructions / elapsed_cycles
-        mfloat = delta.flops / elapsed_cycles
-        mcache = delta.cache_refs / elapsed_cycles
-        mmem = delta.mem_trans / elapsed_cycles
+        elapsed_cycles = core.freq_hz * dt
+        mcore = min(max(d_cycles / elapsed_cycles, 0.0), 1.0)
+        mins = d_ins / elapsed_cycles
+        mfloat = d_flops / elapsed_cycles
+        mcache = d_cache / elapsed_cycles
+        mmem = d_mem / elapsed_cycles
 
+        # Re-baseline before charging: the charge path appends this
+        # sample's own maintenance events *after* the snapshot was taken.
+        last[0] = s_cycles
+        last[1] = s_ins
+        last[2] = s_flops
+        last[3] = s_cache
+        last[4] = s_mem
+        last[5] = s_disk
+        last[6] = s_net
+        self._last_time = now
+
+        return self._charge(
+            now, dt, d_cycles, d_ins, d_flops, d_cache, d_mem, d_disk, d_net,
+            mcore, mins, mfloat, mcache, mmem, ops,
+        )
+
+    def _charge(  # hot-path
+        self,
+        now: float,
+        dt: float,
+        d_cycles: float,
+        d_ins: float,
+        d_flops: float,
+        d_cache: float,
+        d_mem: float,
+        d_disk: float,
+        d_net: float,
+        mcore: float,
+        mins: float,
+        mfloat: float,
+        mcache: float,
+        mmem: float,
+        ops: int,
+    ) -> MetricSample:
+        """Charge one sampled interval to the bound container.
+
+        Back half of :meth:`sample`, shared with the batch accounting
+        engine: model evaluation, container statistics, the Eq. 3 mailbox
+        post, the maintenance work, and telemetry.  Callers must invoke it
+        per core in machine core-index order -- mailbox posts feed sibling
+        chip-share estimates, so ordering is part of the semantics.
+        """
+        core = self.core
         container = self.registry.get(self.current_container_id)
-        energy_by_approach: dict[str, float] = {}
+        duty_ratio = core.duty_ratio
+        row = self._row
+        row[0] = mcore
+        row[1] = mins
+        row[2] = mfloat
+        row[3] = mcache
+        row[4] = mmem
+        shares = self._shares
+        energy = self._energy
         primary_sample: Optional[MetricSample] = None
-        for approach in self.approaches:
-            share = approach.chipshare.estimate(self.core, mcore)
-            metric = MetricSample(mcore, mins, mfloat, mcache, mmem, share)
-            watts = approach.model.active_power(metric)
-            energy_by_approach[approach.name] = watts * dt
-            container.observe_power(
-                approach.name,
-                watts,
-                duty_ratio=self.core.duty_ratio,
-                update_ewma=(approach.name == self.primary),
-            )
-            if approach.name == self.primary:
-                primary_sample = metric
-                if self.record_power_history:
+        record_history = self.record_power_history
+        for name, model, k, estimator, slot, is_primary in self._plan:
+            if estimator is not None:
+                # Inlined ChipShareEstimator.estimate for the common
+                # mailbox mode (checks in the same order as the method;
+                # "none" estimators were constant-folded at plan build).
+                if mcore <= 0.0:
+                    shares[slot] = 0.0
+                elif estimator.mode == "mailbox":
+                    sibling_sum = 0.0
+                    idle_check = estimator.idle_task_check
+                    for sibling in self._siblings:
+                        if idle_check and sibling.active_profile is None:
+                            continue
+                        sibling_sum += sibling.mailbox._latest.mcore
+                    value = mcore / (1.0 + sibling_sum)
+                    shares[slot] = value if value < 1.0 else 1.0
+                else:
+                    shares[slot] = estimator.estimate(core, mcore)
+            share = shares[slot]
+            row[5] = share
+            # Inlined PowerModel.active_power_row prefix fast path (all
+            # paper feature sets are canonical-order prefixes; ``k`` is the
+            # prefix length, fixed at construction since a model's feature
+            # set never changes).  A full-width prefix dots the row itself
+            # -- slicing the whole row would only allocate an equal view.
+            # ``ndarray.dot`` over ``@`` skips the __matmul__ protocol; both
+            # run the same ddot kernel, so the result is bit-identical.
+            if k == 8:
+                watts = float(model._coef.dot(row))
+                if watts < 0.0:
+                    watts = 0.0
+            elif k:
+                watts = float(model._coef.dot(row[:k]))
+                if watts < 0.0:
+                    watts = 0.0
+            else:
+                watts = model.active_power_row(row)
+            energy[name] = watts * dt
+            # Inlined Container.observe_power (three calls per sample):
+            # every approach records its last watts; only the primary
+            # updates the full-speed conditioning EWMA.  Expressions match
+            # the method body exactly (same constants, same order).
+            container.last_power_watts[name] = watts
+            if is_primary:
+                if duty_ratio > 0.0:
+                    full = watts / duty_ratio
+                    ewma = container.full_speed_power_ewma
+                    if ewma == 0.0:
+                        container.full_speed_power_ewma = full
+                    else:
+                        container.full_speed_power_ewma = (
+                            (1.0 - 0.3) * ewma + 0.3 * full
+                        )
+                primary_sample = MetricSample(
+                    mcore, mins, mfloat, mcache, mmem, share
+                )
+                if record_history:
                     container.power_history.append((now, watts))
 
-        container.stats.record_interval(
-            now=now,
-            dt=dt,
-            events=delta,
-            energy_by_approach=energy_by_approach,
-            duty_ratio=self.core.duty_ratio,
-            stage=self.current_stage,
-            primary_approach=self.primary,
+        container.stats.record_core_interval(
+            now, dt, d_cycles, d_ins, d_flops, d_cache, d_mem, d_disk, d_net,
+            energy, duty_ratio, self.current_stage, self.primary,
         )
 
         # Publish fresh utilization for unsynchronized sibling reads (Eq. 3).
-        self.core.mailbox.post(now, mcore)
+        core.mailbox.post_trusted(now, mcore)
 
-        self._last_events = snapshot
-        self._last_time = now
         self.samples_taken += 1
-        self._perform_maintenance_work()
+        # Maintenance work (observer effect): inject the op's events into
+        # the counters and its true energy into ground truth.
+        if self.observer is not None:
+            totals = core.counters.totals
+            totals.nonhalt_cycles += self._ob_cycles
+            totals.instructions += self._ob_ins
+            totals.flops += self._ob_flops
+            totals.cache_refs += self._ob_cache
+            totals.mem_trans += self._ob_mem
+            self.machine.add_impulse_energy(
+                self._maintenance_joules, self._core_index, self._chip_index
+            )
+            self._pending_overhead_ops += 1
         t = self.telemetry
         if t is not None and t.enabled:
             # Energy-timeline profiling (Section 3.3): one counter sample
@@ -240,7 +506,11 @@ class CoreAccountant:
             self.current_stage = stage if occupied else None
 
     def _perform_maintenance_work(self) -> None:
-        """Charge the sampling operation's own cost to hardware truth."""
+        """Charge the sampling operation's own cost to hardware truth.
+
+        Retained for tests and tools; :meth:`_charge` inlines the same
+        arithmetic on the hot path.
+        """
         if self.observer is None:
             return
         self.core.inject_events(self._observer_unit)

@@ -1,0 +1,267 @@
+"""Batch accounting engine: structure-of-arrays sampling across cores.
+
+The per-event accounting path (:meth:`CoreAccountant.sample`) fires at
+counter-overflow interrupts, which land at *distinct* simulated times per
+core -- those events cannot be fused without changing the event schedule,
+which the determinism gate forbids.  But whenever all cores of a machine
+are sampled at one instant (the end-of-experiment ``Facility.flush``, a
+sharded sweep's synchronous accounting tick), the front half of the
+computation -- counter deltas with 48-bit wraparound, observer-overhead
+corrections, and utilization metrics -- is the same arithmetic repeated
+per core, and this module computes it for all cores in one vectorized
+numpy pass over ``(n_cores, 7)`` arrays.
+
+Oracle-equivalence policy
+-------------------------
+Every batch kernel must be **bit-identical** to the scalar arithmetic in
+:meth:`CoreAccountant.sample`, which in turn reproduces the seed's
+``EventVector`` path.  Elementwise numpy ops (subtract, multiply, divide,
+``np.where`` selection, ``np.minimum``/``np.maximum``) apply the same IEEE
+operation per lane as the scalar expressions, so columnwise vectorization
+is exact -- :func:`reference_sample` is the scalar oracle the hypothesis
+equivalence suite compares against.  The ``active_power`` dot product is
+the one step that stays per-sample: BLAS ``dgemv`` (matrix @ vector) and
+``ddot`` (row @ coef) reduce in different orders and differ in the last
+ulp, so batching the model evaluation into a matmul would change report
+fingerprints.  The back half therefore calls :meth:`CoreAccountant._charge`
+per core, in machine core-index order (mailbox posts feed sibling
+chip-share estimates, so ordering is part of the semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.accounting import CoreAccountant
+from repro.hardware.counters import COUNTER_WRAP
+
+#: Leading columns of the 7-wide counter layout that are CPU events (the
+#: trailing two are disk/net bytes, which have no observer overhead).
+CPU_FIELDS = 5
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernels (bit-identical twins of the scalar sample() arithmetic)
+# ---------------------------------------------------------------------------
+def batch_wrap_deltas(  # hot-path
+    snapshot: np.ndarray, baseline: np.ndarray
+) -> np.ndarray:
+    """Counter deltas with 48-bit wraparound correction, all cores at once.
+
+    Twin of the unrolled scalar sequence ``d = s - b; if d < 0: d = d +
+    COUNTER_WRAP if d < -0.5 else 0.0``: each lane applies the identical
+    IEEE subtract/add, and ``np.where`` selects among identically-computed
+    values, so every element matches the scalar result bit for bit.
+    """
+    deltas = snapshot - baseline
+    wrapped = deltas + COUNTER_WRAP
+    return np.where(deltas < 0.0, np.where(deltas < -0.5, wrapped, 0.0), deltas)
+
+
+def batch_observer_correction(  # hot-path
+    deltas: np.ndarray, observer_units: np.ndarray, pending_ops: np.ndarray
+) -> np.ndarray:
+    """Subtract accumulated sampling overhead from the CPU counter deltas.
+
+    ``pending_ops`` rows must already be zeroed for cores that do not
+    subtract observer overhead: a zero-op row computes ``d - unit * 0.0``
+    and clamps at zero, which is the identity on the non-negative deltas
+    produced by :func:`batch_wrap_deltas` -- exactly what the scalar path's
+    skipped branch leaves behind.
+    """
+    corrected = deltas[:, :CPU_FIELDS] - observer_units * pending_ops[:, None]
+    out = deltas.copy()
+    out[:, :CPU_FIELDS] = np.where(corrected > 0.0, corrected, 0.0)
+    return out
+
+
+def batch_utilization(  # hot-path
+    deltas: np.ndarray, elapsed_cycles: np.ndarray
+) -> np.ndarray:
+    """Per-cycle utilization metrics for all cores in one pass.
+
+    Twin of ``mcore = min(max(d_cycles / elapsed, 0.0), 1.0)`` and the
+    unclamped ``d_X / elapsed`` rates: identical elementwise divides, and
+    ``np.maximum``/``np.minimum`` agree with the builtins on every input
+    the pipeline produces (finite, non-negative).
+    """
+    metrics = deltas[:, :CPU_FIELDS] / elapsed_cycles[:, None]
+    metrics[:, 0] = np.minimum(np.maximum(metrics[:, 0], 0.0), 1.0)
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Scalar reference oracle
+# ---------------------------------------------------------------------------
+def reference_sample(
+    snapshot: Sequence[float],
+    baseline: Sequence[float],
+    dt: float,
+    freq_hz: float,
+    observer_unit: Optional[Sequence[float]] = None,
+    pending_ops: int = 0,
+) -> Optional[tuple[list[float], list[float]]]:
+    """Scalar oracle for one core's front-half accounting.
+
+    A pristine transliteration of the seed's per-sample arithmetic
+    (wrapped delta -> clamped observer subtraction -> per-cycle metrics)
+    over plain floats, free of any engine state.  Returns ``(deltas,
+    metrics)`` -- 7 wrap-corrected counter deltas and 5 utilization
+    metrics -- or ``None`` for an empty interval (``dt <= 0``).  The
+    hypothesis equivalence suite runs this per core and demands bitwise
+    equality with the batch kernels above.
+    """
+    if dt <= 0.0:
+        return None
+    deltas = []
+    for s, b in zip(snapshot, baseline):
+        d = s - b
+        if d < 0.0:
+            d = d + COUNTER_WRAP if d < -0.5 else 0.0
+        deltas.append(d)
+    if pending_ops > 0 and observer_unit is not None:
+        for i in range(CPU_FIELDS):
+            value = deltas[i] - observer_unit[i] * pending_ops
+            deltas[i] = value if value > 0.0 else 0.0
+    elapsed = freq_hz * dt
+    metrics = [d / elapsed for d in deltas[:CPU_FIELDS]]
+    metrics[0] = min(max(metrics[0], 0.0), 1.0)
+    return deltas, metrics
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+class BatchAccountingEngine:
+    """Samples every core of one machine at a single instant, batched.
+
+    Owns preallocated ``(n_cores, 7)`` structure-of-arrays buffers; a
+    sampling pass gathers counter snapshots with explicit loops (no
+    per-sample container allocation), runs the vectorized kernels once,
+    and replays the back half (:meth:`CoreAccountant._charge`) per core in
+    core-index order so mailbox/chip-share semantics and container-stats
+    accumulation order match the sequential scalar path exactly.
+    """
+
+    def __init__(self, accountants: Iterable[CoreAccountant]) -> None:
+        ordered = sorted(accountants, key=lambda a: a._core_index)
+        if not ordered:
+            raise ValueError("need at least one accountant")
+        self._accountants = ordered
+        n = len(ordered)
+        self._snapshot = np.zeros((n, 7), dtype=float)
+        self._baseline = np.zeros((n, 7), dtype=float)
+        self._dts = np.zeros(n, dtype=float)
+        self._ops = np.zeros(n, dtype=float)
+        self._raw_ops = [0] * n
+        units = np.zeros((n, CPU_FIELDS), dtype=float)
+        freq = np.zeros(n, dtype=float)
+        for i, acc in enumerate(ordered):
+            units[i, 0] = acc._ob_cycles
+            units[i, 1] = acc._ob_ins
+            units[i, 2] = acc._ob_flops
+            units[i, 3] = acc._ob_cache
+            units[i, 4] = acc._ob_mem
+            freq[i] = acc.core.freq_hz
+        self._observer_units = units
+        self._freq = freq
+
+    def sample_all(self, now: float) -> int:  # hot-path
+        """Account the open interval on every core; returns samples charged.
+
+        Equivalent, sample for sample and bit for bit, to calling
+        ``accountant.sample(now)`` on each accountant in core-index order.
+        """
+        accountants = self._accountants
+        snapshot = self._snapshot
+        baseline = self._baseline
+        dts = self._dts
+        ops = self._ops
+        raw_ops = self._raw_ops
+        i = 0
+        for acc in accountants:
+            bank = acc.core.counters
+            totals = bank.totals
+            row = snapshot[i]
+            if bank.wrap:
+                row[0] = totals.nonhalt_cycles % COUNTER_WRAP
+                row[1] = totals.instructions % COUNTER_WRAP
+                row[2] = totals.flops % COUNTER_WRAP
+                row[3] = totals.cache_refs % COUNTER_WRAP
+                row[4] = totals.mem_trans % COUNTER_WRAP
+                row[5] = totals.disk_bytes % COUNTER_WRAP
+                row[6] = totals.net_bytes % COUNTER_WRAP
+            else:
+                row[0] = totals.nonhalt_cycles
+                row[1] = totals.instructions
+                row[2] = totals.flops
+                row[3] = totals.cache_refs
+                row[4] = totals.mem_trans
+                row[5] = totals.disk_bytes
+                row[6] = totals.net_bytes
+            last = acc._last
+            brow = baseline[i]
+            brow[0] = last[0]
+            brow[1] = last[1]
+            brow[2] = last[2]
+            brow[3] = last[3]
+            brow[4] = last[4]
+            brow[5] = last[5]
+            brow[6] = last[6]
+            pending = acc._pending_overhead_ops
+            raw_ops[i] = pending
+            ops[i] = (
+                pending
+                if acc.observer is not None and acc.subtract_observer
+                else 0
+            )
+            dts[i] = now - acc._last_time
+            i += 1
+
+        deltas = batch_wrap_deltas(snapshot, baseline)
+        deltas = batch_observer_correction(deltas, self._observer_units, ops)
+        elapsed = self._freq * dts
+        metrics = batch_utilization(
+            deltas, np.where(dts > 0.0, elapsed, 1.0)
+        )
+
+        charged = 0
+        i = 0
+        for acc in accountants:
+            last = acc._last
+            srow = snapshot[i]
+            # Re-baseline exactly as the scalar path does on every branch.
+            last[0] = srow[0]
+            last[1] = srow[1]
+            last[2] = srow[2]
+            last[3] = srow[3]
+            last[4] = srow[4]
+            last[5] = srow[5]
+            last[6] = srow[6]
+            acc._pending_overhead_ops = 0
+            dt = dts[i]
+            if dt <= 0.0:
+                # Empty interval: baseline advanced, clock untouched.
+                i += 1
+                continue
+            if not acc.occupied:
+                acc._last_time = now
+                i += 1
+                continue
+            acc._last_time = now
+            drow = deltas[i]
+            mrow = metrics[i]
+            acc._charge(
+                now, float(dt),
+                float(drow[0]), float(drow[1]), float(drow[2]),
+                float(drow[3]), float(drow[4]), float(drow[5]),
+                float(drow[6]),
+                float(mrow[0]), float(mrow[1]), float(mrow[2]),
+                float(mrow[3]), float(mrow[4]),
+                raw_ops[i],
+            )
+            charged += 1
+            i += 1
+        return charged

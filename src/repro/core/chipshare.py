@@ -53,11 +53,13 @@ class ChipShareEstimator:
             if not core.busy:
                 busy += 1  # the sampled task occupied this core this period
             return 1.0 / max(busy, 1)
-        # mailbox mode (Eq. 3)
+        # mailbox mode (Eq. 3).  Inlined sibling.busy / mailbox.peek():
+        # this runs for every accounting sample on every busy core.
         sibling_sum = 0.0
+        idle_task_check = self.idle_task_check
         for sibling in core.chip.siblings_of(core):
-            if self.idle_task_check and not sibling.busy:
+            if idle_task_check and sibling.active_profile is None:
                 continue  # OS runs the idle task there: rate is zero
-            sibling_sum += sibling.mailbox.peek().mcore
+            sibling_sum += sibling.mailbox._latest.mcore
         share = own_mcore / (1.0 + sibling_sum)
         return min(share, 1.0)

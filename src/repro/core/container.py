@@ -56,7 +56,46 @@ class ContainerStats:
         primary_approach: Optional[str] = None,
     ) -> None:
         """Fold one sampled execution interval into the statistics."""
-        self.events.add(events)
+        self.record_core_interval(
+            now, dt,
+            events.nonhalt_cycles, events.instructions, events.flops,
+            events.cache_refs, events.mem_trans, events.disk_bytes,
+            events.net_bytes,
+            energy_by_approach, duty_ratio, stage, primary_approach,
+        )
+
+    def record_core_interval(  # hot-path
+        self,
+        now: float,
+        dt: float,
+        d_cycles: float,
+        d_ins: float,
+        d_flops: float,
+        d_cache: float,
+        d_mem: float,
+        d_disk: float,
+        d_net: float,
+        energy_by_approach: dict[str, float],
+        duty_ratio: float,
+        stage: Optional[str] = None,
+        primary_approach: Optional[str] = None,
+    ) -> None:
+        """Scalar-field twin of :meth:`record_interval`.
+
+        The batch accounting engine keeps counter deltas as plain floats
+        (structure-of-arrays layout); this entry point folds them in without
+        materializing an :class:`EventVector` per sample.  Field-accumulation
+        order matches :meth:`record_interval` exactly, so both paths produce
+        bit-identical statistics.
+        """
+        ev = self.events
+        ev.nonhalt_cycles += d_cycles
+        ev.instructions += d_ins
+        ev.flops += d_flops
+        ev.cache_refs += d_cache
+        ev.mem_trans += d_mem
+        ev.disk_bytes += d_disk
+        ev.net_bytes += d_net
         for approach, joules in energy_by_approach.items():
             self.energy_joules[approach] = (
                 self.energy_joules.get(approach, 0.0) + joules
@@ -68,10 +107,9 @@ class ContainerStats:
             self.first_activity = now - dt
         self.last_activity = now
         if stage is not None:
-            joules = energy_by_approach.get(
-                primary_approach,
-                next(iter(energy_by_approach.values()), 0.0),
-            )
+            joules = energy_by_approach.get(primary_approach)
+            if joules is None:
+                joules = next(iter(energy_by_approach.values()), 0.0)
             self.stage_energy_joules[stage] = (
                 self.stage_energy_joules.get(stage, 0.0) + joules
             )

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.accounting import CoreAccountant, ObserverEffect, _Approach
 from repro.core.alignment import estimate_delay
+from repro.core.batch import BatchAccountingEngine
 from repro.core.calibration import CalibrationResult
 from repro.core.chipshare import ChipShareEstimator
 from repro.core.container import PowerContainer
@@ -40,7 +41,7 @@ from repro.core.model import (
 from repro.core.recalibration import OnlineRecalibrator, RecalibrationGuard
 from repro.core.registry import ContainerRegistry
 from repro.hardware.core import Core
-from repro.hardware.counters import wrapped_delta
+from repro.hardware.counters import COUNTER_WRAP
 from repro.hardware.meters import _PeriodicMeter
 from repro.kernel import Kernel, KernelHooks, Message, Process
 from repro.kernel.sockets import Endpoint
@@ -218,6 +219,9 @@ class PowerContainerFacility(KernelHooks):
             )
             for core in self.machine.cores
         }
+        #: Structure-of-arrays engine for whole-machine accounting passes
+        #: (end-of-run flush, synchronous sweep ticks).
+        self.batch_engine = BatchAccountingEngine(self.accountants.values())
 
         # --- model trace + recalibration -------------------------------
         self.meter = meter
@@ -257,15 +261,20 @@ class PowerContainerFacility(KernelHooks):
         self._tick_net = 0
         self._tick_subsamples = 0
         self._trace_last_counters = [
-            kernel.effective_counters(core) for core in self.machine.cores
+            kernel.effective_core_counters(core) for core in self.machine.cores
         ]
         #: Positions of the primary model's features within FEATURES_FULL,
         #: precomputed once -- the trace tick projects every row with it.
         #: The feature set of a model never changes (recalibration only
-        #: swaps coefficients), so this cannot go stale.
+        #: swaps coefficients), so this cannot go stale.  When the primary
+        #: uses the full feature set (the default), the gather is the
+        #: identity and the trace tick dots the row directly.
         self._trace_feature_indexes = np.array(
             [FEATURES_FULL.index(f) for f in self.models[self.primary].features],
             dtype=np.intp,
+        )
+        self._trace_identity_features = (
+            self.models[self.primary].features == FEATURES_FULL
         )
         self._tracing = False
 
@@ -327,7 +336,8 @@ class PowerContainerFacility(KernelHooks):
             return
         self._tracing = True
         self._trace_last_counters = [
-            self.kernel.effective_counters(core) for core in self.machine.cores
+            self.kernel.effective_core_counters(core)
+            for core in self.machine.cores
         ]
         self.simulator.schedule_recurring(self.os_subsample, self._os_tick)
         self.simulator.schedule_recurring(self.trace_period, self._trace_tick)
@@ -350,7 +360,7 @@ class PowerContainerFacility(KernelHooks):
         if self.machine.net.busy:
             self._tick_net += 1
 
-    def _trace_tick(self) -> None:
+    def _trace_tick(self) -> None:  # hot-path
         if not self._tracing:
             self.simulator.current_event.cancel()
             return
@@ -359,18 +369,37 @@ class PowerContainerFacility(KernelHooks):
         # Plain-float accumulators, added in the same core order as the
         # previous ndarray accumulation: elementwise IEEE adds in a fixed
         # order are bit-identical, without two array allocations per core.
+        # The snapshots are plain 5-tuples (no EventVector per core) and
+        # the wraparound correction is unrolled from ``wrapped_delta``.
         t_cycles = t_ins = t_flops = t_cache = t_mem = 0.0
         last = self._trace_last_counters
-        effective_counters = self.kernel.effective_counters
-        for i, core in enumerate(self.machine.cores):
-            snap = effective_counters(core)
-            delta = wrapped_delta(snap, last[i])
+        effective = self.kernel.effective_core_counters
+        i = 0
+        for core in self.machine.cores:
+            snap = effective(core)
+            prev = last[i]
             last[i] = snap
-            t_cycles += delta.nonhalt_cycles
-            t_ins += delta.instructions
-            t_flops += delta.flops
-            t_cache += delta.cache_refs
-            t_mem += delta.mem_trans
+            i += 1
+            d = snap[0] - prev[0]
+            if d < 0.0:
+                d = d + COUNTER_WRAP if d < -0.5 else 0.0
+            t_cycles += d
+            d = snap[1] - prev[1]
+            if d < 0.0:
+                d = d + COUNTER_WRAP if d < -0.5 else 0.0
+            t_ins += d
+            d = snap[2] - prev[2]
+            if d < 0.0:
+                d = d + COUNTER_WRAP if d < -0.5 else 0.0
+            t_flops += d
+            d = snap[3] - prev[3]
+            if d < 0.0:
+                d = d + COUNTER_WRAP if d < -0.5 else 0.0
+            t_cache += d
+            d = snap[4] - prev[4]
+            if d < 0.0:
+                d = d + COUNTER_WRAP if d < -0.5 else 0.0
+            t_mem += d
         subs = max(self._tick_subsamples, 1)
         chipshare = sum(t / subs for t in self._tick_chip_active)
         mdisk = self._tick_disk / subs
@@ -393,7 +422,15 @@ class PowerContainerFacility(KernelHooks):
             ]
         )
         primary_model = self.models[self.primary]
-        watts = float(row[self._trace_feature_indexes] @ primary_model.coef_view)
+        if self._trace_identity_features:
+            # Full-feature primary: the fancy-index gather would copy the
+            # row verbatim, so dot the row directly (``.dot`` runs the same
+            # ddot kernel as ``@`` without __matmul__ dispatch).
+            watts = float(row.dot(primary_model.coef_view))
+        else:
+            watts = float(
+                row[self._trace_feature_indexes].dot(primary_model.coef_view)
+            )
         if watts < 0.0:
             watts = 0.0
         self.trace.append(ModelTracePoint(time=now, row=row, watts=watts))
@@ -719,10 +756,13 @@ class PowerContainerFacility(KernelHooks):
         )
 
     def flush(self) -> None:
-        """Force a sample on every core (end-of-experiment accounting)."""
-        now = self.simulator.now
-        for accountant in self.accountants.values():
-            accountant.sample(now)
+        """Force a sample on every core (end-of-experiment accounting).
+
+        Runs the batch engine: one vectorized delta/correction/metrics
+        pass over all cores, then the per-core charge in core-index order
+        -- bit-identical to sampling each accountant sequentially.
+        """
+        self.batch_engine.sample_all(self.simulator.now)
 
     def model_trace_series(self) -> tuple[np.ndarray, np.ndarray]:
         """(interval-end times, modelled machine active watts) arrays."""

@@ -103,6 +103,16 @@ class PowerModel:
         # differently, and attribution must stay bit-identical.
         self._getter = attrgetter(*self.features)
         self._buf = np.empty(len(self.features), dtype=float)
+        # Batch-engine machinery for :meth:`active_power_row`: positions of
+        # this model's features within ALL_FEATURES, plus a fast-path length
+        # when the features are a canonical-order prefix (they are for every
+        # paper feature set) -- a contiguous slice of the caller's row then
+        # feeds the dot directly, with no gather copy at all.
+        self._all_indexes = np.array(
+            [ALL_FEATURES.index(f) for f in self.features], dtype=np.intp
+        )
+        prefix = len(features) if self.features == ALL_FEATURES[: len(features)] else 0
+        self._prefix_len = prefix
         #: Constant idle power measured at calibration time (Cidle).  Not
         #: part of the active-power estimate; recorded for completeness and
         #: for converting measured full power to active power.
@@ -135,6 +145,27 @@ class PowerModel:
         buf = self._buf
         buf[:] = self._getter(sample)
         watts = float(self._coef @ buf)
+        return max(watts, 0.0)
+
+    def active_power_row(self, row: np.ndarray) -> float:  # hot-path
+        """Active power from a feature row laid out over ``ALL_FEATURES``.
+
+        Fast-path twin of :meth:`active_power` for the batch accounting
+        engine's structure-of-arrays layout: the caller maintains one
+        reusable 8-slot row (or a row view of an ``(n, 8)`` matrix) and this
+        method projects it onto the model's feature subset without building
+        a :class:`MetricSample`.  The reduction is the same ``coef @ buf``
+        ddot as :meth:`active_power` over bit-identical operands (a
+        contiguous slice or gathered copy holds the same values), so both
+        entry points attribute bit-identical watts.
+        """
+        k = self._prefix_len
+        if k:
+            watts = float(self._coef @ row[:k])
+        else:
+            buf = self._buf
+            np.take(row, self._all_indexes, out=buf)
+            watts = float(self._coef @ buf)
         return max(watts, 0.0)
 
     def active_power_batch(self, samples: np.ndarray) -> np.ndarray:

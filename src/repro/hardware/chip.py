@@ -45,6 +45,19 @@ class Chip:
         self.index = index
         self.machine = machine
         self._freq_scale = 1.0
+        # The voltage-derived power factors are pure functions of the P-state
+        # and are read at every energy checkpoint; cache them and refresh on
+        # DVFS transitions (which happen per conditioning decision, not per
+        # checkpoint).
+        self._dynamic_power_factor = 1.0
+        self._static_power_factor = 1.0
+        self._refresh_power_factors()
+        # Busy-core count, maintained by Core.begin_activity/end_activity
+        # (the only mutators of a core's activity state).  ``active`` and
+        # ``busy_core_count`` are read on every energy checkpoint and every
+        # OS utilization subsample; the counter replaces a generator scan
+        # of the core list on each read.
+        self._busy_count = 0
         self.cores = [
             Core(
                 index=machine.next_core_index(),
@@ -71,8 +84,15 @@ class Chip:
                 f"scale {scale} not in supported P-states {DVFS_SCALES}"
             )
         self._freq_scale = scale
+        self._refresh_power_factors()
         for core in self.cores:
             core._refresh_effective_hz()
+
+    def _refresh_power_factors(self) -> None:
+        """Recompute the cached voltage-derived factors (P-state changed)."""
+        voltage_sq = self.relative_voltage ** 2
+        self._dynamic_power_factor = self._freq_scale * voltage_sq
+        self._static_power_factor = voltage_sq
 
     @property
     def relative_voltage(self) -> float:
@@ -82,12 +102,12 @@ class Chip:
     @property
     def dynamic_power_factor(self) -> float:
         """Scaling of event-driven (dynamic) power: ~ f * V^2."""
-        return self._freq_scale * self.relative_voltage ** 2
+        return self._dynamic_power_factor
 
     @property
     def static_power_factor(self) -> float:
         """Scaling of maintenance (voltage-dependent) power: ~ V^2."""
-        return self.relative_voltage ** 2
+        return self._static_power_factor
 
     @property
     def n_cores(self) -> int:
@@ -97,12 +117,12 @@ class Chip:
     @property
     def active(self) -> bool:
         """True when at least one core is running a non-idle task."""
-        return any(core.busy for core in self.cores)
+        return self._busy_count > 0
 
     @property
     def busy_core_count(self) -> int:
         """Number of currently busy cores."""
-        return sum(1 for core in self.cores if core.busy)
+        return self._busy_count
 
     def siblings_of(self, core: Core) -> tuple[Core, ...]:
         """All other cores on the same package (cached; membership is fixed

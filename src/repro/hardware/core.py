@@ -58,7 +58,17 @@ class Core:
         #: Work retired per non-halt cycle relative to an un-contended run;
         #: set by the kernel at slice start when a contention model is
         #: active (1.0 otherwise).  Stall cycles still count as non-halt.
+        #: Mutate through :meth:`set_work_fraction` so the cached true-power
+        #: draw below is invalidated with it.
         self.current_work_fraction: float = 1.0
+        #: Memoized ground-truth active watts of the current activity state
+        #: (profile, duty, DVFS scale, work fraction), or ``None`` when any
+        #: of those changed since the last energy checkpoint.  Owned by
+        #: :meth:`Machine.integrate_power`; every mutator of power-relevant
+        #: core state resets it.  Activity is piecewise-constant between
+        #: simulation events, so checkpoints between mutations -- the common
+        #: case -- reuse the same watts instead of re-deriving them.
+        self._cached_active_watts: float | None = None
 
     # ------------------------------------------------------------------
     # Duty-cycle modulation (the power-conditioning actuator, Section 3.4)
@@ -97,17 +107,52 @@ class Core:
     def _refresh_effective_hz(self) -> None:
         """Recompute the cached rate (duty or chip DVFS scale changed)."""
         self._effective_hz = self.freq_hz * self.duty_ratio * self.chip.freq_scale
+        self._cached_active_watts = None
+        self.chip.machine._power_epoch += 1
+
+    def set_work_fraction(self, work_fraction: float) -> None:
+        """Install the contention-derived work fraction for the next slice.
+
+        A write of the value already installed leaves the core's power draw
+        untouched, so the watts cache and the machine's rate cache survive
+        (the common case: uncontended slices re-install 1.0 every start).
+        """
+        if work_fraction != self.current_work_fraction:
+            self.current_work_fraction = work_fraction
+            self._cached_active_watts = None
+            self.chip.machine._power_epoch += 1
 
     def begin_activity(self, profile: RateProfile, owner: object | None = None) -> None:
-        """Install a running task's profile (scheduler dispatch)."""
+        """Install a running task's profile (scheduler dispatch).
+
+        Re-installing the *same* profile object (a task continuing across
+        slice boundaries on its core) does not change the core's power
+        draw, so the caches survive; only a genuine activity change bumps
+        the machine's power epoch.
+        """
+        prev = self.active_profile
+        if prev is None:
+            self.chip._busy_count += 1
         self.active_profile = profile
         self.current_owner = owner
+        if profile is not prev:
+            self._cached_active_watts = None
+            self.chip.machine._power_epoch += 1
 
     def end_activity(self) -> None:
         """Return the core to the halted idle state."""
-        self.active_profile = None
+        changed = False
+        if self.active_profile is not None:
+            self.chip._busy_count -= 1
+            self.active_profile = None
+            changed = True
         self.current_owner = None
-        self.current_work_fraction = 1.0
+        if self.current_work_fraction != 1.0:
+            self.current_work_fraction = 1.0
+            changed = True
+        if changed:
+            self._cached_active_watts = None
+            self.chip.machine._power_epoch += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -147,6 +192,28 @@ class Core:
         events.nonhalt_cycles = nonhalt_cycles
         self.counters.accumulate(events)
         return events
+
+    def accumulate_cycles(  # hot-path
+        self, nonhalt_cycles: float, work_fraction: float = 1.0
+    ) -> None:
+        """:meth:`run_for_cycles` without materializing the event vector.
+
+        The kernel's slice paths discard the returned events, so this twin
+        folds the same per-field arithmetic straight into the counter bank's
+        running totals.  Expression shapes match ``RateProfile
+        .events_for_cycles`` + ``CounterBank.accumulate`` term for term, so
+        counter trajectories stay bit-identical to the allocating path.
+        """
+        profile = self.active_profile
+        if profile is None:
+            raise RuntimeError(f"core {self.index} is idle; nothing to run")
+        retired = nonhalt_cycles * work_fraction
+        totals = self.counters.totals
+        totals.nonhalt_cycles += nonhalt_cycles
+        totals.instructions += profile.ipc * retired
+        totals.flops += profile.flops_per_cycle * retired
+        totals.cache_refs += profile.cache_per_cycle * retired
+        totals.mem_trans += profile.mem_per_cycle * retired
 
     def inject_events(self, events: EventVector) -> None:
         """Add out-of-band events (e.g. accounting maintenance work) to the

@@ -150,6 +150,18 @@ class SampleMailbox:
             return
         self._latest = UtilizationSample(time=time, mcore=min(mcore, 1.0))
 
+    def post_trusted(self, time: float, mcore: float) -> None:  # hot-path
+        """:meth:`post` without the range check, for the accounting engine.
+
+        The caller guarantees ``0 <= mcore <= 1`` (the engine clamps its
+        utilization metric before publishing), so the validation and the
+        redundant ``min`` are skipped.  Fault-injection freezing is still
+        honoured.
+        """
+        if self.frozen:
+            return
+        self._latest = UtilizationSample(time=time, mcore=mcore)
+
     def peek(self) -> UtilizationSample:
         """Read the latest posted sample (possibly stale)."""
         return self._latest

@@ -54,6 +54,7 @@ class _Device:
         self.machine.checkpoint()
         self.inflight += 1
         self.total_bytes += nbytes
+        self.machine._power_epoch += 1
         return self.transfer_time(nbytes)
 
     def end_transfer(self) -> None:
@@ -62,6 +63,7 @@ class _Device:
             raise RuntimeError(f"{self.name}: no transfer in flight")
         self.machine.checkpoint()
         self.inflight -= 1
+        self.machine._power_epoch += 1
 
 
 class DiskDevice(_Device):
@@ -110,6 +112,14 @@ class Machine:
         self.disk = DiskDevice("disk", self, disk_bandwidth, disk_latency)
         self.net = NetDevice("net", self, net_bandwidth, net_latency)
         self.integrator = EnergyIntegrator(self)
+        #: Monotonic counter bumped by every mutation of power-relevant
+        #: state (dispatch, duty/DVFS, work fraction, device transfers).
+        #: :meth:`integrate_power` memoizes all power *rates* against it:
+        #: activity is piecewise-constant between mutations, so most
+        #: checkpoints replay cached rates instead of re-deriving them.
+        self._power_epoch = 0
+        self._rate_epoch = -1
+        self._rate_cache: tuple | None = None
         #: The OS kernel driving this machine; set by Kernel.__init__ so
         #: cross-machine message delivery lands on the right kernel.
         self.kernel = None
@@ -200,24 +210,59 @@ class Machine:
         are bit-for-bit the same), but accumulating straight into the
         integrator's lists instead of materializing a
         :class:`~repro.hardware.power.PowerBreakdown` per checkpoint.
+
+        Two elisions keep the twin bit-identical while skipping work:
+
+        * Idle cores draw exactly 0.0 W, and adding ``0.0`` to a
+          non-negative IEEE accumulator is the identity, so their
+          accumulator updates are skipped outright.
+        * Activity is piecewise-constant between checkpoints, so every
+          power *rate* is memoized against :attr:`_power_epoch` (bumped by
+          each dispatch, duty/DVFS change, work-fraction change, and device
+          transfer).  Most checkpoints replay the cached rates; the rebuild
+          path re-derives them with the original arithmetic in the original
+          order, so the cached floats equal the fresh ones bit for bit.
         """
-        model = self.true_model
+        if self._rate_epoch != self._power_epoch:
+            self._rebuild_rate_cache()
+        busy_watts, chip_rates, machine_rate, active, peripheral = self._rate_cache
         per_core_joules = acc.per_core_joules
+        for core_index, watts in busy_watts:
+            per_core_joules[core_index] += watts * dt
         package_joules = acc.package_joules
         maintenance_joules = acc.maintenance_joules
+        for chip_index, maint, package_rate in chip_rates:
+            maintenance_joules[chip_index] += maint * dt
+            package_joules[chip_index] += package_rate * dt
+        acc.machine_joules += machine_rate * dt
+        acc.active_joules += active * dt
+        acc.peripheral_joules += peripheral * dt
+
+    def _rebuild_rate_cache(self) -> None:
+        """Re-derive all instantaneous power rates (state changed).
+
+        Mirrors :meth:`power_breakdown` term for term -- same expressions,
+        same accumulation order -- so the memoized rates are bit-identical
+        to what the un-cached loop computed on every checkpoint.
+        """
+        model = self.true_model
+        busy_watts = []
+        chip_rates = []
         core_sum = 0.0
         maint_sum = 0.0
         core_index = 0
         for chip in self.chips:
             chip_core_watts = 0.0
             chip_busy = False
-            dynamic_factor = chip.dynamic_power_factor
+            dynamic_factor = chip._dynamic_power_factor
             for core in chip.cores:
                 profile = core.active_profile
                 if profile is None:
-                    watts = 0.0
-                else:
-                    chip_busy = True
+                    core_index += 1
+                    continue
+                chip_busy = True
+                watts = core._cached_active_watts
+                if watts is None:
                     wf = core.current_work_fraction
                     watts = model.core_active_watts(
                         utilization=core.duty_ratio,
@@ -227,37 +272,83 @@ class Machine:
                         mem_per_cycle=profile.mem_per_cycle * wf,
                         hidden_watts=profile.hidden_watts,
                     ) * dynamic_factor
-                per_core_joules[core_index] += watts * dt
+                    core._cached_active_watts = watts
+                busy_watts.append((core_index, watts))
                 core_index += 1
                 chip_core_watts += watts
                 core_sum += watts
             maint = (
-                model.maintenance_watts * chip.static_power_factor
+                model.maintenance_watts * chip._static_power_factor
                 if chip_busy
                 else 0.0
             )
             maint_sum += maint
-            maintenance_joules[chip.index] += maint * dt
-            package_joules[chip.index] += (
-                chip_core_watts + maint + model.package_idle_watts
-            ) * dt
+            chip_rates.append(
+                (chip.index, maint, chip_core_watts + maint + model.package_idle_watts)
+            )
         peripheral = 0.0
         if self.disk.busy:
             peripheral += model.disk_active_watts
         if self.net.busy:
             peripheral += model.net_active_watts
         active = core_sum + maint_sum + peripheral
-        acc.machine_joules += (model.idle_machine_watts + active) * dt
-        acc.active_joules += active * dt
-        acc.peripheral_joules += peripheral * dt
+        self._rate_cache = (
+            busy_watts,
+            chip_rates,
+            model.idle_machine_watts + active,
+            active,
+            peripheral,
+        )
+        self._rate_epoch = self._power_epoch
 
     def checkpoint(self) -> None:
-        """Close the current energy interval at the present simulated time."""
-        self.integrator.checkpoint(self.simulator.now)
+        """Close the current energy interval at the present simulated time.
 
-    def add_impulse_energy(self, joules: float, core_index: int | None = None) -> None:
-        """Charge instantaneous energy to ground truth (observer effect)."""
-        self.integrator.add_impulse(joules, core_index)
+        Fuses :meth:`EnergyIntegrator.checkpoint` and the rate-cache replay
+        of :meth:`integrate_power` into one call frame -- this runs several
+        times per simulation event, so the wrapper hops matter.  Arithmetic
+        is identical statement for statement.
+        """
+        integrator = self.integrator
+        now = self.simulator._now
+        dt = now - integrator._last_time
+        # Most checkpoints are re-checkpoints at the same instant (several
+        # state mutations per simulation event); skip the work outright.
+        if dt == 0.0:
+            return
+        if dt < 0:
+            raise ValueError(
+                f"time went backwards: {now} < {integrator._last_time}"
+            )
+        if self._rate_epoch != self._power_epoch:
+            self._rebuild_rate_cache()
+        busy_watts, chip_rates, machine_rate, active, peripheral = self._rate_cache
+        acc = integrator._acc
+        per_core_joules = acc.per_core_joules
+        for core_index, watts in busy_watts:
+            per_core_joules[core_index] += watts * dt
+        package_joules = acc.package_joules
+        maintenance_joules = acc.maintenance_joules
+        for chip_index, maint, package_rate in chip_rates:
+            maintenance_joules[chip_index] += maint * dt
+            package_joules[chip_index] += package_rate * dt
+        acc.machine_joules += machine_rate * dt
+        acc.active_joules += active * dt
+        acc.peripheral_joules += peripheral * dt
+        integrator._last_time = now
+
+    def add_impulse_energy(
+        self,
+        joules: float,
+        core_index: int | None = None,
+        chip_index: int | None = None,
+    ) -> None:
+        """Charge instantaneous energy to ground truth (observer effect).
+
+        Callers that already know the core's package (the accounting engine
+        caches it) pass ``chip_index`` to skip the core->chip lookup.
+        """
+        self.integrator.add_impulse(joules, core_index, chip_index)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

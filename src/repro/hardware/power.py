@@ -181,15 +181,25 @@ class EnergyIntegrator:
         self._machine.integrate_power(self._acc, dt)
         self._last_time = now
 
-    def add_impulse(self, joules: float, core_index: int | None = None) -> None:
-        """Charge instantaneous energy (observer-effect maintenance work)."""
+    def add_impulse(
+        self,
+        joules: float,
+        core_index: int | None = None,
+        chip_index: int | None = None,
+    ) -> None:
+        """Charge instantaneous energy (observer-effect maintenance work).
+
+        ``chip_index`` may be supplied by callers that already know the
+        core's package; it is derived from ``core_index`` otherwise.
+        """
         if joules < 0:
             raise ValueError("impulse energy must be non-negative")
         self._acc.machine_joules += joules
         self._acc.active_joules += joules
         if core_index is not None:
             self._acc.per_core_joules[core_index] += joules
-            chip_index = self._machine.core_by_index(core_index).chip.index
+            if chip_index is None:
+                chip_index = self._machine.core_by_index(core_index).chip.index
             self._acc.package_joules[chip_index] += joules
 
     # -- readings ------------------------------------------------------

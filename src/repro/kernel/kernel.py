@@ -21,7 +21,9 @@ instrumentation points:
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
+from heapq import heappush as _heappush
 from typing import Any, Generator, Optional
 
 from repro.hardware.core import Core
@@ -42,7 +44,7 @@ from repro.kernel.process import (
 )
 from repro.kernel.sockets import ContextTag, Endpoint, Message
 from repro.kernel.scheduler import Scheduler
-from repro.sim.engine import ScheduledEvent, Simulator
+from repro.sim.engine import ScheduledEvent, SimulationError, Simulator
 from repro.sim.trace import TraceRecorder
 
 #: Tolerance, in cycles, for treating a Compute action as finished.
@@ -126,6 +128,7 @@ class Kernel:
         self._pids = itertools.count(1)
         self.processes: dict[int, Process] = {}
         self._slices: dict[int, _Slice] = {}
+        self._slice_pool: dict[int, _Slice] = {}
         #: Processes blocked in WaitChild, keyed by the awaited child pid.
         self._wait_for_child: dict[int, Process] = {}
 
@@ -135,7 +138,7 @@ class Kernel:
     @property
     def now(self) -> float:
         """Current simulated time."""
-        return self.simulator.now
+        return self.simulator._now
 
     def spawn(
         self,
@@ -258,6 +261,53 @@ class Kernel:
                 snapshot.add(inflight)
         return snapshot
 
+    def effective_core_counters(  # hot-path
+        self, core: Core
+    ) -> tuple[float, float, float, float, float]:
+        """CPU fields of :meth:`effective_counters` as a plain 5-tuple.
+
+        Allocation-free twin for per-tick observers (the facility's model
+        tracer) that only consume the five CPU counters.  The in-flight
+        slice contribution uses the same expression shapes as
+        ``RateProfile.events_for_cycles`` + ``EventVector.add``, so values
+        are bit-identical to the snapshot path.  Wrapping banks fall back
+        to the full snapshot (the modulo must apply before the in-flight
+        add, exactly as :meth:`effective_counters` orders it).
+        """
+        bank = core.counters
+        if bank.wrap:
+            snapshot = self.effective_counters(core)
+            return (
+                snapshot.nonhalt_cycles,
+                snapshot.instructions,
+                snapshot.flops,
+                snapshot.cache_refs,
+                snapshot.mem_trans,
+            )
+        totals = bank.totals
+        cycles_t = totals.nonhalt_cycles
+        ins_t = totals.instructions
+        flops_t = totals.flops
+        cache_t = totals.cache_refs
+        mem_t = totals.mem_trans
+        active = self._slices.get(core.index)
+        profile = core.active_profile
+        if active is not None and profile is not None:
+            elapsed = self.now - active.start_time
+            wf = active.work_fraction
+            cycles = min(
+                core.cycles_for_seconds(elapsed),
+                active.process.compute_remaining / wf,
+            )
+            if cycles > 0:
+                retired = cycles * wf
+                cycles_t += cycles
+                ins_t += profile.ipc * retired
+                flops_t += profile.flops_per_cycle * retired
+                cache_t += profile.cache_per_cycle * retired
+                mem_t += profile.mem_per_cycle * retired
+        return (cycles_t, ins_t, flops_t, cache_t, mem_t)
+
     # ------------------------------------------------------------------
     # Readiness and dispatch
     # ------------------------------------------------------------------
@@ -274,7 +324,8 @@ class Kernel:
         process.core_index = core.index
         self.scheduler.occupied.add(core.index)
         self.hooks.on_dispatch(core, process)
-        self.trace.record(self.now, "dispatch", pid=process.pid, core=core.index)
+        if self.trace.enabled:
+            self.trace.record(self.now, "dispatch", pid=process.pid, core=core.index)
         self._advance(process, core, quantum_deadline=self.now + self.quantum)
 
     def _release_core(self, process: Process, core: Core, reason: str) -> None:
@@ -283,9 +334,10 @@ class Kernel:
         core.end_activity()
         self.scheduler.occupied.discard(core.index)
         process.core_index = None
-        self.trace.record(
-            self.now, "undispatch", pid=process.pid, core=core.index, reason=reason
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                self.now, "undispatch", pid=process.pid, core=core.index, reason=reason
+            )
 
     def _schedule_next(self, core: Core) -> None:
         nxt = self.scheduler.next_for_core(core)
@@ -387,10 +439,11 @@ class Kernel:
                 )
                 duration = device.begin_transfer(action.nbytes)
                 self.hooks.on_io(process, device.name, action.nbytes)
-                self.trace.record(
-                    self.now, "io", pid=process.pid,
-                    device=device.name, nbytes=action.nbytes,
-                )
+                if self.trace.enabled:
+                    self.trace.record(
+                        self.now, "io", pid=process.pid,
+                        device=device.name, nbytes=action.nbytes,
+                    )
                 process.state = ProcessState.BLOCKED
                 self.simulator.schedule(
                     duration, self._finish_io, process, device, label="io-done"
@@ -403,9 +456,10 @@ class Kernel:
                 # A trapped user-level synchronization access: let the
                 # tracking layer infer the request stage transfer.
                 self.hooks.on_sync(process, action.key)
-                self.trace.record(
-                    self.now, "sync", pid=process.pid, key=str(action.key)
-                )
+                if self.trace.enabled:
+                    self.trace.record(
+                        self.now, "sync", pid=process.pid, key=str(action.key)
+                    )
                 continue
 
             if isinstance(action, Exit):
@@ -433,30 +487,70 @@ class Kernel:
             if self.machine.contention is not None
             else 1.0
         )
-        core.current_work_fraction = work_fraction
+        core.set_work_fraction(work_fraction)
 
-        dt_action = core.seconds_for_cycles(
-            process.compute_remaining / work_fraction
+        # Inlined seconds_for_cycles / cycles_until_overflow (identical
+        # expressions; this runs once per compute slice and the operands
+        # are already validated non-negative).
+        effective_hz = core._effective_hz
+        dt = (process.compute_remaining / work_fraction) / effective_hz
+        counters = core.counters
+        threshold = counters.overflow_threshold_cycles
+        if threshold is not None:
+            remaining = threshold - (
+                counters.totals.nonhalt_cycles
+                - counters._cycles_at_last_overflow
+            )
+            dt_overflow = (
+                0.0 if remaining < 0.0 else remaining
+            ) / effective_hz
+            if dt_overflow < dt:
+                dt = dt_overflow
+        now = self.now
+        dt_quantum = quantum_deadline - now
+        if dt_quantum < 0.0:
+            dt_quantum = 0.0
+        if dt_quantum < dt:
+            dt = dt_quantum
+        planned_cycles = dt * effective_hz
+        # Inlined Simulator.schedule (one slice-end event per compute
+        # slice): same guards and push, minus the wrapper call.  ``dt`` is
+        # non-negative by construction, so only finiteness is checked.
+        simulator = self.simulator
+        end_time = simulator._now + dt
+        if math.isnan(end_time) or math.isinf(end_time):
+            raise SimulationError(f"non-finite event time {end_time!r}")
+        event = ScheduledEvent(
+            time=end_time,
+            callback=self._end_slice,
+            args=(core.index,),
+            label="slice-end",
         )
-        dt_overflow = (
-            core.seconds_for_cycles(core.counters.cycles_until_overflow())
-            if core.counters.overflow_threshold_cycles is not None
-            else float("inf")
-        )
-        dt_quantum = max(quantum_deadline - self.now, 0.0)
-        dt = min(dt_action, dt_overflow, dt_quantum)
-        planned_cycles = core.cycles_for_seconds(dt)
-        event = self.simulator.schedule(
-            dt, self._end_slice, core.index, label="slice-end"
-        )
-        self._slices[core.index] = _Slice(
-            process=process,
-            start_time=self.now,
-            planned_cycles=planned_cycles,
-            quantum_deadline=quantum_deadline,
-            end_event=event,
-            work_fraction=work_fraction,
-        )
+        _heappush(simulator._queue, (end_time, next(simulator._seq), event))
+        if len(simulator._queue) >= simulator._sweep_threshold:
+            simulator._sweep_cancelled()
+        # Per-core _Slice objects are pooled: a core runs one slice at a
+        # time and nothing holds a slice reference across slices, so the
+        # record is recycled instead of allocated per slice.
+        slice_record = self._slice_pool.get(core.index)
+        if slice_record is None:
+            slice_record = _Slice(
+                process=process,
+                start_time=now,
+                planned_cycles=planned_cycles,
+                quantum_deadline=quantum_deadline,
+                end_event=event,
+                work_fraction=work_fraction,
+            )
+            self._slice_pool[core.index] = slice_record
+        else:
+            slice_record.process = process
+            slice_record.start_time = now
+            slice_record.planned_cycles = planned_cycles
+            slice_record.quantum_deadline = quantum_deadline
+            slice_record.end_event = event
+            slice_record.work_fraction = work_fraction
+        self._slices[core.index] = slice_record
 
     def _close_slice_partial(self, core: Core, active: _Slice) -> None:
         """Close a slice early (duty change): account elapsed cycles."""
@@ -469,37 +563,51 @@ class Kernel:
             active.process.compute_remaining / wf,
         )
         if cycles > 0:
-            core.run_for_cycles(cycles, work_fraction=wf)
+            core.accumulate_cycles(cycles, wf)
             active.process.compute_remaining -= cycles * wf
             active.process.cpu_seconds += elapsed
         del self._slices[core.index]
         core.end_activity()
 
     def _end_slice(self, core_index: int) -> None:
-        core = self.machine.core_by_index(core_index)
+        core = self.machine.cores[core_index]
         active = self._slices.pop(core_index)
         process = active.process
         self.machine.checkpoint()
 
-        elapsed = self.now - active.start_time
+        now = self.simulator._now
+        elapsed = now - active.start_time
         wf = active.work_fraction
+        # Inlined cycles_for_seconds (elapsed is non-negative here).
         cycles = min(
-            core.cycles_for_seconds(elapsed), process.compute_remaining / wf
+            elapsed * core._effective_hz, process.compute_remaining / wf
         )
-        core.run_for_cycles(cycles, work_fraction=wf)
+        core.accumulate_cycles(cycles, wf)
         process.compute_remaining -= cycles * wf
         process.cpu_seconds += elapsed
 
         action_done = process.compute_remaining <= _CYCLE_EPS
-        overflow = core.counters.overflow_pending(tol_cycles=1.0)
-        quantum_expired = self.now >= active.quantum_deadline - 1e-12
+        # Inlined overflow_pending(tol_cycles=1.0): clamping the remaining
+        # cycles at zero cannot change a <= 1.0 comparison.
+        counters = core.counters
+        threshold = counters.overflow_threshold_cycles
+        overflow = threshold is not None and (
+            threshold
+            - (
+                counters.totals.nonhalt_cycles
+                - counters._cycles_at_last_overflow
+            )
+            <= 1.0
+        )
+        quantum_expired = now >= active.quantum_deadline - 1e-12
 
         if overflow:
             self.hooks.on_overflow(core, process)
             core.counters.acknowledge_overflow()
-            self.trace.record(
-                self.now, "overflow", core=core.index, pid=process.pid
-            )
+            if self.trace.enabled:
+                self.trace.record(
+                    self.now, "overflow", core=core.index, pid=process.pid
+                )
 
         if action_done:
             process.compute_remaining = 0.0
@@ -520,7 +628,7 @@ class Kernel:
         # Continue the same action: either post-overflow, or quantum renewed
         # because nobody is waiting.
         deadline = (
-            self.now + self.quantum if quantum_expired else active.quantum_deadline
+            now + self.quantum if quantum_expired else active.quantum_deadline
         )
         self._start_slice(process, core, deadline)
 
@@ -545,10 +653,11 @@ class Kernel:
             sender_pid=process.pid,
         )
         self.hooks.on_send(process, message, dest)
-        self.trace.record(
-            self.now, "send", pid=process.pid,
-            dest=dest.name, nbytes=action.nbytes,
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                self.now, "send", pid=process.pid,
+                dest=dest.name, nbytes=action.nbytes,
+            )
         if not cross:
             self._deliver(dest, message)
             return
@@ -587,10 +696,11 @@ class Kernel:
         if tag.container_id is not None and tag.container_id != process.container_id:
             self.rebind(process, tag.container_id)
         self.hooks.on_recv(process, message, endpoint)
-        self.trace.record(
-            self.now, "recv", pid=process.pid, source=endpoint.name,
-            ctx=tag.container_id,
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                self.now, "recv", pid=process.pid, source=endpoint.name,
+                ctx=tag.container_id,
+            )
         process.pending_result = message
 
     # ------------------------------------------------------------------

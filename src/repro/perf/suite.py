@@ -9,20 +9,23 @@ Two kinds of benchmarks guard the attribution stack's speed:
   determinism gate replays, timing the whole simulator -> accounting ->
   tracing pipeline.
 
-Results are emitted as ``BENCH_perf.json``.  The committed copy at the repo
-root records, per benchmark: the wall time measured when the file was last
-regenerated (``seconds``), derived throughput (events/sec, samples/sec),
-and -- for the two benchmarks that existed before the optimization PR --
-the pre-optimization wall time (``pre_pr_seconds``) measured with the same
-methodology on the same machine, so the speedup is an apples-to-apples
-ratio inside one file.
+Results are emitted as ``BENCH_perf.json`` (schema 2).  The committed copy
+at the repo root records, per benchmark: the wall time measured when the
+file was last regenerated (``seconds`` -- always a wall time), derived
+throughput (events/sec, samples/sec), an explicit ``ratio`` field for the
+machine-independent ratio benchmarks, and -- for the benchmarks that
+existed before the optimization PR -- the pre-optimization wall time
+(``pre_pr_seconds``) measured with the same methodology, so the speedup is
+an apples-to-apples ratio inside one file.  Schema 1 files stored ratios
+*in* the ``seconds`` field; :func:`load_bench_json` migrates them.
 
 :func:`check_regressions` is the CI contract (the ``perf`` lane): a fresh
-run must stay under ``threshold`` x the committed wall times, and the
-machine-independent ratio between the vectorized ``correlation_curve`` and
-its loop oracle must hold.  Wall-clock comparisons against a committed file
-are inherently machine-relative, hence the generous default threshold; the
-ratio check has no such dependence.
+run must stay under ``threshold`` x the committed wall times, and every
+machine-independent ratio (vectorized ``correlation_curve`` vs its loop
+oracle, batch accounting vs the scalar oracle, the disabled-telemetry tax)
+must hold its bound.  Wall-clock comparisons against a committed file are
+inherently machine-relative, hence the generous default threshold; the
+ratio checks have no such dependence.
 """
 
 from __future__ import annotations
@@ -50,21 +53,36 @@ DEFAULT_THRESHOLD = 3.0
 #: over the loop oracle (machine-independent; measured ~27x).
 MIN_CORRELATION_RATIO = 5.0
 
+#: Minimum required speed ratio of the batched accounting kernels over the
+#: per-core scalar oracle at shard scale (machine-independent).
+MIN_ACCOUNTING_RATIO = 2.0
+
 #: Maximum wall-time ratio of a run with an attached-but-disabled
 #: :class:`~repro.telemetry.Telemetry` handle over a bare run.  The
 #: disabled-mode guards (``if t is not None and t.enabled``) on every hot
 #: path must stay within this budget (machine-independent; measured ~1.0).
 MAX_TELEMETRY_DISABLED_RATIO = 1.05
 
+#: Iterations per arm of the telemetry-overhead benchmark.  Module-level
+#: because the schema-1 migration reconstructs that benchmark's wall time
+#: from its recorded samples/sec.
+_TELEMETRY_ITERATIONS = 10_000
+
 
 @dataclass
 class BenchResult:
-    """One benchmark's timing plus derived throughput numbers."""
+    """One benchmark's timing plus derived throughput numbers.
+
+    ``seconds`` is always a wall time.  Ratio benchmarks additionally set
+    ``ratio`` -- the machine-independent quantity their CI bound checks --
+    instead of smuggling it through ``seconds`` as schema 1 did.
+    """
 
     name: str
     kind: str  # "micro" or "macro"
     seconds: float
     throughput: dict[str, float] = field(default_factory=dict)
+    ratio: float | None = None
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -133,8 +151,8 @@ def bench_correlation_curve() -> BenchResult:
 
 
 def bench_correlation_ratio() -> BenchResult:
-    """Loop oracle vs vectorized curve on the same inputs.  The ``seconds``
-    field holds the *ratio* (machine-independent), not a wall time."""
+    """Loop oracle vs vectorized curve on the same inputs.  ``seconds`` is
+    the vectorized arm's wall time; ``ratio`` is oracle/vectorized."""
     from repro.core.alignment import correlation_curve, correlation_curve_reference
 
     rng = np.random.default_rng(0)
@@ -147,11 +165,12 @@ def bench_correlation_ratio() -> BenchResult:
         lambda: correlation_curve_reference(measured, modeled, 1500), repeats=1
     )
     return BenchResult(
-        "micro-correlation-vs-oracle-ratio", "micro", reference / vectorized,
+        "micro-correlation-vs-oracle-ratio", "micro", vectorized,
         throughput={
             "vectorized_seconds": vectorized,
             "reference_seconds": reference,
         },
+        ratio=reference / vectorized,
     )
 
 
@@ -162,8 +181,9 @@ def bench_telemetry_overhead() -> BenchResult:
     accounting step that runs orders of magnitude more often than any
     other instrumented site -- on an occupied core, with no telemetry vs
     an attached-but-disabled :class:`~repro.telemetry.Telemetry` handle.
-    The ``seconds`` field holds the *ratio* (machine-independent, ~1.0),
-    guarding the documented <=5% disabled-mode budget.
+    ``seconds`` is the bare arm's wall time; ``ratio`` is disabled/bare
+    (machine-independent, ~1.0), guarding the documented <=5%
+    disabled-mode budget.
     """
     from repro.core import PowerContainerFacility, calibrate_machine
     from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
@@ -173,7 +193,7 @@ def bench_telemetry_overhead() -> BenchResult:
 
     calibration = calibrate_machine(SANDYBRIDGE, duration=0.1)
     spin = RateProfile(name="bench-spin", ipc=1.0)
-    iterations = 10_000
+    iterations = _TELEMETRY_ITERATIONS
 
     def build_accountant(telemetry):
         sim = Simulator()
@@ -213,11 +233,129 @@ def bench_telemetry_overhead() -> BenchResult:
         bare = min(bare, arm_seconds(None))
         disabled = min(disabled, arm_seconds(Telemetry(enabled=False)))
     return BenchResult(
-        "micro-telemetry-disabled-ratio", "micro", disabled / bare,
+        "micro-telemetry-disabled-ratio", "micro", bare,
         throughput={
             "bare_samples_per_sec": iterations / bare,
             "disabled_samples_per_sec": iterations / disabled,
         },
+        ratio=disabled / bare,
+    )
+
+
+def bench_batch_accounting() -> BenchResult:
+    """One vectorized accounting pass over every core of a machine.
+
+    Times :meth:`BatchAccountingEngine.sample_all` -- the synchronous
+    accounting tick behind ``Facility.flush`` and sharded sweeps -- on a
+    fully occupied SANDYBRIDGE machine, so every pass runs the complete
+    gather -> vectorized kernels -> per-core ``_charge`` pipeline.
+    """
+    from repro.core import PowerContainerFacility, calibrate_machine
+    from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+    from repro.kernel import Compute, Kernel
+    from repro.sim import Simulator
+
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.1)
+    spin = RateProfile(name="bench-spin", ipc=1.0)
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, calibration)
+    for index in range(len(machine.cores)):
+        container = facility.create_request_container(f"bench-{index}")
+
+        def program():
+            yield Compute(cycles=machine.freq_hz * 60.0, profile=spin)
+
+        kernel.spawn(
+            program(), f"spin-{index}", container_id=container.id,
+            pinned_core=index,
+        )
+    sim.run_until(1e-3)  # dispatch the processes so every core is occupied
+    engine = facility.batch_engine
+    iterations = 2_000
+    n_cores = len(machine.cores)
+    clock = [1e-3]  # monotone across repeats so every pass charges
+
+    def body():
+        now = clock[0]
+        for _ in range(iterations):
+            now += 1e-4
+            engine.sample_all(now)
+        clock[0] = now
+
+    body()  # warm
+    seconds = _best_of(body)
+    samples = iterations * n_cores
+    return BenchResult(
+        "micro-batch-accounting", "micro", seconds,
+        throughput={"samples_per_sec": samples / seconds},
+    )
+
+
+def bench_accounting_oracle_ratio() -> BenchResult:
+    """Per-core scalar oracle vs the batched kernels at shard scale.
+
+    Runs the front-half accounting arithmetic (wrap deltas, observer
+    correction, utilization metrics) for 256 synthetic cores -- a sharded
+    sweep's accounting tick -- once per core through
+    :func:`repro.core.batch.reference_sample` and once through the batch
+    kernels, after checking the two agree bit for bit.  ``seconds`` is the
+    batched arm's wall time; ``ratio`` is oracle/batched and must stay
+    above :data:`MIN_ACCOUNTING_RATIO`.
+    """
+    from repro.core.batch import (
+        CPU_FIELDS, batch_observer_correction, batch_utilization,
+        batch_wrap_deltas, reference_sample,
+    )
+    from repro.hardware.counters import COUNTER_WRAP
+
+    rng = np.random.default_rng(3)
+    n = 256
+    baseline = rng.uniform(0.0, COUNTER_WRAP, (n, 7))
+    snapshot = (baseline + rng.uniform(0.0, 1e9, (n, 7))) % COUNTER_WRAP
+    units = rng.uniform(0.0, 100.0, (n, CPU_FIELDS))
+    ops = rng.integers(0, 50, n).astype(float)
+    dts = np.full(n, 1e-3)
+    freq = np.full(n, 2.6e9)
+
+    def batched() -> np.ndarray:
+        deltas = batch_wrap_deltas(snapshot, baseline)
+        deltas = batch_observer_correction(deltas, units, ops)
+        return batch_utilization(deltas, freq * dts)
+
+    def oracle() -> list:
+        out = []
+        for i in range(n):
+            out.append(reference_sample(
+                snapshot[i], baseline[i], float(dts[i]), float(freq[i]),
+                observer_unit=units[i], pending_ops=int(ops[i]),
+            ))
+        return out
+
+    oracle_metrics = np.array([metrics for _, metrics in oracle()])
+    if not (batched() == oracle_metrics).all():
+        raise RuntimeError("batch kernels diverged from the scalar oracle")
+
+    iterations = 50
+
+    def batch_body():
+        for _ in range(iterations):
+            batched()
+
+    def oracle_body():
+        for _ in range(iterations):
+            oracle()
+
+    batch_seconds = _best_of(batch_body)
+    oracle_seconds = _best_of(oracle_body, repeats=1)
+    return BenchResult(
+        "micro-accounting-vs-oracle-ratio", "micro", batch_seconds,
+        throughput={
+            "batched_samples_per_sec": n * iterations / batch_seconds,
+            "oracle_seconds": oracle_seconds,
+        },
+        ratio=oracle_seconds / batch_seconds,
     )
 
 
@@ -302,6 +440,8 @@ SUITE = (
     bench_correlation_curve,
     bench_correlation_ratio,
     bench_telemetry_overhead,
+    bench_batch_accounting,
+    bench_accounting_oracle_ratio,
     bench_macro_solr,
 )
 
@@ -318,28 +458,75 @@ def run_suite() -> dict[str, BenchResult]:
 # ---------------------------------------------------------------------------
 # BENCH_perf.json I/O and the CI regression contract
 # ---------------------------------------------------------------------------
+#: Ratio benchmarks with a required *minimum* ratio (speedup floors).
+RATIO_MINIMUMS = {
+    "micro-correlation-vs-oracle-ratio": MIN_CORRELATION_RATIO,
+    "micro-accounting-vs-oracle-ratio": MIN_ACCOUNTING_RATIO,
+}
+
+#: Ratio benchmarks with a required *maximum* ratio (overhead budgets).
+RATIO_MAXIMUMS = {
+    "micro-telemetry-disabled-ratio": MAX_TELEMETRY_DISABLED_RATIO,
+}
+
+
 def write_bench_json(results: dict[str, BenchResult], path: str) -> dict:
-    """Serialize results (plus pre-PR baselines and speedups) to ``path``."""
+    """Serialize results (plus pre-PR baselines and speedups) to ``path``.
+
+    Schema 2: ``seconds`` is always a wall time, and ratio benchmarks
+    carry their machine-independent quantity in an explicit ``ratio``
+    field.
+    """
     benchmarks = {}
     for name, result in results.items():
         entry: dict = {"kind": result.kind, "seconds": result.seconds}
+        if result.ratio is not None:
+            entry["ratio"] = result.ratio
         entry.update(result.throughput)
         pre = PRE_PR_SECONDS.get(name)
         if pre is not None:
             entry["pre_pr_seconds"] = pre
             entry["speedup_vs_pre_pr"] = pre / result.seconds
         benchmarks[name] = entry
-    payload = {"schema": 1, "benchmarks": benchmarks}
+    payload = {"schema": 2, "benchmarks": benchmarks}
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return payload
 
 
+def _migrate_schema1(payload: dict) -> dict:
+    """Schema 1 -> 2 in place: un-smuggle the ratios out of ``seconds``.
+
+    Schema 1 stored the two ratio benchmarks' ratios *as* their
+    ``seconds``.  The migration moves those into ``ratio`` and recovers a
+    real wall time from the recorded throughput fields (the vectorized
+    correlation arm's seconds; the telemetry bench's bare arm via its
+    samples/sec and the fixed iteration count).  When the throughput field
+    is missing the wall time is set to ``0.0``, which
+    :func:`check_regressions` treats as "no wall baseline".
+    """
+    for name, entry in payload.get("benchmarks", {}).items():
+        if "ratio" in entry:
+            continue
+        if name == "micro-correlation-vs-oracle-ratio":
+            entry["ratio"] = entry["seconds"]
+            entry["seconds"] = entry.get("vectorized_seconds", 0.0)
+        elif name == "micro-telemetry-disabled-ratio":
+            entry["ratio"] = entry["seconds"]
+            bare = entry.get("bare_samples_per_sec")
+            entry["seconds"] = _TELEMETRY_ITERATIONS / bare if bare else 0.0
+    payload["schema"] = 2
+    return payload
+
+
 def load_bench_json(path: str) -> dict:
-    """Load a committed ``BENCH_perf.json``."""
+    """Load a committed ``BENCH_perf.json``, migrating old schemas."""
     with open(path) as fh:
-        return json.load(fh)
+        payload = json.load(fh)
+    if payload.get("schema", 1) < 2:
+        payload = _migrate_schema1(payload)
+    return payload
 
 
 def check_regressions(
@@ -349,34 +536,40 @@ def check_regressions(
 ) -> list[str]:
     """Compare a fresh run against the committed baselines.
 
-    Returns a list of human-readable problems (empty = pass): wall-time
-    benchmarks must stay under ``threshold`` x their committed ``seconds``;
-    the correlation ratio benchmark must stay above
-    :data:`MIN_CORRELATION_RATIO` and the disabled-telemetry ratio below
-    :data:`MAX_TELEMETRY_DISABLED_RATIO` (both are exempt from the
-    wall-time rule, since their ``seconds`` fields are ratios).
+    Returns a list of human-readable problems (empty = pass).  Every
+    benchmark's wall time must stay under ``threshold`` x its committed
+    ``seconds`` (skipped when a schema-1 migration could not recover a
+    wall baseline); ratio benchmarks must additionally hold their
+    machine-independent bounds (:data:`RATIO_MINIMUMS` speedup floors,
+    :data:`RATIO_MAXIMUMS` overhead budgets).
     """
     committed = load_bench_json(committed_path)["benchmarks"]
     problems = []
     for name, result in results.items():
-        if name == "micro-correlation-vs-oracle-ratio":
-            if result.seconds < MIN_CORRELATION_RATIO:
+        minimum = RATIO_MINIMUMS.get(name)
+        if minimum is not None:
+            if result.ratio is None:
+                problems.append(f"{name}: no ratio was measured")
+            elif result.ratio < minimum:
                 problems.append(
-                    f"{name}: vectorized/oracle ratio {result.seconds:.1f}x "
-                    f"below required {MIN_CORRELATION_RATIO:.1f}x"
+                    f"{name}: speed ratio {result.ratio:.1f}x below "
+                    f"required {minimum:.1f}x"
                 )
-            continue
-        if name == "micro-telemetry-disabled-ratio":
-            if result.seconds > MAX_TELEMETRY_DISABLED_RATIO:
+        maximum = RATIO_MAXIMUMS.get(name)
+        if maximum is not None:
+            if result.ratio is None:
+                problems.append(f"{name}: no ratio was measured")
+            elif result.ratio > maximum:
                 problems.append(
-                    f"{name}: disabled-telemetry ratio {result.seconds:.3f}x "
-                    f"exceeds budget {MAX_TELEMETRY_DISABLED_RATIO:.2f}x"
+                    f"{name}: overhead ratio {result.ratio:.3f}x exceeds "
+                    f"budget {maximum:.2f}x"
                 )
-            continue
         baseline = committed.get(name)
         if baseline is None:
             problems.append(f"{name}: no committed baseline in {committed_path}")
             continue
+        if baseline["seconds"] <= 0.0:
+            continue  # migrated entry without a recoverable wall time
         limit = baseline["seconds"] * threshold
         if result.seconds > limit:
             problems.append(

@@ -1,0 +1,217 @@
+"""Batch accounting engine: oracle equivalence and engine semantics.
+
+The vectorized kernels in ``repro.core.batch`` claim *bit-identical*
+results to the scalar per-core arithmetic (``reference_sample`` is the
+pristine transliteration of ``CoreAccountant.sample``'s front half).  The
+hypothesis properties here compare the two over random counter streams,
+wrap-around deltas, observer-overhead corrections, and empty intervals --
+with ``==``, never ``approx``.  The engine-level tests then check that
+``BatchAccountingEngine.sample_all`` charges exactly what sequential
+per-accountant ``sample()`` calls would, and that a double run of a seeded
+batch workload replays bit for bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.batch import (
+    CPU_FIELDS,
+    BatchAccountingEngine,
+    batch_observer_correction,
+    batch_utilization,
+    batch_wrap_deltas,
+    reference_sample,
+)
+from repro.hardware.counters import COUNTER_WRAP
+
+_counter = st.floats(min_value=0.0, max_value=COUNTER_WRAP, allow_nan=False)
+_unit = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+_dt = st.floats(min_value=1e-9, max_value=10.0, allow_nan=False)
+_freq = st.floats(min_value=1e6, max_value=1e10, allow_nan=False)
+
+
+def _rows(draw, n, width, strategy):
+    return np.array(
+        [[draw(strategy) for _ in range(width)] for _ in range(n)]
+    )
+
+
+@given(data=st.data())
+def test_kernels_match_oracle_on_random_streams(data):
+    """Full front-half pipeline, random counters: bitwise equality."""
+    n = data.draw(st.integers(min_value=1, max_value=8))
+    snapshot = _rows(data.draw, n, 7, _counter)
+    baseline = _rows(data.draw, n, 7, _counter)
+    units = _rows(data.draw, n, CPU_FIELDS, _unit)
+    ops = np.array([
+        float(data.draw(st.integers(min_value=0, max_value=1000)))
+        for _ in range(n)
+    ])
+    dts = np.array([data.draw(_dt) for _ in range(n)])
+    freq = np.array([data.draw(_freq) for _ in range(n)])
+
+    deltas = batch_wrap_deltas(snapshot, baseline)
+    deltas = batch_observer_correction(deltas, units, ops)
+    metrics = batch_utilization(deltas, freq * dts)
+
+    for i in range(n):
+        expected = reference_sample(
+            list(snapshot[i]), list(baseline[i]), float(dts[i]),
+            float(freq[i]), observer_unit=list(units[i]),
+            pending_ops=int(ops[i]),
+        )
+        assert expected is not None
+        exp_deltas, exp_metrics = expected
+        assert list(deltas[i]) == exp_deltas
+        assert list(metrics[i]) == exp_metrics
+
+
+@given(
+    start=st.floats(min_value=0.0, max_value=COUNTER_WRAP - 1.0),
+    delta=st.floats(min_value=0.0, max_value=1e12),
+)
+def test_wrap_deltas_match_oracle_across_wrap(start, delta):
+    """A counter that wrapped mid-interval: both paths recover the same
+    (bit-identical) delta, including the fp-noise-to-zero clamp."""
+    snapshot = np.full((1, 7), (start + delta) % COUNTER_WRAP)
+    baseline = np.full((1, 7), start)
+    batched = batch_wrap_deltas(snapshot, baseline)
+    expected, _ = reference_sample(
+        list(snapshot[0]), list(baseline[0]), 1.0, 1e9
+    )
+    assert list(batched[0]) == expected
+
+
+@given(data=st.data())
+def test_observer_correction_matches_oracle_and_clamps(data):
+    """Observer-overhead subtraction: identical values, and never below
+    zero even when the correction exceeds the measured delta."""
+    deltas = np.abs(_rows(data.draw, 4, 7, _counter))
+    units = _rows(data.draw, 4, CPU_FIELDS, _unit)
+    ops = np.array([
+        float(data.draw(st.integers(min_value=0, max_value=10_000)))
+        for _ in range(4)
+    ])
+    corrected = batch_observer_correction(deltas, units, ops)
+    assert (corrected[:, :CPU_FIELDS] >= 0.0).all()
+    # Disk/net columns are never observer-corrected.
+    assert (corrected[:, CPU_FIELDS:] == deltas[:, CPU_FIELDS:]).all()
+    for i in range(4):
+        value = deltas[i, 0] - units[i, 0] * ops[i]
+        assert corrected[i, 0] == (value if value > 0.0 else 0.0)
+
+
+def test_zero_ops_correction_is_identity():
+    rng = np.random.default_rng(11)
+    deltas = rng.uniform(0.0, 1e9, (6, 7))
+    units = rng.uniform(0.0, 1e3, (6, CPU_FIELDS))
+    corrected = batch_observer_correction(deltas, units, np.zeros(6))
+    assert (corrected == deltas).all()
+
+
+def test_reference_sample_empty_interval_returns_none():
+    snapshot = [1.0] * 7
+    baseline = [0.0] * 7
+    assert reference_sample(snapshot, baseline, 0.0, 1e9) is None
+    assert reference_sample(snapshot, baseline, -1e-6, 1e9) is None
+
+
+# ---------------------------------------------------------------------------
+# Engine-level semantics
+# ---------------------------------------------------------------------------
+def _build_facility(occupy_every=1):
+    from repro.core import PowerContainerFacility, calibrate_machine
+    from repro.hardware import RateProfile, SANDYBRIDGE, build_machine
+    from repro.kernel import Compute, Kernel
+    from repro.sim import Simulator
+
+    calibration = calibrate_machine(SANDYBRIDGE, duration=0.05)
+    sim = Simulator()
+    machine = build_machine(SANDYBRIDGE, sim)
+    kernel = Kernel(machine, sim)
+    facility = PowerContainerFacility(kernel, calibration)
+    spin = RateProfile(name="batch-test-spin", ipc=1.0)
+    containers = []
+    for index in range(len(machine.cores)):
+        container = facility.create_request_container(f"batch-{index}")
+        containers.append(container)
+        if index % occupy_every:
+            continue
+
+        def program():
+            yield Compute(cycles=machine.freq_hz * 0.2, profile=spin)
+
+        kernel.spawn(
+            program(), f"batch-spin-{index}", container_id=container.id,
+            pinned_core=index,
+        )
+    return sim, facility, containers
+
+
+def test_sample_all_matches_sequential_scalar_samples():
+    """One facility batched, an identical twin sampled per core: every
+    per-container statistic must agree bit for bit."""
+    sim_a, fac_a, conts_a = _build_facility()
+    sim_b, fac_b, conts_b = _build_facility()
+    now = 0.0
+    # Off-grid step: the facility's own 1 ms OS tick samples on the grid,
+    # so an on-grid sample_all would only ever see empty intervals.
+    for _ in range(25):
+        now += 1.37e-3
+        sim_a.run_until(now)
+        sim_b.run_until(now)
+        fac_a.batch_engine.sample_all(sim_a.now)
+        for accountant in fac_b.batch_engine._accountants:
+            accountant.sample(sim_b.now)
+    for ca, cb in zip(conts_a, conts_b):
+        assert ca.stats.energy_joules == cb.stats.energy_joules
+        assert ca.stats.cpu_seconds == cb.stats.cpu_seconds
+        assert ca.stats.sample_count == cb.stats.sample_count
+        assert ca.stats.events.nonhalt_cycles == cb.stats.events.nonhalt_cycles
+
+
+def test_sample_all_skips_empty_intervals():
+    """A second pass at the same instant (dt == 0) charges nothing."""
+    sim, facility, _ = _build_facility()
+    sim.run_until(1.25e-3)  # off the 1 ms OS-tick grid
+    engine = facility.batch_engine
+    assert engine.sample_all(sim.now) == len(facility.accountants)
+    assert engine.sample_all(sim.now) == 0
+
+
+def test_sample_all_skips_idle_cores():
+    """Idle cores advance their baselines but charge no samples."""
+    sim, facility, containers = _build_facility(occupy_every=2)
+    sim.run_until(1.25e-3)  # off the 1 ms OS-tick grid
+    before = [c.stats.sample_count for c in containers]
+    charged = facility.batch_engine.sample_all(sim.now)
+    occupied = sum(
+        1 for accountant in facility.accountants.values()
+        if accountant.occupied
+    )
+    assert 0 < occupied < len(facility.accountants)
+    assert charged == occupied
+    for index, container in enumerate(containers):
+        expected = 1 if index % 2 == 0 else 0
+        assert container.stats.sample_count - before[index] == expected
+
+
+def test_batch_double_run_fingerprint_is_bit_identical():
+    """Two identically-seeded batch runs replay bit for bit."""
+    energies = []
+    for _ in range(2):
+        sim, facility, containers = _build_facility()
+        now = 0.0
+        for _ in range(15):
+            now += 1.37e-3
+            sim.run_until(now)
+            facility.batch_engine.sample_all(sim.now)
+        primary = facility.primary
+        energies.append(tuple(c.energy(primary) for c in containers))
+    assert energies[0] == energies[1]
+
+
+def test_engine_requires_accountants():
+    with pytest.raises(ValueError):
+        BatchAccountingEngine([])
