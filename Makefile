@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: help lint fix docs test test-full examples bench chaos overload telemetry perf determinism ci ci-fast
+.PHONY: help lint fix docs test test-full examples bench chaos overload telemetry restore perf determinism ci ci-fast
 
 help:
 	@echo "make lint         - stdlib AST lint (python -m ci lint)"
@@ -16,6 +16,7 @@ help:
 	@echo "make chaos        - fault-injection scenarios + invariants"
 	@echo "make overload     - overload/brownout scenarios double-run + demo"
 	@echo "make telemetry    - trace-fingerprint double-run + neutrality gate"
+	@echo "make restore      - SIGKILL/resume identity + corrupt-file rejection"
 	@echo "make perf         - benchmark regression check + fingerprint guard"
 	@echo "make determinism  - seeded double-run equality gate"
 	@echo "make ci           - the full merge gate"
@@ -50,6 +51,9 @@ overload:
 
 telemetry:
 	$(PYTHON) -m ci telemetry
+
+restore:
+	$(PYTHON) -m ci restore
 
 perf:
 	$(PYTHON) -m ci perf

@@ -11,7 +11,10 @@ shape-asserting tests still pass.  This lane:
    counts, per-request energies, response times, and measured joules;
 3. runs representative chaos scenarios (``repro.faults``) twice and demands
    bit-identical report fingerprints -- fault injection draws randomness
-   too, and a chaos run that cannot replay cannot be debugged.
+   too, and a chaos run that cannot replay cannot be debugged;
+4. runs a checkpointed Solr experiment, resumes it from its newest
+   checkpoint (``repro.checkpoint``), and demands the resumed run's
+   report/trace/shed/batch fingerprints match the uninterrupted run's.
 
 Everything is compared with ``==`` on floats: the runs must be *identical*,
 not merely close.
@@ -125,6 +128,38 @@ def _batch_fingerprint():
     }
 
 
+def _checkpoint_fingerprints():
+    """Checkpointed Solr run + in-place resume: both fingerprint dicts.
+
+    A shortened run (the restore CI lane covers the cross-process SIGKILL
+    path) that crosses two auto-checkpoint safe-points, then resumes from
+    the newest checkpoint in the same process.  Snapshot collection must be
+    invisible to the run and the replay-verified resume must land on the
+    same report/trace/shed/batch digests -- any drift in a layer's
+    ``snapshot_state``/``restore_state`` pair fails the gate here.
+    """
+    import shutil
+    import tempfile
+
+    from repro.checkpoint import (
+        RunConfig,
+        resume_checkpointed,
+        run_checkpointed,
+    )
+
+    config = RunConfig(
+        kind="solr", seed=7, duration=0.6, warmup=0.1, load_fraction=0.6,
+        cal_duration=_CAL_DURATION, checkpoint_period=0.2,
+    )
+    directory = tempfile.mkdtemp(prefix="repro-determinism-ckpt-")
+    try:
+        oneshot = run_checkpointed(config, directory=directory)
+        resumed = resume_checkpointed(directory)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return oneshot, resumed
+
+
 def run_determinism(root: str):
     """Lane entry point -> (ok, findings, detail)."""
     first = _run_once()
@@ -155,9 +190,23 @@ def run_determinism(root: str):
                 f"{key} differs between identically-seeded batch-engine "
                 f"runs",
             ))
+    ckpt_oneshot, ckpt_resumed = _checkpoint_fingerprints()
+    for key in ("report", "trace", "shed", "batch", "n_requests"):
+        if ckpt_oneshot[key] != ckpt_resumed[key]:
+            findings.append(Finding(
+                "ci/determinism.py", 1, "NDET",
+                f"checkpoint-resume {key} fingerprint differs from the "
+                f"uninterrupted run ({ckpt_resumed[key]!r} vs "
+                f"{ckpt_oneshot[key]!r})",
+            ))
+    if not ckpt_resumed.get("resumed"):
+        findings.append(Finding(
+            "ci/determinism.py", 1, "NDET",
+            "checkpoint resume never restored from a checkpoint",
+        ))
     detail = (f"{first['n_requests']} requests, "
               f"{len(first['coefficients'])} coefficients, "
               f"{len(_CHAOS_SCENARIOS)} chaos fingerprints + "
               f"{len(batch_first['batch_energies'])} batch-engine "
-              f"containers compared")
+              f"containers + checkpoint-resume identity compared")
     return not findings, findings, detail

@@ -254,6 +254,136 @@ def run_perf_lane(trend: bool = False):
     return not findings, findings, detail
 
 
+#: Restore-lane cases: (label, ``repro run-ckpt`` arguments, checkpoint
+#: index to SIGKILL after).  One Solr macro run and one chaos scenario, both
+#: short enough for the merge gate but long enough to cross several
+#: auto-checkpoint safe-points.
+RESTORE_CASES = (
+    ("solr", ["--kind", "solr", "--duration", "0.6", "--warmup", "0.1",
+              "--period", "0.2"], 1),
+    ("chaos", ["--kind", "chaos", "--scenario", "meter-nan-burst",
+               "--duration-scale", "0.5", "--period", "0.3"], 1),
+)
+
+#: Fingerprint keys every resumed run must reproduce bit-for-bit.
+RESTORE_KEYS = ("report", "trace", "shed", "batch")
+
+
+def _run_json(argv: list[str]):
+    """Run a CLI subprocess; return (returncode, parsed-last-line-or-None)."""
+    import json
+
+    env = _env()
+    env["CI"] = "true"
+    proc = subprocess.run(
+        argv, cwd=ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    lines = proc.stdout.strip().splitlines()
+    payload = None
+    if proc.returncode == 0 and lines:
+        try:
+            payload = json.loads(lines[-1])
+        except ValueError:
+            payload = None
+    return proc, payload
+
+
+def run_restore():
+    """Restore lane: kill a checkpointed run mid-flight, resume, compare.
+
+    For each case in :data:`RESTORE_CASES`: (1) a clean one-shot
+    checkpointed run records its four fingerprints (report, trace, shed,
+    batch); (2) the same run is SIGKILLed by its own ``on_checkpoint`` hook
+    right after a checkpoint is durably on disk; (3) ``python -m repro
+    resume`` restarts from that checkpoint and must reproduce all four
+    fingerprints bit-for-bit.  A corrupt-file smoke then flips one byte in
+    the newest checkpoint and demands the resume is *rejected* with a
+    diagnostic, never silently loaded.
+    """
+    import shutil
+    import signal
+    import tempfile
+
+    findings = []
+    workdir = tempfile.mkdtemp(prefix="repro-restore-")
+    solr_dir = None
+    try:
+        for name, case_args, kill_after in RESTORE_CASES:
+            base = [sys.executable, "-m", "repro", "run-ckpt", *case_args]
+            _, clean = _run_json(base)
+            if clean is None:
+                findings.append(Finding(
+                    "ci/runner.py", 1, "RESTORE",
+                    f"{name}: clean checkpointed run failed",
+                ))
+                continue
+            ckpt_dir = os.path.join(workdir, name)
+            if name == "solr":
+                solr_dir = ckpt_dir
+            crashed, _ = _run_json(
+                base + ["--dir", ckpt_dir,
+                        "--kill-after-checkpoint", str(kill_after)],
+            )
+            if crashed.returncode != -signal.SIGKILL:
+                findings.append(Finding(
+                    "ci/runner.py", 1, "RESTORE",
+                    f"{name}: crash run exited {crashed.returncode}, "
+                    f"expected SIGKILL",
+                ))
+                continue
+            _, resumed = _run_json(
+                [sys.executable, "-m", "repro", "resume", "--dir", ckpt_dir],
+            )
+            if resumed is None:
+                findings.append(Finding(
+                    "ci/runner.py", 1, "RESTORE",
+                    f"{name}: resume after SIGKILL failed",
+                ))
+                continue
+            if not resumed.get("resumed"):
+                findings.append(Finding(
+                    "ci/runner.py", 1, "RESTORE",
+                    f"{name}: resume did not restore from a checkpoint",
+                ))
+            for key in RESTORE_KEYS:
+                if clean[key] != resumed[key]:
+                    findings.append(Finding(
+                        "ci/runner.py", 1, "RESTORE",
+                        f"{name}: resumed {key} fingerprint "
+                        f"{resumed[key]!r} != uninterrupted {clean[key]!r}",
+                    ))
+        if solr_dir is not None and os.path.isdir(solr_dir):
+            names = sorted(os.listdir(solr_dir))
+            if names:
+                path = os.path.join(solr_dir, names[-1])
+                with open(path, "rb") as handle:
+                    raw = bytearray(handle.read())
+                raw[len(raw) // 2] ^= 0xFF
+                with open(path, "wb") as handle:
+                    handle.write(raw)
+                proc, _ = _run_json(
+                    [sys.executable, "-m", "repro", "resume",
+                     "--dir", solr_dir],
+                )
+                if proc.returncode == 0:
+                    findings.append(Finding(
+                        "ci/runner.py", 1, "RESTORE",
+                        "corrupt checkpoint was silently loaded",
+                    ))
+                elif "digest mismatch" not in proc.stdout:
+                    findings.append(Finding(
+                        "ci/runner.py", 1, "RESTORE",
+                        "corrupt checkpoint rejection lacks a diagnostic "
+                        "(no 'digest mismatch' in output)",
+                    ))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    detail = (f"{len(RESTORE_CASES)} crash/resume cases x "
+              f"{len(RESTORE_KEYS)} fingerprints + corrupt-file rejection")
+    return not findings, findings, detail
+
+
 def run_examples():
     """Every example script end-to-end in quick mode, each its own process."""
     findings = []
@@ -307,9 +437,14 @@ def main(argv: list[str] | None = None) -> int:
         "telemetry",
         help="trace-fingerprint double-run + telemetry-neutrality gate",
     )
+    sub.add_parser(
+        "restore",
+        help="SIGKILL/resume fingerprint identity + corrupt-file rejection",
+    )
     all_parser = sub.add_parser(
         "all", help="the merge gate: lint + docs + tests + examples "
-                    "+ chaos + overload + telemetry + perf + determinism",
+                    "+ chaos + overload + telemetry + restore + perf "
+                    "+ determinism",
     )
     all_parser.add_argument(
         "--fast", action="store_true",
@@ -338,6 +473,8 @@ def main(argv: list[str] | None = None) -> int:
         reporter.run("perf", lambda: run_perf_lane(trend=args.trend))
     elif args.lane == "telemetry":
         reporter.run("telemetry", run_telemetry)
+    elif args.lane == "restore":
+        reporter.run("restore", run_restore)
     elif args.lane == "all":
         reporter.run("lint", run_lint_lane)
         reporter.run("docs", run_docs_lane)
@@ -347,6 +484,7 @@ def main(argv: list[str] | None = None) -> int:
             reporter.run("chaos", run_chaos)
             reporter.run("overload", run_overload)
             reporter.run("telemetry", run_telemetry)
+            reporter.run("restore", run_restore)
             reporter.run("perf", run_perf_lane)
         reporter.run("determinism", run_determinism_lane)
 

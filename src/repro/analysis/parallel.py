@@ -14,6 +14,12 @@ properties the rest of the toolchain relies on:
   the task does not pickle, the map silently degrades to the plain serial
   loop.  Task exceptions are *not* swallowed: they propagate exactly as a
   serial loop would raise them.
+* **Worker-crash retry** -- when a pool worker dies mid-shard (OOM kill,
+  SIGKILL), that shard is retried once from its original input, in input
+  order, before anything degrades to serial.  Results stay deterministic
+  because every task is a pure function of its arguments; the retry count
+  is tracked in the ``parallel_worker_retries_total`` metric
+  (:func:`worker_retries_total`, :func:`publish_metrics`).
 
 ``REPRO_JOBS`` overrides the worker count (``REPRO_JOBS=1`` forces serial
 everywhere -- useful in CI and under profilers).
@@ -30,6 +36,23 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Shards re-executed after their pool worker crashed (process lifetime).
+_worker_retries_total = 0
+
+
+def worker_retries_total() -> int:
+    """How many shards were retried after a worker crash (this process)."""
+    return _worker_retries_total
+
+
+def publish_metrics(registry) -> None:
+    """Mirror the retry counter into a :class:`MetricsRegistry`."""
+    counter = registry.counter(
+        "parallel_worker_retries_total",
+        help="pool shards retried after their worker crashed",
+    )
+    counter.value = float(_worker_retries_total)
 
 
 def available_cores() -> int:
@@ -82,7 +105,12 @@ def parallel_map(
     when the pool cannot be used (fork unavailable, workers died, task not
     picklable).  ``fn`` and ``items`` must be module-level/picklable for the
     parallel path to engage; anything else falls back cleanly.
+
+    A shard whose worker crashed (``BrokenProcessPool``) is retried once
+    from its original input in the parent process -- input order preserved,
+    so a transiently killed worker cannot change a sweep's results.
     """
+    global _worker_retries_total
     item_list = list(items)
     workers = min(resolve_jobs(jobs), len(item_list))
     if workers <= 1:
@@ -99,7 +127,18 @@ def parallel_map(
 
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            return list(pool.map(fn, item_list))
+            futures = [pool.submit(fn, item) for item in item_list]
+            results: list[_R] = []
+            for future, item in zip(futures, item_list):
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool:
+                    # The worker died mid-shard; the task itself did not
+                    # raise.  Re-run this shard from its input.  Task
+                    # exceptions still propagate verbatim above.
+                    _worker_retries_total += 1
+                    results.append(fn(item))
+            return results
     except (BrokenProcessPool, OSError, ValueError, ImportError):
         return [fn(item) for item in item_list]
 

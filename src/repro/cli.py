@@ -355,6 +355,64 @@ def cmd_metrics(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_run_ckpt(args) -> int:
+    """Run a checkpointed world (Solr macro or chaos scenario) to the end.
+
+    Prints one JSON line of comparison fingerprints.  With
+    ``--kill-after-checkpoint K`` the process SIGKILLs itself right after
+    checkpoint ``K`` is durably on disk -- the crash half of the restore
+    lane's crash/resume pair.
+    """
+    import json
+    import os
+    import signal
+
+    from repro.checkpoint import RunConfig, run_checkpointed
+
+    config = RunConfig(
+        kind=args.kind,
+        seed=args.seed,
+        duration=args.duration,
+        warmup=args.warmup,
+        load_fraction=args.load_fraction,
+        scenario=args.scenario,
+        duration_scale=args.duration_scale,
+        checkpoint_period=args.period,
+    )
+    on_checkpoint = None
+    if args.kill_after_checkpoint is not None:
+        if args.dir is None:
+            raise SystemExit("--kill-after-checkpoint requires --dir")
+
+        def on_checkpoint(index: int) -> None:
+            if index >= args.kill_after_checkpoint:
+                sys.stdout.flush()
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    fingerprints = run_checkpointed(
+        config, directory=args.dir, on_checkpoint=on_checkpoint
+    )
+    print(json.dumps(fingerprints, sort_keys=True))
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """Resume the newest checkpoint in ``--dir`` and run to the end.
+
+    Rebuilds the world from the checkpoint's persisted config, replays to
+    the checkpointed safe-point, verifies the replayed state bit-for-bit,
+    restores, finishes the run, and prints the same JSON fingerprint line
+    ``run-ckpt`` prints -- identical bytes if the resume is exact.
+    """
+    import json
+
+    from repro.checkpoint import resume_checkpointed
+
+    fingerprints = resume_checkpointed(args.dir)
+    print(json.dumps(fingerprints, sort_keys=True))
+    return 0
+
+
 COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig01": (cmd_fig01, "Fig. 1: incremental per-core power"),
     "calibration": (cmd_calibration, "Sec. 4.1: calibration table"),
@@ -368,6 +426,9 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "perf": (cmd_perf, "performance suite: micro/macro benchmarks"),
     "trace": (cmd_trace, "trace a chaos scenario: spans + energy timeline"),
     "metrics": (cmd_metrics, "unified metrics exposition for one scenario"),
+    "run-ckpt": (cmd_run_ckpt, "checkpointed run: periodic snapshots + "
+                               "fingerprints"),
+    "resume": (cmd_resume, "resume the newest checkpoint and run to the end"),
 }
 
 
@@ -460,6 +521,52 @@ def main(argv: list[str] | None = None) -> int:
                     "--limit", type=int, default=40,
                     help="timeline lines to print (full trace goes to --out)",
                 )
+        elif name == "run-ckpt":
+            cmd_parser.add_argument(
+                "--kind", default="solr", choices=("solr", "chaos"),
+                help="world to run: the Solr macro or a chaos scenario",
+            )
+            cmd_parser.add_argument("--seed", type=int, default=7)
+            cmd_parser.add_argument(
+                "--duration", type=float, default=1.5,
+                help="solr run duration in simulated seconds",
+            )
+            cmd_parser.add_argument(
+                "--warmup", type=float, default=0.2,
+                help="solr measurement warmup in simulated seconds",
+            )
+            cmd_parser.add_argument(
+                "--load-fraction", type=float, default=0.6,
+                help="solr open-loop load fraction",
+            )
+            cmd_parser.add_argument(
+                "--scenario", default="meter-nan-burst",
+                help="chaos scenario name (with --kind chaos)",
+            )
+            cmd_parser.add_argument(
+                "--duration-scale", type=float, default=1.0,
+                help="chaos duration scale (with --kind chaos)",
+            )
+            cmd_parser.add_argument(
+                "--period", type=float, default=None,
+                help="auto-checkpoint period in simulated seconds "
+                     "(default: checkpointing disabled)",
+            )
+            cmd_parser.add_argument(
+                "--dir", default=None,
+                help="checkpoint directory (required to persist snapshots)",
+            )
+            cmd_parser.add_argument(
+                "--kill-after-checkpoint", type=int, default=None,
+                metavar="K",
+                help="SIGKILL this process right after checkpoint K is "
+                     "durably on disk",
+            )
+        elif name == "resume":
+            cmd_parser.add_argument(
+                "--dir", required=True,
+                help="checkpoint directory written by run-ckpt",
+            )
         elif name == "overload":
             cmd_parser.add_argument("--seed", type=int, default=42)
             cmd_parser.add_argument(

@@ -520,6 +520,40 @@ class CoreAccountant:
         self._pending_overhead_ops += 1
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Counter baseline, interval bookkeeping, and binding state.
+
+        The per-sample scratch buffers (``_row``, ``_energy``, ``_shares``)
+        are overwritten at every sample before being read, so they carry no
+        state across samples and are not captured.
+        """
+        return {
+            "v": 1,
+            "last": list(self._last),
+            "last_time": self._last_time,
+            "pending_overhead_ops": self._pending_overhead_ops,
+            "samples_taken": self.samples_taken,
+            "current_container_id": self.current_container_id,
+            "current_stage": self.current_stage,
+            "occupied": self.occupied,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown CoreAccountant snapshot version {state.get('v')!r}"
+            )
+        self._last = list(state["last"])
+        self._last_time = state["last_time"]
+        self._pending_overhead_ops = state["pending_overhead_ops"]
+        self.samples_taken = state["samples_taken"]
+        self.current_container_id = state["current_container_id"]
+        self.current_stage = state["current_stage"]
+        self.occupied = state["occupied"]
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

@@ -75,3 +75,23 @@ class PowerConditioner:
         if core.duty_level != level:
             self.kernel.set_core_duty(core, level)
             self.adjustments += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "target_active_watts": self.target_active_watts,
+            "min_level": self.min_level,
+            "adjustments": self.adjustments,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown PowerConditioner snapshot version {state.get('v')!r}"
+            )
+        self.target_active_watts = state["target_active_watts"]
+        self.min_level = state["min_level"]
+        self.adjustments = state["adjustments"]

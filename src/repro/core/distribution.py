@@ -74,3 +74,34 @@ class EnergyProfileTable:
         return sorted(
             {rtype for (m, rtype), n in self._count.items() if m == machine and n}
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Sums and counts flattened to ``machine|rtype`` string keys."""
+        return {
+            "v": 1,
+            "sums": {
+                f"{machine}|{rtype}": value
+                for (machine, rtype), value in sorted(self._sum.items())
+            },
+            "counts": {
+                f"{machine}|{rtype}": value
+                for (machine, rtype), value in sorted(self._count.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown EnergyProfileTable snapshot version {state.get('v')!r}"
+            )
+        self._sum = defaultdict(float)
+        self._count = defaultdict(int)
+        for key, value in state["sums"].items():
+            machine, rtype = key.split("|", 1)
+            self._sum[(machine, rtype)] = value
+        for key, value in state["counts"].items():
+            machine, rtype = key.split("|", 1)
+            self._count[(machine, rtype)] = value

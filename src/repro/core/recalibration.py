@@ -157,6 +157,40 @@ class RecalibrationGuard:
             "guard_skipped": float(self.skipped_count),
         }
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "accepted_count": self.accepted_count,
+            "rejected_count": self.rejected_count,
+            "skipped_count": self.skipped_count,
+            "last_rejection": self.last_rejection,
+            "last_good": (
+                self.last_good.tolist() if self.last_good is not None else None
+            ),
+            "backoff": self._backoff,
+            "skip_remaining": self._skip_remaining,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown RecalibrationGuard snapshot version {state.get('v')!r}"
+            )
+        self.accepted_count = state["accepted_count"]
+        self.rejected_count = state["rejected_count"]
+        self.skipped_count = state["skipped_count"]
+        self.last_rejection = state["last_rejection"]
+        self.last_good = (
+            np.asarray(state["last_good"], dtype=float)
+            if state["last_good"] is not None
+            else None
+        )
+        self._backoff = state["backoff"]
+        self._skip_remaining = state["skip_remaining"]
+
 
 def _rmse(X: np.ndarray, coef: np.ndarray, y: np.ndarray) -> float:
     residual = X @ coef - y
@@ -275,3 +309,43 @@ class OnlineRecalibrator:
         self.model.update_coefficients(candidate)
         self.recalibration_count += 1
         return self.model.coefficients
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Online sample window, counters, live and guard coefficients.
+
+        The offline calibration matrix is construction-time input (rebuilt
+        identically on replay) and deliberately not captured.
+        """
+        return {
+            "v": 1,
+            "online": [
+                [row.tolist(), watts] for row, watts in self._online
+            ],
+            "recalibration_count": self.recalibration_count,
+            "rejected_sample_count": self.rejected_sample_count,
+            "rolled_back_count": self.rolled_back_count,
+            "model_coefficients": self.model.coefficients.tolist(),
+            "guard": (
+                self.guard.snapshot_state() if self.guard is not None else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown OnlineRecalibrator snapshot version {state.get('v')!r}"
+            )
+        self._online.clear()
+        for row, watts in state["online"]:
+            self._online.append((np.asarray(row, dtype=float), watts))
+        self.recalibration_count = state["recalibration_count"]
+        self.rejected_sample_count = state["rejected_sample_count"]
+        self.rolled_back_count = state["rolled_back_count"]
+        self.model.update_coefficients(
+            np.asarray(state["model_coefficients"], dtype=float)
+        )
+        if self.guard is not None and state["guard"] is not None:
+            self.guard.restore_state(state["guard"])

@@ -96,3 +96,33 @@ class ContainerRegistry:
 
     def __len__(self) -> int:
         return len(self._containers)
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Id counter plus every container's state, keyed by id.
+
+        Containers are never removed from the registry (closing keeps the
+        statistics), so a restore can address each one by id in the
+        replayed registry.
+        """
+        value = next(self._ids)
+        self._ids = itertools.count(value)
+        return {
+            "v": 1,
+            "id_next": value,
+            "containers": {
+                str(cid): container.snapshot_state()
+                for cid, container in sorted(self._containers.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown ContainerRegistry snapshot version {state.get('v')!r}"
+            )
+        self._ids = itertools.count(state["id_next"])
+        for cid_str, container_state in state["containers"].items():
+            self.get(int(cid_str)).restore_state(container_state)

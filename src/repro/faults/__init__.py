@@ -33,6 +33,7 @@ from repro.faults.harness import (
     ChaosReport,
     ChaosWorld,
     ClusterWorld,
+    LiveScenarioRun,
     OverloadWorld,
     Scenario,
     SingleMachineWorld,
@@ -41,6 +42,8 @@ from repro.faults.harness import (
     build_single_world,
     chaos_calibration,
     chaos_workload,
+    finalize_scenario,
+    prepare_scenario,
     run_scenario,
 )
 from repro.faults.scenarios import SCENARIOS, scenario_by_name
@@ -68,6 +71,9 @@ __all__ = [
     "build_single_world",
     "chaos_calibration",
     "chaos_workload",
+    "LiveScenarioRun",
+    "prepare_scenario",
+    "finalize_scenario",
     "run_scenario",
     "SCENARIOS",
     "scenario_by_name",

@@ -493,17 +493,28 @@ def _check_conservation(
     return error
 
 
-def run_scenario(
-    scenario: Scenario, seed: int, duration_scale: float = 1.0, telemetry=None
-) -> ChaosReport:
-    """Run one scenario end to end and audit the invariants.
+@dataclass
+class LiveScenarioRun:
+    """A chaos world that is built, faulted, and started -- but not yet run.
 
-    An optional :class:`~repro.telemetry.Telemetry` handle threads through
-    every component (facilities, dispatcher, overload protector, power-cap
-    enforcer, fault plan); after the run each component's counters are
-    published into its metrics registry.  ``None`` runs bit-identically to
-    the uninstrumented harness.
+    :func:`prepare_scenario` stops just before the clock advances, so the
+    checkpoint runner can schedule auto-checkpoint ticks on
+    ``world.simulator`` first; :func:`finalize_scenario` audits and
+    packages the report exactly as the one-shot path always did.
     """
+
+    scenario: Scenario
+    seed: int
+    duration: float
+    world: ChaosWorld
+    plan: FaultPlan
+    telemetry: object = None
+
+
+def prepare_scenario(
+    scenario: Scenario, seed: int, duration_scale: float = 1.0, telemetry=None
+) -> LiveScenarioRun:
+    """Build the scenario's world, apply its plan, and start arrivals."""
     if duration_scale <= 0:
         raise ValueError("duration scale must be positive")
     duration = scenario.duration * duration_scale
@@ -518,7 +529,16 @@ def run_scenario(
     plan = scenario.build_plan(world, world.hub.stream("chaos-plan"))
     plan.apply(world.simulator, world.targets, telemetry=telemetry)
     world.start()
-    world.simulator.run_until(duration)
+    return LiveScenarioRun(
+        scenario=scenario, seed=seed, duration=duration, world=world,
+        plan=plan, telemetry=telemetry,
+    )
+
+
+def finalize_scenario(live: LiveScenarioRun) -> ChaosReport:
+    """Audit the invariants of a fully-run scenario world."""
+    scenario, seed, duration = live.scenario, live.seed, live.duration
+    world, telemetry = live.world, live.telemetry
 
     report = ChaosReport(scenario=scenario.name, seed=seed, duration=duration)
     violations = report.violations
@@ -576,3 +596,25 @@ def run_scenario(
             if isinstance(world, OverloadWorld):
                 world.enforcer.publish_metrics(telemetry.registry)
     return report
+
+
+def run_scenario(
+    scenario: Scenario, seed: int, duration_scale: float = 1.0, telemetry=None
+) -> ChaosReport:
+    """Run one scenario end to end and audit the invariants.
+
+    An optional :class:`~repro.telemetry.Telemetry` handle threads through
+    every component (facilities, dispatcher, overload protector, power-cap
+    enforcer, fault plan); after the run each component's counters are
+    published into its metrics registry.  ``None`` runs bit-identically to
+    the uninstrumented harness.
+
+    Composed from :func:`prepare_scenario` + :func:`finalize_scenario`
+    with the clock driven in between -- the decomposition the checkpoint
+    runner uses to interleave auto-checkpoint ticks.
+    """
+    live = prepare_scenario(
+        scenario, seed, duration_scale=duration_scale, telemetry=telemetry
+    )
+    live.world.simulator.run_until(live.duration)
+    return finalize_scenario(live)

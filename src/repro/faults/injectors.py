@@ -100,6 +100,53 @@ class MeterFaultInjector:
             "meter_outages": float(self.outages),
         }
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        """RNG state, counters, and the active profile (as plain fields)."""
+        from repro.checkpoint.state import generator_state
+
+        profile = None
+        if self.profile is not None:
+            profile = {
+                name: getattr(self.profile, name)
+                for name in (
+                    "drop_prob", "nan_prob", "negative_prob", "spike_prob",
+                    "stuck_prob", "duplicate_prob", "extra_delay_prob",
+                    "spike_watts", "extra_delay",
+                )
+            }
+        return {
+            "v": 1,
+            "rng": generator_state(self.rng),
+            "profile": profile,
+            "last_watts": self._last_watts,
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "outages": self.outages,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown MeterFaultInjector snapshot version {state.get('v')!r}"
+            )
+        set_generator_state(self.rng, state["rng"])
+        self.profile = (
+            MeterFaultProfile(**state["profile"])
+            if state["profile"] is not None
+            else None
+        )
+        self._last_watts = state["last_watts"]
+        self.dropped = state["dropped"]
+        self.corrupted = state["corrupted"]
+        self.duplicated = state["duplicated"]
+        self.delayed = state["delayed"]
+        self.outages = state["outages"]
+
     # -- the fault hook -------------------------------------------------
     def _filter(self, sample: MeterSample) -> list[MeterSample]:
         profile = self.profile
@@ -195,6 +242,34 @@ class TagFaultInjector:
             "tags_truncated": float(self.truncated_tags),
         }
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        from repro.checkpoint.state import generator_state
+
+        return {
+            "v": 1,
+            "rng": generator_state(self.rng),
+            "loss_prob": self.loss_prob,
+            "truncate_prob": self.truncate_prob,
+            "active": self.active,
+            "lost_tags": self.lost_tags,
+            "truncated_tags": self.truncated_tags,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown TagFaultInjector snapshot version {state.get('v')!r}"
+            )
+        set_generator_state(self.rng, state["rng"])
+        self.loss_prob = state["loss_prob"]
+        self.truncate_prob = state["truncate_prob"]
+        self.active = state["active"]
+        self.lost_tags = state["lost_tags"]
+        self.truncated_tags = state["truncated_tags"]
+
     def _filter(self, message: Message) -> Message:
         if not self.active or message.tag.container_id is None:
             return message
@@ -239,6 +314,17 @@ class MailboxFaultInjector:
         """What this injector did (chaos-report material)."""
         return {"mailbox_freezes": float(self.freezes)}
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"v": 1, "freezes": self.freezes}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown MailboxFaultInjector snapshot version {state.get('v')!r}"
+            )
+        self.freezes = state["freezes"]
+
 
 class ClusterFaultInjector:
     """Crashes and recovers cluster machines on the simulated clock."""
@@ -259,6 +345,17 @@ class ClusterFaultInjector:
     def export_stats(self) -> dict[str, float]:
         """What this injector did (chaos-report material)."""
         return {"machine_crashes": float(self.crashes)}
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"v": 1, "crashes": self.crashes}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown ClusterFaultInjector snapshot version {state.get('v')!r}"
+            )
+        self.crashes = state["crashes"]
 
 
 class ArrivalSurgeInjector:
@@ -290,6 +387,24 @@ class ArrivalSurgeInjector:
         """What this injector did (chaos-report material)."""
         return {"arrival_surges": float(self.surges)}
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "base_rate": self.base_rate,
+            "current_rate": self.dispatcher.request_rate,
+            "surges": self.surges,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown ArrivalSurgeInjector snapshot version {state.get('v')!r}"
+            )
+        self.base_rate = state["base_rate"]
+        self.dispatcher.request_rate = state["current_rate"]
+        self.surges = state["surges"]
+
 
 class PowerCapInjector:
     """Squeezes a cluster power cap (utility brownout, thermal event).
@@ -318,6 +433,24 @@ class PowerCapInjector:
     def export_stats(self) -> dict[str, float]:
         """What this injector did (chaos-report material)."""
         return {"cap_squeezes": float(self.squeezes)}
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "base_cap": self.base_cap,
+            "current_cap": self.enforcer.cap_watts,
+            "squeezes": self.squeezes,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown PowerCapInjector snapshot version {state.get('v')!r}"
+            )
+        self.base_cap = state["base_cap"]
+        self.enforcer.cap_watts = state["current_cap"]
+        self.squeezes = state["squeezes"]
 
 
 def schedule_meter_outage(

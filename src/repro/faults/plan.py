@@ -106,12 +106,77 @@ class FaultTargets:
             stats.update(self.powercap.export_stats())
         return stats
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Every bound injector's state, keyed by site name."""
+        return {
+            "v": 1,
+            "meter": (
+                self.meter.snapshot_state() if self.meter is not None else None
+            ),
+            "tags": {
+                name: injector.snapshot_state()
+                for name, injector in sorted(self.tags.items())
+            },
+            "mailbox": (
+                self.mailbox.snapshot_state()
+                if self.mailbox is not None
+                else None
+            ),
+            "cluster": (
+                self.cluster.snapshot_state()
+                if self.cluster is not None
+                else None
+            ),
+            "meters": {
+                name: injector.snapshot_state()
+                for name, injector in sorted(self.meters.items())
+            },
+            "arrivals": (
+                self.arrivals.snapshot_state()
+                if self.arrivals is not None
+                else None
+            ),
+            "powercap": (
+                self.powercap.snapshot_state()
+                if self.powercap is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown FaultTargets snapshot version {state.get('v')!r}"
+            )
+        if state["meter"] is not None:
+            self.meter.restore_state(state["meter"])
+        for name, injector_state in state["tags"].items():
+            self.tags[name].restore_state(injector_state)
+        if state["mailbox"] is not None:
+            self.mailbox.restore_state(state["mailbox"])
+        if state["cluster"] is not None:
+            self.cluster.restore_state(state["cluster"])
+        for name, injector_state in state["meters"].items():
+            self.meters[name].restore_state(injector_state)
+        if state["arrivals"] is not None:
+            self.arrivals.restore_state(state["arrivals"])
+        if state["powercap"] is not None:
+            self.powercap.restore_state(state["powercap"])
+
 
 class FaultPlan:
     """An ordered, composable schedule of fault events."""
 
-    def __init__(self, events: Optional[list[FaultEvent]] = None) -> None:
+    def __init__(
+        self,
+        events: Optional[list[FaultEvent]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         self.events: list[FaultEvent] = list(events) if events else []
+        #: The generator :meth:`random` drew from, kept so the plan's RNG
+        #: cursor can be checkpointed and restored (:meth:`getstate`).
+        self.rng = rng
 
     # -- composition ----------------------------------------------------
     def add(self, event: FaultEvent) -> "FaultPlan":
@@ -229,7 +294,7 @@ class FaultPlan:
         demonstrate recovery.  Which fault kinds are eligible follows from
         the targets provided (no machines -> no crash windows, etc.).
         """
-        plan = cls()
+        plan = cls(rng=rng)
         kinds = ["outage", "noise"]
         if endpoints:
             kinds.append("tags")
@@ -270,6 +335,71 @@ class FaultPlan:
                 machine = machines[int(rng.integers(0, len(machines)))]
                 plan.machine_crash(machine, at, span)
         return plan
+
+    # -- checkpoint protocol --------------------------------------------
+    _PROFILE_FIELDS = (
+        "drop_prob", "nan_prob", "negative_prob", "spike_prob",
+        "stuck_prob", "duplicate_prob", "extra_delay_prob",
+        "spike_watts", "extra_delay",
+    )
+
+    def getstate(self) -> dict:
+        """The plan as plain data: events plus its RNG cursor.
+
+        :class:`MeterFaultProfile` params are flattened to field dicts so
+        the snapshot stays pickle-stable; :meth:`setstate` rebuilds them.
+        """
+        from repro.checkpoint.state import generator_state
+
+        def render(value: object) -> object:
+            if isinstance(value, MeterFaultProfile):
+                return [
+                    "__profile__",
+                    {f: getattr(value, f) for f in self._PROFILE_FIELDS},
+                ]
+            return value
+
+        return {
+            "v": 1,
+            "rng": generator_state(self.rng) if self.rng is not None else None,
+            "events": [
+                [e.at, e.site, e.action,
+                 [[key, render(value)] for key, value in e.params]]
+                for e in self.events
+            ],
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore events and the RNG cursor captured by :meth:`getstate`."""
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown FaultPlan snapshot version {state.get('v')!r}"
+            )
+        if state["rng"] is not None:
+            if self.rng is None:
+                raise ValueError(
+                    "snapshot carries RNG state but this plan has no bound rng"
+                )
+            set_generator_state(self.rng, state["rng"])
+
+        def revive(value: object) -> object:
+            if (
+                isinstance(value, list)
+                and len(value) == 2
+                and value[0] == "__profile__"
+            ):
+                return MeterFaultProfile(**value[1])
+            return value
+
+        self.events = [
+            FaultEvent(
+                at, site, action,
+                tuple((key, revive(value)) for key, value in params),
+            )
+            for at, site, action, params in state["events"]
+        ]
 
     # -- execution ------------------------------------------------------
     def apply(

@@ -220,6 +220,42 @@ class Core:
         counters without advancing task progress -- the observer effect."""
         self.counters.accumulate(events)
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Duty/activity state plus counter bank and mailbox.
+
+        ``active_profile`` and ``current_owner`` are live objects owned by
+        the kernel's replayed processes; they are captured as names/pids
+        for verification and left to replay on restore.  The memoized
+        watts cache is derived state and deliberately not captured.
+        """
+        return {
+            "v": 1,
+            "duty_level": self._duty_level,
+            "work_fraction": self.current_work_fraction,
+            "profile": (
+                self.active_profile.name
+                if self.active_profile is not None else None
+            ),
+            "owner_pid": getattr(self.current_owner, "pid", None),
+            "counters": self.counters.snapshot_state(),
+            "mailbox": self.mailbox.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(f"unknown Core snapshot version {state.get('v')!r}")
+        self._duty_level = state["duty_level"]
+        self.current_work_fraction = state["work_fraction"]
+        self._effective_hz = (
+            self.freq_hz * self.duty_ratio * self.chip.freq_scale
+        )
+        self._cached_active_watts = None
+        self.counters.restore_state(state["counters"])
+        self.mailbox.restore_state(state["mailbox"])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = self.active_profile.name if self.active_profile else "idle"
         return (

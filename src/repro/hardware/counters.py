@@ -88,6 +88,33 @@ class CounterBank:
         """True when the threshold has been reached since the last ack."""
         return self.cycles_until_overflow() <= tol_cycles
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        totals = self.totals
+        return {
+            "v": 1,
+            "totals": [
+                totals.nonhalt_cycles, totals.instructions, totals.flops,
+                totals.cache_refs, totals.mem_trans, totals.disk_bytes,
+                totals.net_bytes,
+            ],
+            "wrap": self.wrap,
+            "overflow_threshold_cycles": self.overflow_threshold_cycles,
+            "cycles_at_last_overflow": self._cycles_at_last_overflow,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown CounterBank snapshot version {state.get('v')!r}"
+            )
+        self.totals = EventVector(*state["totals"])
+        self.wrap = state["wrap"]
+        self.overflow_threshold_cycles = state["overflow_threshold_cycles"]
+        self._cycles_at_last_overflow = state["cycles_at_last_overflow"]
+
 
 def wrapped_delta(later: EventVector, earlier: EventVector) -> EventVector:
     """Delta between two counter snapshots, correcting 48-bit wraparound.
@@ -165,3 +192,24 @@ class SampleMailbox:
     def peek(self) -> UtilizationSample:
         """Read the latest posted sample (possibly stale)."""
         return self._latest
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "time": self._latest.time,
+            "mcore": self._latest.mcore,
+            "frozen": self.frozen,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown SampleMailbox snapshot version {state.get('v')!r}"
+            )
+        self._latest = UtilizationSample(
+            time=state["time"], mcore=state["mcore"]
+        )
+        self.frozen = state["frozen"]

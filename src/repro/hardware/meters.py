@@ -144,6 +144,51 @@ class _PeriodicMeter:
             return 0.0
         return float(np.mean(selected))
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Sample history, interval bookkeeping, and noise-RNG position.
+
+        The fault hook is a live callable owned by the fault harness; its
+        presence is captured as a boolean for verification only and the
+        replayed hook is kept on restore.
+        """
+        from repro.checkpoint.state import generator_state
+
+        return {
+            "v": 1,
+            "samples": [
+                [s.interval_end, s.available_at, s.watts]
+                for s in self._samples
+            ],
+            "last_energy": self._last_energy,
+            "running": self._running,
+            "start_count": self.start_count,
+            "noise_std_watts": self.noise_std_watts,
+            "has_fault_hook": self.fault_hook is not None,
+            "rng": generator_state(self._rng),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown meter snapshot version {state.get('v')!r}"
+            )
+        self._samples = [
+            MeterSample(
+                interval_end=entry[0], available_at=entry[1], watts=entry[2]
+            )
+            for entry in state["samples"]
+        ]
+        self._last_energy = state["last_energy"]
+        self._running = state["running"]
+        self.start_count = state["start_count"]
+        self.noise_std_watts = state["noise_std_watts"]
+        set_generator_state(self._rng, state["rng"])
+
 
 class PackageMeter(_PeriodicMeter):
     """On-chip (RAPL-like) meter over all processor packages.

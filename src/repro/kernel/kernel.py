@@ -736,3 +736,67 @@ class Kernel:
         child.state = ProcessState.DEAD
         if child.parent is not None and child in child.parent.children:
             child.parent.children.remove(child)
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Pid counter plus a plain rendering of the live process world.
+
+        Processes hold running generator frames, which cannot be captured;
+        the process table, run queues, and in-progress slices are rendered
+        as plain data for restore-time *verification* against the replayed
+        world, and the replayed objects are kept.  Only the pid counter is
+        imposed on restore.
+        """
+        pid_value = next(self._pids)
+        self._pids = itertools.count(pid_value)
+        processes = {
+            str(pid): [
+                proc.name,
+                proc.container_id,
+                proc.pinned_core,
+                proc.state.name,
+                proc.compute_remaining,
+                proc.cpu_seconds,
+                proc.core_index,
+            ]
+            for pid, proc in sorted(self.processes.items())
+        }
+        slices = {
+            str(core_index): [
+                rec.process.pid,
+                rec.start_time,
+                rec.planned_cycles,
+                rec.quantum_deadline,
+                rec.work_fraction,
+            ]
+            for core_index, rec in sorted(self._slices.items())
+        }
+        sched = self.scheduler
+        return {
+            "v": 1,
+            "pid_next": pid_value,
+            "quantum": self.quantum,
+            "processes": processes,
+            "slices": slices,
+            "wait_for_child": {
+                str(child_pid): waiter.pid
+                for child_pid, waiter in sorted(self._wait_for_child.items())
+            },
+            "occupied": sorted(sched.occupied),
+            "global_queue": [p.pid for p in sched.global_queue],
+            "pinned_queues": {
+                str(core_index): [p.pid for p in queue]
+                for core_index, queue in sorted(sched.pinned_queues.items())
+                if queue
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown Kernel snapshot version {state.get('v')!r}"
+            )
+        self._pids = itertools.count(state["pid_next"])
+        self.quantum = state["quantum"]

@@ -80,6 +80,17 @@ class SimpleLoadBalancePolicy(DispatchPolicy):
                 return machine
         raise NoAvailableMachine("every cluster machine is down or excluded")
 
+    # -- checkpoint protocol -------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"v": 1, "next": self._next}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown policy snapshot version {state.get('v')!r}"
+            )
+        self._next = state["next"]
+
 
 class MachineHeterogeneityAwarePolicy(DispatchPolicy):
     """Fill the preferred (efficient) machine to ~70% before spilling."""
@@ -641,3 +652,83 @@ class Dispatcher:
     def completed(self) -> int:
         """Requests completed so far."""
         return len(self.results)
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Counters, health windows, profiles, and request bookkeeping.
+
+        Completed results and in-flight entries reference live container,
+        machine, and ticket objects; they are rendered as plain data for
+        restore-time verification, and the (verified-equal) replayed
+        objects are kept.  Numeric state -- counters, EWMA table, health
+        windows, the profile table, and the policy cursor -- is imposed.
+        """
+        from repro.checkpoint.state import generator_state
+
+        policy_state = None
+        snapshot = getattr(self.policy, "snapshot_state", None)
+        if snapshot is not None:
+            policy_state = snapshot()
+        return {
+            "v": 1,
+            "next_request_id": self._next_request_id,
+            "deadline": self._deadline,
+            "dispatch_failures": self.dispatch_failures,
+            "retries": self.retries,
+            "dropped_requests": self.dropped_requests,
+            "failed_over": self.failed_over,
+            "late_replies": self.late_replies,
+            "dispatched_to": dict(sorted(self.dispatched_to.items())),
+            "util_ewma": dict(sorted(self._util_ewma.items())),
+            "health": {
+                name: [h.consecutive_failures, h.excluded_until]
+                for name, h in sorted(self._health.items())
+            },
+            "rng": generator_state(self.rng),
+            "profiles": self.profiles.snapshot_state(),
+            "policy": policy_state,
+            "results": [
+                [r.request_id, r.rtype, r.arrival, r.completion,
+                 r.container.id, r.machine_name, r.workload_name]
+                for r in self.results
+            ],
+            "inflight": {
+                str(request_id): [
+                    entry[0].name,  # workload
+                    entry[1].rtype,
+                    entry[2],  # arrival time
+                    entry[3].id,  # container
+                    entry[4].name,  # member
+                    entry[5].arrival_id if entry[5] is not None else None,
+                ]
+                for request_id, entry in sorted(self.inflight.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown Dispatcher snapshot version {state.get('v')!r}"
+            )
+        self._next_request_id = state["next_request_id"]
+        self._deadline = state["deadline"]
+        self.dispatch_failures = state["dispatch_failures"]
+        self.retries = state["retries"]
+        self.dropped_requests = state["dropped_requests"]
+        self.failed_over = state["failed_over"]
+        self.late_replies = state["late_replies"]
+        self.dispatched_to = dict(state["dispatched_to"])
+        self._util_ewma = dict(state["util_ewma"])
+        for name, (failures, excluded_until) in state["health"].items():
+            health = self._health.setdefault(name, _MachineDispatchHealth())
+            health.consecutive_failures = failures
+            health.excluded_until = excluded_until
+        set_generator_state(self.rng, state["rng"])
+        self.profiles.restore_state(state["profiles"])
+        restore = getattr(self.policy, "restore_state", None)
+        if restore is not None and state["policy"] is not None:
+            restore(state["policy"])

@@ -90,6 +90,28 @@ class TokenBucket:
         self.denied += 1
         return False
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "tokens": self.tokens,
+            "last_refill": self._last_refill,
+            "accepted": self.accepted,
+            "denied": self.denied,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown TokenBucket snapshot version {state.get('v')!r}"
+            )
+        self.tokens = state["tokens"]
+        self._last_refill = state["last_refill"]
+        self.accepted = state["accepted"]
+        self.denied = state["denied"]
+
 
 class CircuitBreaker:
     """Closed -> open -> half-open breaker guarding one machine.
@@ -165,6 +187,32 @@ class CircuitBreaker:
     def state_code(self) -> float:
         """Numeric state for stats export (0 closed, 1 half-open, 2 open)."""
         return _BREAKER_STATE_CODES[self.state]
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opened_at": self._opened_at,
+            "probes_used": self._probes_used,
+            "opened_count": self.opened_count,
+            "closed_count": self.closed_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown CircuitBreaker snapshot version {state.get('v')!r}"
+            )
+        self.state = state["state"]
+        self._consecutive_failures = state["consecutive_failures"]
+        self._opened_at = state["opened_at"]
+        self._probes_used = state["probes_used"]
+        self.opened_count = state["opened_count"]
+        self.closed_count = state["closed_count"]
 
 
 @dataclass(frozen=True)
@@ -614,3 +662,88 @@ class OverloadProtector:
         for key, value in self.health_stats().items():
             name = key if key.startswith("overload_") else f"overload_{key}"
             registry.gauge(name).set(value)
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Counters, shed log, and per-machine admission state.
+
+        Queued entries reference live workload/ticket objects, so queues
+        are rendered as arrival-id lists for verification; the replayed
+        queue objects are kept on restore and only numeric state (buckets,
+        breakers, counters, the shed log) is imposed.
+        """
+        from repro.checkpoint.state import generator_state
+
+        return {
+            "v": 1,
+            "brownout_level": self.brownout_level,
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "injections": self.injections,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "queued_total": self.queued_total,
+            "retry_pending": self.retry_pending,
+            "deadline_sheds": self.deadline_sheds,
+            "priority_rng": (
+                generator_state(self.priority_rng)
+                if self.priority_rng is not None
+                else None
+            ),
+            "shed_log": [
+                [r.arrival_id, r.rtype, r.priority, r.outcome, r.reason,
+                 r.machine, r.at, r.injections]
+                for r in self.shed_log
+            ],
+            "machines": {
+                name: {
+                    "bucket": machine.bucket.snapshot_state(),
+                    "breaker": machine.breaker.snapshot_state(),
+                    "inflight": machine.inflight,
+                    "queue_peak": machine.queue_peak,
+                    "evictions": machine.evictions,
+                    "queue": [
+                        entry.ticket.arrival_id for entry in machine.queue
+                    ],
+                }
+                for name, machine in sorted(self.machines.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown OverloadProtector snapshot version {state.get('v')!r}"
+            )
+        self.brownout_level = state["brownout_level"]
+        self.arrivals = state["arrivals"]
+        self.admitted = state["admitted"]
+        self.injections = state["injections"]
+        self.completed = state["completed"]
+        self.shed = state["shed"]
+        self.rejected = state["rejected"]
+        self.queued_total = state["queued_total"]
+        self.retry_pending = state["retry_pending"]
+        self.deadline_sheds = state["deadline_sheds"]
+        if self.priority_rng is not None and state["priority_rng"] is not None:
+            set_generator_state(self.priority_rng, state["priority_rng"])
+        self.shed_log = [
+            ShedResult(
+                arrival_id=entry[0], rtype=entry[1], priority=entry[2],
+                outcome=entry[3], reason=entry[4], machine=entry[5],
+                at=entry[6], injections=entry[7],
+            )
+            for entry in state["shed_log"]
+        ]
+        for name, machine_state in state["machines"].items():
+            machine = self.machines[name]
+            machine.bucket.restore_state(machine_state["bucket"])
+            machine.breaker.restore_state(machine_state["breaker"])
+            machine.inflight = machine_state["inflight"]
+            machine.queue_peak = machine_state["queue_peak"]
+            machine.evictions = machine_state["evictions"]

@@ -223,11 +223,11 @@ class Simulator:
         self._running = True
         # Inlined peek_time + step: one cancelled-head sweep per event
         # instead of two, and no per-event method dispatch.  Semantics are
-        # identical; ``self._queue`` is re-read every iteration because a
-        # callback-triggered sweep rebinds it.
+        # identical; ``self._queue`` and ``self._seq`` are re-read every
+        # iteration because a callback-triggered sweep rebinds the queue and
+        # a callback-triggered ``snapshot_state`` rebinds the seq counter.
         heappop = heapq.heappop
         heappush = heapq.heappush
-        seq = self._seq
         try:
             while True:
                 queue = self._queue
@@ -245,7 +245,7 @@ class Simulator:
                     self.current_event = None
                 if event.period is not None and not event.cancelled:
                     event.time = self._now + event.period
-                    heappush(self._queue, (event.time, next(seq), event))
+                    heappush(self._queue, (event.time, next(self._seq), event))
         finally:
             self._running = False
         self._now = time
@@ -287,3 +287,52 @@ class Simulator:
             heapq.heapify(live)
             self._queue = live
         self._sweep_threshold = max(_SWEEP_MIN_SIZE, 2 * len(self._queue))
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Clock, counters, and a queue signature as plain data.
+
+        Callbacks are live closures and cannot be serialized; the queue is
+        captured as a verification signature -- ``(time, seq, label,
+        cancelled, period)`` per entry in sorted heap order -- so a replayed
+        run can prove its event schedule matches the checkpointed one
+        bit-for-bit.  ``label`` falls back to the callback's qualified name
+        (stable across processes, unlike its ``repr``).
+        """
+        value = next(self._seq)
+        self._seq = itertools.count(value)
+        signature = sorted(
+            (
+                time,
+                seq,
+                event.label
+                or getattr(event.callback, "__qualname__", "?"),
+                event.cancelled,
+                event.period,
+            )
+            for time, seq, event in self._queue
+        )
+        return {
+            "v": 1,
+            "now": self._now,
+            "seq_next": value,
+            "event_count": self._event_count,
+            "sweep_threshold": self._sweep_threshold,
+            "queue": [list(entry) for entry in signature],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore clock and counters in place (queue stays as replayed).
+
+        The queue holds live callback closures, so it is reconstructed by
+        deterministic replay and verified against the snapshot's signature;
+        everything scalar is imposed from the checkpoint.
+        """
+        if state.get("v") != 1:
+            raise ValueError(f"unknown Simulator snapshot version {state.get('v')!r}")
+        self._now = state["now"]
+        self._seq = itertools.count(state["seq_next"])
+        self._event_count = state["event_count"]
+        self._sweep_threshold = state["sweep_threshold"]

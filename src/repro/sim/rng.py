@@ -38,3 +38,29 @@ class RngHub:
         """Derive a child hub whose streams are independent of this hub's."""
         digest = hashlib.sha256(f"{self._seed}:fork:{name}".encode()).digest()
         return RngHub(int.from_bytes(digest[:8], "little"))
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Root seed plus every materialized stream's bit-generator state."""
+        from repro.checkpoint.state import generator_state
+
+        return {
+            "v": 1,
+            "seed": self._seed,
+            "streams": {
+                name: generator_state(self._streams[name])
+                for name in sorted(self._streams)
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-seed every named stream to its captured position."""
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(f"unknown RngHub snapshot version {state.get('v')!r}")
+        self._seed = state["seed"]
+        for name, gen_state in state["streams"].items():
+            set_generator_state(self.stream(name), gen_state)

@@ -163,6 +163,54 @@ class MetricsRegistry:
         return len(self._metrics)
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Every metric's kind, help, and current value(s)."""
+        metrics: dict[str, list] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                metrics[name] = ["counter", metric.help, metric.value]
+            elif isinstance(metric, Gauge):
+                metrics[name] = ["gauge", metric.help, metric.value]
+            else:
+                metrics[name] = [
+                    "histogram",
+                    metric.help,
+                    list(metric.edges),
+                    list(metric.bucket_counts),
+                    metric.count,
+                    metric.sum,
+                ]
+        return {"v": 1, "metrics": metrics}
+
+    def restore_state(self, state: dict) -> None:
+        """Recreate every snapshotted metric; registry is rebuilt whole."""
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown MetricsRegistry snapshot version {state.get('v')!r}"
+            )
+        self._metrics = {}
+        for name, entry in state["metrics"].items():
+            kind = entry[0]
+            if kind == "counter":
+                metric = self.counter(name, help=entry[1])
+                metric.value = entry[2]
+            elif kind == "gauge":
+                metric = self.gauge(name, help=entry[1])
+                metric.value = entry[2]
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, tuple(entry[2]), help=entry[1]
+                )
+                metric.bucket_counts = list(entry[3])
+                metric.count = entry[4]
+                metric.sum = entry[5]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, float]:

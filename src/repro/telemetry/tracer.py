@@ -260,6 +260,57 @@ class RequestTracer:
         """:meth:`to_chrome_trace` serialized to a JSON string."""
         return json.dumps(self.to_chrome_trace(), indent=indent, sort_keys=True)
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Ring buffer, drop count, and per-track open-span stacks."""
+        return {
+            "v": 1,
+            "capacity": self.capacity,
+            "dropped_events": self.dropped_events,
+            "events": [
+                [e.kind, e.now, e.track, e.name,
+                 [[k, v] for k, v in e.args]]
+                for e in self.events
+            ],
+            "open": {
+                track: [[s.name, s.now, [[k, v] for k, v in s.args]]
+                        for s in stack]
+                for track, stack in sorted(self._open.items())
+                if stack
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown RequestTracer snapshot version {state.get('v')!r}"
+            )
+        if state["capacity"] != self.capacity:
+            raise ValueError(
+                f"tracer capacity mismatch: snapshot {state['capacity']}, "
+                f"live {self.capacity}"
+            )
+        self.dropped_events = state["dropped_events"]
+        self.events = deque(
+            (
+                TraceSpanEvent(
+                    kind, now, track, name,
+                    tuple((k, v) for k, v in args),
+                )
+                for kind, now, track, name, args in state["events"]
+            ),
+            maxlen=self.capacity,
+        )
+        self._open = {
+            track: [
+                _OpenSpan(name, now, tuple((k, v) for k, v in args))
+                for name, now, args in stack
+            ]
+            for track, stack in state["open"].items()
+        }
+
     def timeline(self, limit: Optional[int] = None) -> str:
         """A human-readable timeline (one line per event, sim-time order).
 
@@ -318,3 +369,23 @@ class Telemetry:
     def trace_fingerprint(self) -> str:
         """Digest of the recorded trace (:meth:`RequestTracer.trace_fingerprint`)."""
         return self.tracer.trace_fingerprint()
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "enabled": self.enabled,
+            "tracer": self.tracer.snapshot_state(),
+            "registry": self.registry.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown Telemetry snapshot version {state.get('v')!r}"
+            )
+        self.enabled = state["enabled"]
+        self.tracer.restore_state(state["tracer"])
+        self.registry.restore_state(state["registry"])

@@ -8,11 +8,13 @@ for the GAE workloads -- untracked background processing and power viruses.
 
 from repro.workloads.base import (
     ClosedLoopDriver,
+    LiveWorkloadRun,
     OpenLoopDriver,
     RequestResult,
     RequestSpec,
     Workload,
     WorkloadRun,
+    prepare_workload,
     run_workload,
 )
 from repro.workloads.rsa import RsaCryptoWorkload
@@ -37,6 +39,8 @@ __all__ = [
     "RequestSpec",
     "Workload",
     "WorkloadRun",
+    "LiveWorkloadRun",
+    "prepare_workload",
     "run_workload",
     "RsaCryptoWorkload",
     "SolrWorkload",

@@ -28,6 +28,8 @@ __all__ = [
     "OpenLoopDriver",
     "ClosedLoopDriver",
     "WorkloadRun",
+    "LiveWorkloadRun",
+    "prepare_workload",
     "run_workload",
 ]
 
@@ -201,6 +203,48 @@ class OpenLoopDriver:
             return 0.0
         return (finished_late + inflight_late) / total
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Counters, deadline, RNG cursor; requests rendered for verification.
+
+        Completed results and in-flight entries hold live container
+        references, so they are captured as plain renders and verified on
+        restore; the replayed objects are kept.
+        """
+        from repro.checkpoint.state import generator_state
+
+        return {
+            "v": 1,
+            "rate": self.rate,
+            "next_request_id": self._next_request_id,
+            "deadline": self._deadline,
+            "rng": generator_state(self.rng),
+            "results": [
+                [r.request_id, r.rtype, r.arrival, r.completion,
+                 r.container.id]
+                for r in self.results
+            ],
+            "inflight": {
+                str(request_id): [spec.rtype, arrival, container.id]
+                for request_id, (spec, arrival, container)
+                in sorted(self.inflight.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown OpenLoopDriver snapshot version {state.get('v')!r}"
+            )
+        self.rate = state["rate"]
+        self._next_request_id = state["next_request_id"]
+        self._deadline = state["deadline"]
+        set_generator_state(self.rng, state["rng"])
+
 
 class ClosedLoopDriver:
     """A fixed population of synchronous clients with think time.
@@ -356,7 +400,77 @@ def meter_setup_for(spec, calibration, machine, simulator) -> dict[str, Any]:
     )
 
 
-def run_workload(
+@dataclass
+class LiveWorkloadRun:
+    """A fully built workload world whose clock has not finished running.
+
+    :func:`prepare_workload` constructs everything -- machine, kernel,
+    facility, server, driver -- and starts the arrival process, but does
+    not advance the simulated clock.  Callers that just want the result
+    call :meth:`finish`; the checkpoint runner instead schedules its
+    auto-checkpoint ticks on :attr:`simulator` first, so snapshots land at
+    deterministic safe-points while :meth:`finish` drives the same phases
+    the one-shot path always ran.
+    """
+
+    workload: Workload
+    machine: Any
+    kernel: Kernel
+    facility: PowerContainerFacility
+    driver: OpenLoopDriver
+    simulator: Any
+    hub: Any
+    duration: float
+    warmup: float
+    _start_energy: Optional[float] = None
+
+    @property
+    def measure_started(self) -> bool:
+        """Whether the warmup boundary checkpoint has been taken."""
+        return self._start_energy is not None
+
+    def finish(self) -> WorkloadRun:
+        """Drive the clock to the end and package the measurement.
+
+        Phase-for-phase identical to the historical ``run_workload`` body:
+        run to warmup, checkpoint the machine and latch the active-energy
+        baseline, run to the duration, flush, checkpoint again.  Phases
+        already completed (a resumed world rejoining mid-run) are skipped.
+        """
+        if self.simulator.now < self.warmup:
+            self.simulator.run_until(self.warmup)
+        if self._start_energy is None:
+            self.machine.checkpoint()
+            self._start_energy = self.machine.integrator.active_joules
+        self.simulator.run_until(self.duration)
+        self.facility.flush()
+        self.machine.checkpoint()
+        measured = self.machine.integrator.active_joules - self._start_energy
+        return WorkloadRun(
+            workload=self.workload,
+            machine=self.machine,
+            kernel=self.kernel,
+            facility=self.facility,
+            driver=self.driver,
+            duration=self.duration,
+            measure_start=self.warmup,
+            measured_active_joules=measured,
+        )
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        """The run's own phase marker: the latched energy baseline."""
+        return {"v": 1, "start_energy": self._start_energy}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown LiveWorkloadRun snapshot version {state.get('v')!r}"
+            )
+        self._start_energy = state["start_energy"]
+
+
+def prepare_workload(
     workload: Workload,
     spec,
     calibration,
@@ -368,13 +482,12 @@ def run_workload(
     conditioner_factory=None,
     background_factory=None,
     with_meter: bool = True,
-) -> WorkloadRun:
-    """Run one workload at one load level on one machine model.
+) -> LiveWorkloadRun:
+    """Build the workload world and start arrivals, without running it.
 
-    ``spec`` is a :class:`~repro.hardware.specs.MachineSpec`;
-    ``calibration`` its :class:`~repro.core.calibration.CalibrationResult`.
-    The measurement window excludes ``warmup`` seconds at the start.
-    ``with_meter`` wires the machine's meter for online recalibration.
+    Everything :func:`run_workload` did before touching the clock: build
+    the machine/kernel/facility, wire the meter, start tracing, spawn the
+    server, and start the open-loop driver for ``duration`` seconds.
     """
     from repro.hardware.specs import build_machine
     from repro.sim.engine import Simulator
@@ -402,22 +515,50 @@ def run_workload(
         load_fraction=load_fraction, rng=hub.stream("arrivals"),
     )
     driver.start(duration)
-
-    sim.run_until(warmup)
-    machine.checkpoint()
-    start_energy = machine.integrator.active_joules
-    sim.run_until(duration)
-    facility.flush()
-    machine.checkpoint()
-    measured = machine.integrator.active_joules - start_energy
-
-    return WorkloadRun(
+    return LiveWorkloadRun(
         workload=workload,
         machine=machine,
         kernel=kernel,
         facility=facility,
         driver=driver,
+        simulator=sim,
+        hub=hub,
         duration=duration,
-        measure_start=warmup,
-        measured_active_joules=measured,
+        warmup=warmup,
     )
+
+
+def run_workload(
+    workload: Workload,
+    spec,
+    calibration,
+    load_fraction: float,
+    duration: float = 8.0,
+    warmup: float = 1.0,
+    seed: int = 0,
+    facility_kwargs: Optional[dict[str, Any]] = None,
+    conditioner_factory=None,
+    background_factory=None,
+    with_meter: bool = True,
+) -> WorkloadRun:
+    """Run one workload at one load level on one machine model.
+
+    ``spec`` is a :class:`~repro.hardware.specs.MachineSpec`;
+    ``calibration`` its :class:`~repro.core.calibration.CalibrationResult`.
+    The measurement window excludes ``warmup`` seconds at the start.
+    ``with_meter`` wires the machine's meter for online recalibration.
+    """
+    live = prepare_workload(
+        workload,
+        spec,
+        calibration,
+        load_fraction,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        facility_kwargs=facility_kwargs,
+        conditioner_factory=conditioner_factory,
+        background_factory=background_factory,
+        with_meter=with_meter,
+    )
+    return live.finish()

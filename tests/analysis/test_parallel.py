@@ -70,6 +70,32 @@ def test_task_exceptions_propagate():
         parallel_map(_boom, range(4), jobs=1)
 
 
+def _die_in_worker(x):
+    """SIGKILL-grade death inside a pool worker; a no-op in the parent."""
+    if os.getpid() != int(os.environ["REPRO_TEST_PARENT_PID"]):
+        os._exit(1)
+    return x * 10
+
+
+def test_crashed_worker_shard_retried_once(monkeypatch):
+    from repro.analysis import parallel as parallel_module
+    from repro.telemetry.metrics import MetricsRegistry
+
+    monkeypatch.setenv("REPRO_TEST_PARENT_PID", str(os.getpid()))
+    before = parallel_module.worker_retries_total()
+    results = parallel_map(_die_in_worker, range(6), jobs=2)
+    # Every shard's worker died, every shard was retried in the parent,
+    # and the results are exactly what a serial run produces.
+    assert results == [x * 10 for x in range(6)]
+    retried = parallel_module.worker_retries_total() - before
+    assert retried >= 1
+
+    registry = MetricsRegistry()
+    parallel_module.publish_metrics(registry)
+    metric = registry.get("parallel_worker_retries_total")
+    assert metric.value == float(parallel_module.worker_retries_total())
+
+
 def test_parallel_starmap_unpacks_tuples():
     assert parallel_starmap(_add, [(1, 2), (3, 4)], jobs=2) == [3, 7]
 

@@ -1,0 +1,23 @@
+"""Shared fixtures for checkpoint/restore tests."""
+
+import pytest
+
+from repro.core import calibrate_machine
+from repro.hardware import SANDYBRIDGE
+
+
+@pytest.fixture(scope="session")
+def sb_cal():
+    """Session-cached SandyBridge calibration."""
+    return calibrate_machine(SANDYBRIDGE, duration=0.2)
+
+
+@pytest.fixture
+def quick_config():
+    """A short checkpointed Solr config crossing two safe-points."""
+    from repro.checkpoint import RunConfig
+
+    return RunConfig(
+        kind="solr", seed=7, duration=0.5, warmup=0.1, load_fraction=0.6,
+        cal_duration=0.05, checkpoint_period=0.2,
+    )

@@ -1,0 +1,85 @@
+"""Chaos crash test: SIGKILL a live run, resume it, demand bit-identity.
+
+The harness runs ``python -m repro run-ckpt`` in a subprocess whose
+``on_checkpoint`` hook SIGKILLs the process the instant a checkpoint is
+durably on disk -- the most hostile crash there is (no atexit, no flush,
+no warning).  ``python -m repro resume`` must then converge to the same
+final fingerprints as an uninterrupted run of the same config.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+FINGERPRINT_KEYS = ("report", "trace", "shed", "batch")
+
+
+def _run_cli(*args):
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args], cwd=ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _json_tail(proc):
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("case_args, kill_after", [
+    (("--kind", "solr", "--duration", "0.6", "--warmup", "0.1",
+      "--period", "0.2"), 1),
+    (("--kind", "chaos", "--scenario", "meter-nan-burst",
+      "--duration-scale", "0.5", "--period", "0.3"), 1),
+])
+def test_sigkilled_run_resumes_to_identical_fingerprints(tmp_path, case_args,
+                                                         kill_after):
+    clean = _run_cli("run-ckpt", *case_args)
+    assert clean.returncode == 0, clean.stdout
+    expected = _json_tail(clean)
+
+    directory = str(tmp_path / "ckpt")
+    crashed = _run_cli(
+        "run-ckpt", *case_args, "--dir", directory,
+        "--kill-after-checkpoint", str(kill_after),
+    )
+    assert crashed.returncode == -signal.SIGKILL
+    assert os.listdir(directory), "no checkpoint survived the kill"
+
+    resumed_proc = _run_cli("resume", "--dir", directory)
+    assert resumed_proc.returncode == 0, resumed_proc.stdout
+    resumed = _json_tail(resumed_proc)
+    assert resumed["resumed"] is True
+    for key in FINGERPRINT_KEYS:
+        assert resumed[key] == expected[key], key
+
+
+@pytest.mark.slow
+def test_resume_rejects_corrupted_checkpoint(tmp_path):
+    directory = str(tmp_path / "ckpt")
+    crashed = _run_cli(
+        "run-ckpt", "--kind", "solr", "--duration", "0.6", "--warmup", "0.1",
+        "--period", "0.2", "--dir", directory,
+        "--kill-after-checkpoint", "1",
+    )
+    assert crashed.returncode == -signal.SIGKILL
+    name = sorted(os.listdir(directory))[-1]
+    path = os.path.join(directory, name)
+    raw = bytearray(open(path, "rb").read())
+    raw[len(raw) // 2] ^= 0xFF
+    open(path, "wb").write(bytes(raw))
+
+    proc = _run_cli("resume", "--dir", directory)
+    assert proc.returncode != 0
+    assert "digest mismatch" in proc.stdout

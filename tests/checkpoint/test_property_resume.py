@@ -1,0 +1,43 @@
+"""Property: resume identity holds for arbitrary seeds and snapshot epochs.
+
+For any workload seed and any safe-point placement, snapshotting, restoring
+in a fresh world, and running to the end must equal the uninterrupted run
+on all four fingerprints (report, trace, shed, batch).  Each example costs
+two full short runs, so the example budget is small; the fixed-parameter
+paths are covered densely by ``test_runner.py`` and the CI restore lane.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import RunConfig, resume_checkpointed, run_checkpointed
+
+_DURATION = 0.4
+
+FINGERPRINT_KEYS = ("report", "trace", "shed", "batch", "n_requests")
+
+
+@settings(
+    max_examples=5, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=9999),
+    epoch_fraction=st.floats(min_value=0.15, max_value=0.85),
+)
+def test_resume_identity_for_random_seed_and_epoch(tmp_path_factory, seed,
+                                                   epoch_fraction):
+    # The period lands the final safe-point at an arbitrary fraction of
+    # the run (small fractions yield several ticks; resume always starts
+    # from the newest).
+    config = RunConfig(
+        kind="solr", seed=seed, duration=_DURATION, warmup=0.1,
+        cal_duration=0.05,
+        checkpoint_period=round(epoch_fraction * _DURATION, 6),
+    )
+    directory = str(tmp_path_factory.mktemp("ckpt"))
+    oneshot = run_checkpointed(config, directory=directory)
+    resumed = resume_checkpointed(directory)
+    assert resumed["resumed"] is True
+    for key in FINGERPRINT_KEYS:
+        assert resumed[key] == oneshot[key], key
