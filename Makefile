@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: help lint fix docs test test-full examples bench chaos overload telemetry restore perf determinism ci ci-fast
+.PHONY: help lint fix docs test test-full examples bench chaos overload telemetry restore shard perf determinism ci ci-fast
 
 help:
 	@echo "make lint         - stdlib AST lint (python -m ci lint)"
@@ -17,6 +17,7 @@ help:
 	@echo "make overload     - overload/brownout scenarios double-run + demo"
 	@echo "make telemetry    - trace-fingerprint double-run + neutrality gate"
 	@echo "make restore      - SIGKILL/resume identity + corrupt-file rejection"
+	@echo "make shard        - shard-count invariance + worker-kill recovery"
 	@echo "make perf         - benchmark regression check + fingerprint guard"
 	@echo "make determinism  - seeded double-run equality gate"
 	@echo "make ci           - the full merge gate"
@@ -54,6 +55,9 @@ telemetry:
 
 restore:
 	$(PYTHON) -m ci restore
+
+shard:
+	$(PYTHON) -m ci shard
 
 perf:
 	$(PYTHON) -m ci perf

@@ -384,6 +384,78 @@ def run_restore():
     return not findings, findings, detail
 
 
+#: Shard counts whose fingerprints must be identical in the shard lane.
+SHARD_COUNTS = (1, 2, 4)
+
+#: Fingerprint keys every sharded run must reproduce bit-for-bit.
+SHARD_KEYS = ("report", "shed", "batch", "energy")
+
+
+def run_shard():
+    """Shard lane: shard-count invariance + pool-worker-kill recovery.
+
+    (1) The Solr macro world is run with 1, 2, and 4 shards and every
+    fingerprint key must match the 1-shard run bit-for-bit; (2) the same
+    invariance is checked on the chaos world (crashes, failover,
+    re-placement in the loop); (3) the chaos world is run again on two
+    fork workers with one worker SIGKILLed mid-run -- the pool must
+    replay the dead worker's shards from directive history, verify the
+    replayed state digest, and still produce identical fingerprints.
+    """
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from repro.shard import run_scenario, run_sharded
+    from repro.shard.scenario import SCENARIOS
+
+    findings = []
+    baselines = {}
+    for world in ("solr", "chaos"):
+        fingerprints = {}
+        for n_shards in SHARD_COUNTS:
+            result = run_scenario(world, n_shards=n_shards)
+            fingerprints[n_shards] = result.fingerprints
+        baselines[world] = fingerprints[SHARD_COUNTS[0]]
+        for n_shards in SHARD_COUNTS[1:]:
+            for key in SHARD_KEYS:
+                if fingerprints[n_shards][key] != baselines[world][key]:
+                    findings.append(Finding(
+                        "ci/runner.py", 1, "SHARD",
+                        f"{world}: {n_shards}-shard {key} fingerprint "
+                        f"differs from 1-shard",
+                    ))
+    killed = {"done": False}
+
+    def kill_hook(pool, epoch_index):
+        if epoch_index == 2 and pool.parallel and not killed["done"]:
+            pool.kill_worker(0)
+            killed["done"] = True
+
+    result = run_sharded(
+        SCENARIOS["chaos"](n_shards=4, workers=2), pool_hook=kill_hook
+    )
+    if killed["done"]:
+        if result.worker_restarts < 1:
+            findings.append(Finding(
+                "ci/runner.py", 1, "SHARD",
+                "worker-kill case recorded no worker restart",
+            ))
+        for key in SHARD_KEYS:
+            if result.fingerprints[key] != baselines["chaos"][key]:
+                findings.append(Finding(
+                    "ci/runner.py", 1, "SHARD",
+                    f"worker-kill resume: {key} fingerprint differs "
+                    f"from the uninterrupted run",
+                ))
+    detail = (
+        f"{len(SHARD_COUNTS)} shard counts x 2 worlds x "
+        f"{len(SHARD_KEYS)} fingerprints"
+    )
+    if killed["done"]:
+        detail += " + worker-kill resume"
+    else:  # fork unavailable: invariance still checked, recovery skipped
+        detail += " (worker-kill skipped: no fork)"
+    return not findings, findings, detail
+
+
 def run_examples():
     """Every example script end-to-end in quick mode, each its own process."""
     findings = []
@@ -441,10 +513,14 @@ def main(argv: list[str] | None = None) -> int:
         "restore",
         help="SIGKILL/resume fingerprint identity + corrupt-file rejection",
     )
+    sub.add_parser(
+        "shard",
+        help="shard-count invariance + pool-worker-kill recovery",
+    )
     all_parser = sub.add_parser(
         "all", help="the merge gate: lint + docs + tests + examples "
-                    "+ chaos + overload + telemetry + restore + perf "
-                    "+ determinism",
+                    "+ chaos + overload + telemetry + restore + shard "
+                    "+ perf + determinism",
     )
     all_parser.add_argument(
         "--fast", action="store_true",
@@ -475,6 +551,8 @@ def main(argv: list[str] | None = None) -> int:
         reporter.run("telemetry", run_telemetry)
     elif args.lane == "restore":
         reporter.run("restore", run_restore)
+    elif args.lane == "shard":
+        reporter.run("shard", run_shard)
     elif args.lane == "all":
         reporter.run("lint", run_lint_lane)
         reporter.run("docs", run_docs_lane)
@@ -485,6 +563,7 @@ def main(argv: list[str] | None = None) -> int:
             reporter.run("overload", run_overload)
             reporter.run("telemetry", run_telemetry)
             reporter.run("restore", run_restore)
+            reporter.run("shard", run_shard)
             reporter.run("perf", run_perf_lane)
         reporter.run("determinism", run_determinism_lane)
 

@@ -77,19 +77,29 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return max(1, int(jobs))
 
 
-def derived_seeds(seed: int, n: int, label: str = "point") -> list[int]:
+def derived_seeds(
+    seed: int, n: int, label: str = "point", shard: int | None = None
+) -> list[int]:
     """``n`` deterministic 32-bit seeds derived from one experiment seed.
 
     Stable across platforms and Python hash randomization (sha256-based,
     matching :class:`repro.sim.rng.RngHub`'s stream derivation).  Use one
     per point when points need *independent* randomness; points that must
     replicate a serial baseline should keep the caller's seed unchanged.
+
+    ``shard`` adds a shard id to the derivation domain: two shards of one
+    sharded run that both derive per-point seeds under the same label can
+    never draw colliding seed sequences (``shard=None`` preserves the
+    historical single-namespace derivation byte-for-byte).
     """
     if n < 0:
         raise ValueError("n must be non-negative")
+    prefix = (
+        f"{seed}/{label}" if shard is None else f"{seed}/{label}/shard{shard}"
+    )
     seeds = []
     for index in range(n):
-        digest = hashlib.sha256(f"{seed}/{label}/{index}".encode()).digest()
+        digest = hashlib.sha256(f"{prefix}/{index}".encode()).digest()
         seeds.append(int.from_bytes(digest[:4], "big"))
     return seeds
 

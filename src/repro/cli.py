@@ -413,6 +413,62 @@ def cmd_resume(args) -> int:
     return 0
 
 
+def cmd_shard(args) -> int:
+    """Run one sharded-cluster scenario and print its fingerprints.
+
+    The four stream fingerprints (``report``, ``shed``, ``batch``,
+    ``energy``) are bit-identical for any ``--shards``/``--workers``
+    combination -- the invariance the CI shard lane pins down.
+    """
+    import json
+    import time
+
+    from repro.shard.scenario import SCENARIOS
+
+    try:
+        builder = SCENARIOS[args.scenario]
+    except KeyError:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; "
+            f"known: {', '.join(sorted(SCENARIOS))}"
+        )
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.machines is not None:
+        overrides["n_machines"] = args.machines
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    config = builder(
+        n_shards=args.shards, workers=args.workers, **overrides
+    )
+    from repro.shard import run_sharded
+
+    started = time.perf_counter()
+    result = run_sharded(config)
+    wall = time.perf_counter() - started
+    rows = [
+        ["machines", str(config.n_machines)],
+        ["shards", str(config.n_shards)],
+        ["workers", str(config.workers)],
+        ["requests", str(result.n_requests)],
+        ["completed", str(result.completed)],
+        ["shed", str(result.shed)],
+        ["failovers", str(result.failovers)],
+        ["late replies", str(result.late_replies)],
+        ["epochs", str(result.epochs)],
+        ["worker restarts", str(result.worker_restarts)],
+        ["mean response (ms)",
+         f"{result.mean_response_time() * 1e3:.3f}"],
+        ["attributed energy (J)", f"{result.total_energy_joules:.3f}"],
+        ["wall time (s)", f"{wall:.2f}"],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"sharded run: {args.scenario}"))
+    print(json.dumps(result.fingerprints, sort_keys=True))
+    return 0
+
+
 COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig01": (cmd_fig01, "Fig. 1: incremental per-core power"),
     "calibration": (cmd_calibration, "Sec. 4.1: calibration table"),
@@ -429,6 +485,8 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "run-ckpt": (cmd_run_ckpt, "checkpointed run: periodic snapshots + "
                                "fingerprints"),
     "resume": (cmd_resume, "resume the newest checkpoint and run to the end"),
+    "shard": (cmd_shard, "sharded cluster run: epoch barriers + power-aware "
+                         "placement"),
 }
 
 
@@ -566,6 +624,30 @@ def main(argv: list[str] | None = None) -> int:
             cmd_parser.add_argument(
                 "--dir", required=True,
                 help="checkpoint directory written by run-ckpt",
+            )
+        elif name == "shard":
+            cmd_parser.add_argument(
+                "--scenario", default="solr",
+                choices=("solr", "chaos", "flash"),
+                help="named scenario (flash = ≥1000 machines, diurnal + "
+                     "flash crowd)",
+            )
+            cmd_parser.add_argument(
+                "--shards", type=int, default=1,
+                help="number of shards the cluster is partitioned into",
+            )
+            cmd_parser.add_argument(
+                "--workers", type=int, default=1,
+                help="worker processes executing the shards",
+            )
+            cmd_parser.add_argument("--seed", type=int, default=None)
+            cmd_parser.add_argument(
+                "--machines", type=int, default=None,
+                help="override the scenario's machine count",
+            )
+            cmd_parser.add_argument(
+                "--duration", type=float, default=None,
+                help="override the scenario's arrival window (simulated s)",
             )
         elif name == "overload":
             cmd_parser.add_argument("--seed", type=int, default=42)

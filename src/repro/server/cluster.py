@@ -103,6 +103,10 @@ class HeterogeneousCluster:
     def __init__(self, simulator: Optional[Simulator] = None) -> None:
         self.simulator = simulator if simulator is not None else Simulator()
         self.machines: list[ClusterMachine] = []
+        #: Name -> member index for O(1) :meth:`by_name` (hot in shard
+        #: routing).  First-wins on duplicate names, matching the linear
+        #: scan it replaced.
+        self._by_name: dict[str, ClusterMachine] = {}
 
     def add_machine(
         self,
@@ -129,6 +133,7 @@ class HeterogeneousCluster:
             spec=spec, machine=machine, kernel=kernel, facility=facility
         )
         self.machines.append(member)
+        self._by_name.setdefault(member.name, member)
         return member
 
     def build_workload(self, workload: "Workload") -> None:
@@ -143,11 +148,26 @@ class HeterogeneousCluster:
             )
 
     def by_name(self, name: str) -> ClusterMachine:
-        """Look up a member machine by name."""
-        for member in self.machines:
-            if member.name == name:
-                return member
-        raise KeyError(f"no machine named {name!r} in cluster")
+        """Look up a member machine by name (O(1) via the name index)."""
+        member = self._by_name.get(name)
+        if member is None:
+            raise KeyError(f"no machine named {name!r} in cluster")
+        return member
+
+    def shard_partition(self, n_shards: int) -> list[list[str]]:
+        """Partition member names round-robin into ``n_shards`` groups.
+
+        Deterministic in cluster insertion order: machine ``i`` lands in
+        shard ``i % n_shards``.  Sharded simulation builds one worker-local
+        cluster per group; because members share no state, any grouping
+        yields bit-identical per-machine results.
+        """
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        groups: list[list[str]] = [[] for _ in range(n_shards)]
+        for index, member in enumerate(self.machines):
+            groups[index % n_shards].append(member.name)
+        return groups
 
     def mark_energy(self) -> None:
         """Start the energy measurement window on every machine."""

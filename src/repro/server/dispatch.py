@@ -43,6 +43,49 @@ class NoAvailableMachine(RuntimeError):
     """Raised by a policy when no dispatchable machine exists right now."""
 
 
+@dataclass(frozen=True)
+class DispatchTicket:
+    """One placed request as plain wire data (crosses process boundaries).
+
+    A sharded run's coordinator samples the request (so RNG draws are
+    shard-count independent), the scheduler binds it to a machine, and the
+    ticket -- nothing but strings, numbers, and a params dict -- travels to
+    whichever worker process owns that machine.  :meth:`to_wire` /
+    :meth:`from_wire` round-trip through the checkpoint layer's plain-data
+    discipline, so a ticket pickles to identical bytes in every process.
+    """
+
+    request_id: int
+    workload: str
+    rtype: str
+    params: dict
+    arrival: float
+    machine: str
+    attempt: int = 0
+
+    def spec(self) -> RequestSpec:
+        """Materialize the :class:`RequestSpec` a server handler expects."""
+        return RequestSpec(rtype=self.rtype, params=dict(self.params))
+
+    def to_wire(self) -> tuple:
+        """Canonical plain-data rendering (sortable, picklable, diffable)."""
+        return (
+            self.request_id, self.workload, self.rtype,
+            tuple(sorted(self.params.items())), self.arrival, self.machine,
+            self.attempt,
+        )
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "DispatchTicket":
+        """Rebuild a ticket from :meth:`to_wire` output."""
+        request_id, workload, rtype, params, arrival, machine, attempt = wire
+        return cls(
+            request_id=request_id, workload=workload, rtype=rtype,
+            params=dict(params), arrival=arrival, machine=machine,
+            attempt=attempt,
+        )
+
+
 def _dispatchable(machine, dispatcher) -> bool:
     """True when a policy may choose ``machine``.
 

@@ -1,0 +1,55 @@
+"""Sharded cluster simulation: deterministic multi-process scale-out.
+
+Partitions a heterogeneous cluster's machines across worker processes and
+advances them in epoch barriers; all cross-machine interaction flows
+through a coordinator over totally-ordered plain-data records, so an
+N-shard run is bit-identical to the single-process run for any N -- and
+placement is power-aware, driven by the power containers' own accounting
+history (WattsApp-style headroom scheduling with rack oversubscription).
+"""
+
+from repro.shard.coordinator import (
+    ShardedClusterRun,
+    ShardRunConfig,
+    ShardRunResult,
+    run_sharded,
+)
+from repro.shard.messages import (
+    CompletionRecord,
+    FailoverRecord,
+    merge_records,
+)
+from repro.shard.pool import ShardPool
+from repro.shard.scenario import (
+    SCENARIOS,
+    chaos_world_config,
+    diurnal_flash_config,
+    run_scenario,
+    solr_macro_config,
+)
+from repro.shard.scheduler import (
+    MachineSlot,
+    PowerAwareScheduler,
+)
+from repro.shard.worker import ShardConfig, ShardWorld, build_shard_workload
+
+__all__ = [
+    "ShardedClusterRun",
+    "ShardRunConfig",
+    "ShardRunResult",
+    "run_sharded",
+    "CompletionRecord",
+    "FailoverRecord",
+    "merge_records",
+    "ShardPool",
+    "SCENARIOS",
+    "chaos_world_config",
+    "diurnal_flash_config",
+    "run_scenario",
+    "solr_macro_config",
+    "MachineSlot",
+    "PowerAwareScheduler",
+    "ShardConfig",
+    "ShardWorld",
+    "build_shard_workload",
+]

@@ -1,0 +1,114 @@
+"""Cross-shard message records: plain data with a stable total order.
+
+Everything that crosses a shard boundary -- dispatch tickets going in,
+completion and failover records coming out, crash/recover directives --
+is rendered as *plain data* (the checkpoint layer's discipline: tuples,
+dicts, strings, numbers) before it touches a pipe.  Each record type
+defines one canonical sort key, and :func:`merge_records` merges per-shard
+outboxes under that key, so the coordinator consumes an identical stream
+for any shard count: the stable total order that makes an N-shard run
+bit-identical to the single-process run.
+
+Sort keys break ties beyond the timestamp with ``(machine, request_id)``;
+two distinct records can never compare equal, so the merged order is a
+genuine total order, not an implementation accident of the merge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.server.dispatch import DispatchTicket
+
+#: Epoch directive kinds a shard accepts, in delivery order at one barrier.
+DIRECTIVE_INJECT = "inject"
+DIRECTIVE_CRASH = "crash"
+DIRECTIVE_RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One request served to completion on a shard-local machine."""
+
+    completion: float
+    machine: str
+    request_id: int
+    rtype: str
+    arrival: float
+    energy_joules: float
+    response_time: float
+
+    def sort_key(self) -> tuple:
+        """Stable total-order key across all shards."""
+        return (self.completion, self.machine, self.request_id)
+
+    def to_wire(self) -> tuple:
+        return (
+            self.completion, self.machine, self.request_id, self.rtype,
+            self.arrival, self.energy_joules, self.response_time,
+        )
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "CompletionRecord":
+        return cls(*wire)
+
+
+@dataclass(frozen=True)
+class FailoverRecord:
+    """One in-flight request stranded by a machine crash, with its ticket.
+
+    The partial energy stays attributed on the dead machine (the work
+    really burned those joules); the ticket travels back to the
+    coordinator for re-placement at the next barrier.
+    """
+
+    time: float
+    machine: str
+    request_id: int
+    ticket_wire: tuple
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.machine, self.request_id)
+
+    def to_wire(self) -> tuple:
+        return (self.time, self.machine, self.request_id, self.ticket_wire)
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "FailoverRecord":
+        return cls(*wire)
+
+    def ticket(self) -> DispatchTicket:
+        """The stranded request's dispatch ticket."""
+        return DispatchTicket.from_wire(self.ticket_wire)
+
+
+def inject_directive(ticket: DispatchTicket) -> tuple:
+    """Epoch directive delivering one ticket to its machine's shard."""
+    return (DIRECTIVE_INJECT, ticket.to_wire())
+
+
+def crash_directive(machine: str, time: float) -> tuple:
+    """Epoch directive crashing ``machine`` at an in-epoch time."""
+    return (DIRECTIVE_CRASH, (machine, time))
+
+
+def recover_directive(machine: str, time: float) -> tuple:
+    """Epoch directive recovering ``machine`` at an in-epoch time."""
+    return (DIRECTIVE_RECOVER, (machine, time))
+
+
+def merge_records(per_shard: Sequence[Iterable[tuple]], record_cls):
+    """Merge per-shard wire records into one totally-ordered list.
+
+    Each shard's outbox is already sorted under ``record_cls.sort_key``;
+    the k-way merge preserves that key globally.  The result is identical
+    for any partitioning of machines into shards because the key never
+    depends on shard identity.
+    """
+    decoded = [
+        [record_cls.from_wire(wire) for wire in outbox]
+        for outbox in per_shard
+    ]
+    return list(heapq.merge(*decoded, key=lambda record: record.sort_key()))

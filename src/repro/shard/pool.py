@@ -1,0 +1,316 @@
+"""Persistent worker-process pool for shard execution, with crash replay.
+
+The pool assigns shards to long-lived fork workers (round-robin, so the
+assignment is deterministic) and drives them through the epoch protocol
+over pipes.  ``workers=1`` -- or any platform where fork is unavailable --
+degrades to running every shard in-process; results are identical either
+way because a shard's outputs are a pure function of its config and
+delivered directives.
+
+**Worker-crash recovery** rests on that same purity: the pool remembers
+every shard's directive history, so when a worker dies (OOM kill,
+SIGKILL, pipe torn mid-epoch) its shards are rebuilt in a fresh process
+and *replayed* from history, then verified -- the replayed state summary
+must match the last recorded digest bit-for-bit
+(:func:`repro.checkpoint.state.payload_digest`), with field-level
+divergences reported through :func:`repro.checkpoint.state.diff_states`
+and :class:`repro.checkpoint.state.RestoreMismatchError` -- the PR 7
+checkpoint discipline applied to live workers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+from repro.checkpoint.state import (
+    RestoreMismatchError,
+    diff_states,
+    payload_digest,
+)
+from repro.shard.worker import ShardConfig, ShardWorld
+
+#: Pipe-protocol command verbs (coordinator -> worker).
+_CMD_EPOCH = "epoch"
+_CMD_FINISH = "finish"
+_CMD_EXIT = "exit"
+
+
+def _worker_main(conn, configs: list[ShardConfig], calibrations) -> None:
+    """Worker process body: build owned shards, serve the epoch protocol."""
+    worlds = {
+        config.shard_id: ShardWorld.build(config, calibrations)
+        for config in configs
+    }
+    while True:
+        command = conn.recv()
+        verb = command[0]
+        if verb == _CMD_EPOCH:
+            _verb, end, directives, want_summary = command
+            reply = {}
+            for shard_id in sorted(worlds):
+                world = worlds[shard_id]
+                world.deliver(directives.get(shard_id, []))
+                completions, failovers = world.run_epoch(end)
+                summary = world.state_summary() if want_summary else None
+                reply[shard_id] = (completions, failovers, summary)
+            conn.send(reply)
+        elif verb == _CMD_FINISH:
+            conn.send({
+                shard_id: worlds[shard_id].final_payload()
+                for shard_id in sorted(worlds)
+            })
+        elif verb == _CMD_EXIT:
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise ValueError(f"unknown pool command {verb!r}")
+
+
+class _InProcessWorker:
+    """Serial stand-in for a worker process (same protocol, no pipe)."""
+
+    def __init__(self, configs: list[ShardConfig], calibrations) -> None:
+        self.worlds = {
+            config.shard_id: ShardWorld.build(config, calibrations)
+            for config in configs
+        }
+
+    def run_epoch(self, end, directives, want_summary):
+        reply = {}
+        for shard_id in sorted(self.worlds):
+            world = self.worlds[shard_id]
+            world.deliver(directives.get(shard_id, []))
+            completions, failovers = world.run_epoch(end)
+            summary = world.state_summary() if want_summary else None
+            reply[shard_id] = (completions, failovers, summary)
+        return reply
+
+    def finish(self):
+        return {
+            shard_id: self.worlds[shard_id].final_payload()
+            for shard_id in sorted(self.worlds)
+        }
+
+
+class _ProcessWorker:
+    """One live fork worker plus the bookkeeping to resurrect it."""
+
+    def __init__(self, context, configs: list[ShardConfig], calibrations):
+        self.context = context
+        self.configs = configs
+        self.calibrations = calibrations
+        self.process = None
+        self.conn = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        parent, child = self.context.Pipe(duplex=True)
+        self.process = self.context.Process(
+            target=_worker_main,
+            args=(child, self.configs, self.calibrations),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self.conn = parent
+
+    def request(self, command):
+        """One command round-trip; raises ``ConnectionError`` on death."""
+        try:
+            self.conn.send(command)
+            return self.conn.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError)\
+                as exc:
+            raise ConnectionError(str(exc)) from exc
+
+    def kill(self) -> None:
+        """SIGKILL the worker (the chaos hook for restart tests)."""
+        if self.process is not None and self.process.pid is not None:
+            os.kill(self.process.pid, signal.SIGKILL)
+            self.process.join()
+
+    def close(self) -> None:
+        try:
+            self.conn.send((_CMD_EXIT,))
+        except (BrokenPipeError, OSError):
+            pass
+        if self.process is not None:
+            self.process.join(timeout=5)
+            if self.process.is_alive():  # pragma: no cover - hung worker
+                self.process.terminate()
+                self.process.join()
+
+
+class ShardPool:
+    """Drives every shard through barriers, surviving worker crashes."""
+
+    def __init__(
+        self,
+        configs: list[ShardConfig],
+        calibrations: dict,
+        workers: int = 1,
+        verify: bool = True,
+    ) -> None:
+        if not configs:
+            raise ValueError("need at least one shard")
+        self.configs = list(configs)
+        self.calibrations = calibrations
+        self.verify = verify
+        #: Per-shard directive history: ``[(end, directives), ...]``.
+        self._history: dict[int, list[tuple]] = {
+            config.shard_id: [] for config in configs
+        }
+        #: Last verified per-shard state summary + digest.
+        self._summaries: dict[int, dict] = {}
+        self._digests: dict[int, str] = {}
+        #: Workers resurrected after a crash (mirrors ``parallel_map``'s
+        #: retry counter).
+        self.worker_restarts = 0
+        workers = max(1, min(int(workers), len(self.configs)))
+        self._assignment: dict[int, list[ShardConfig]] = {
+            index: [] for index in range(workers)
+        }
+        for position, config in enumerate(self.configs):
+            self._assignment[position % workers].append(config)
+        self.parallel = workers > 1 and self._fork_available()
+        if self.parallel:
+            import multiprocessing
+
+            self._context = multiprocessing.get_context("fork")
+            self._workers = [
+                _ProcessWorker(self._context, owned, calibrations)
+                for owned in self._assignment.values()
+            ]
+        else:
+            self._workers = [_InProcessWorker(self.configs, calibrations)]
+
+    @staticmethod
+    def _fork_available() -> bool:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @property
+    def n_workers(self) -> int:
+        """Live worker count (1 in serial mode)."""
+        return len(self._workers)
+
+    # -- crash recovery -------------------------------------------------
+    def kill_worker(self, index: int = 0) -> None:
+        """SIGKILL one worker process (restart-test hook; parallel only)."""
+        if not self.parallel:
+            raise RuntimeError("no worker processes in serial mode")
+        self._workers[index].kill()
+
+    def _revive(self, index: int) -> None:
+        """Respawn a dead worker and replay its shards from history.
+
+        The replayed state must match the last verified digest for every
+        owned shard; a mismatch names the diverging fields and aborts the
+        run rather than continuing from silently-wrong state.
+        """
+        self.worker_restarts += 1
+        worker = self._workers[index]
+        worker.spawn()
+        owned = [config.shard_id for config in worker.configs]
+        depth = max(
+            (len(self._history[shard_id]) for shard_id in owned), default=0
+        )
+        reply = None
+        for step in range(depth):
+            end = None
+            directives = {}
+            for shard_id in owned:
+                history = self._history[shard_id]
+                if step < len(history):
+                    end, step_directives = history[step]
+                    directives[shard_id] = step_directives
+            want_summary = step == depth - 1
+            reply = worker.request((_CMD_EPOCH, end, directives, want_summary))
+        if reply is None or not self.verify:
+            return
+        for shard_id in owned:
+            expected = self._summaries.get(shard_id)
+            if expected is None:
+                continue
+            _completions, _failovers, summary = reply[shard_id]
+            if payload_digest(summary) != self._digests[shard_id]:
+                diffs = diff_states(expected, summary)
+                raise RestoreMismatchError(
+                    f"shard {shard_id} replay diverged after worker "
+                    f"restart: " + "; ".join(diffs)
+                )
+
+    # -- epoch protocol -------------------------------------------------
+    def run_epoch(
+        self, end: float, directives: dict[int, list[tuple]]
+    ) -> tuple[list[list[tuple]], list[list[tuple]]]:
+        """Advance every shard to the barrier; returns per-shard outboxes.
+
+        ``directives`` maps shard id to that shard's sorted directive list.
+        Returns ``(completions, failovers)`` as per-shard lists in shard-id
+        order.  A worker found dead is revived and replayed before the
+        epoch is retried on it, so a mid-run SIGKILL costs wall time, never
+        results.
+        """
+        merged: dict[int, tuple] = {}
+        for index, worker in enumerate(self._workers):
+            if self.parallel:
+                owned = [config.shard_id for config in worker.configs]
+                command = (
+                    _CMD_EPOCH, end,
+                    {shard_id: directives.get(shard_id, [])
+                     for shard_id in owned},
+                    self.verify,
+                )
+                try:
+                    reply = worker.request(command)
+                except ConnectionError:
+                    self._revive(index)
+                    reply = worker.request(command)
+            else:
+                reply = worker.run_epoch(end, directives, self.verify)
+            merged.update(reply)
+        completions: list[list[tuple]] = []
+        failovers: list[list[tuple]] = []
+        for config in self.configs:
+            shard_completions, shard_failovers, summary = merged[
+                config.shard_id
+            ]
+            completions.append(shard_completions)
+            failovers.append(shard_failovers)
+            if summary is not None:
+                self._summaries[config.shard_id] = summary
+                self._digests[config.shard_id] = payload_digest(summary)
+            self._history[config.shard_id].append(
+                (end, directives.get(config.shard_id, []))
+            )
+        return completions, failovers
+
+    def finish(self) -> dict[int, dict]:
+        """Collect every shard's final payload (shard id -> payload)."""
+        merged: dict[int, dict] = {}
+        for index, worker in enumerate(self._workers):
+            if self.parallel:
+                try:
+                    reply = worker.request((_CMD_FINISH,))
+                except ConnectionError:
+                    self._revive(index)
+                    reply = worker.request((_CMD_FINISH,))
+            else:
+                reply = worker.finish()
+            merged.update(reply)
+        return merged
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self.parallel:
+            for worker in self._workers:
+                worker.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

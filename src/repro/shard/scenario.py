@@ -1,0 +1,128 @@
+"""Named sharded-run scenarios: invariance cases and the scale exercise.
+
+Three tiers, all built on :class:`~repro.shard.coordinator.ShardRunConfig`:
+
+* :func:`solr_macro_config` -- the Solr macro world at a size the
+  invariance tests and the CI shard lane can afford to run several times
+  (every shard count must produce the same fingerprints, so each case is
+  run once per N).
+* :func:`chaos_world_config` -- the chaos workload with machine
+  crash/recover windows, proving the invariance holds through failover
+  and re-placement, not just on the happy path.
+* :func:`diurnal_flash_config` -- the scale exercise: a ≥1,000-machine
+  cluster under a diurnal sine with a flash-crowd spike, sized to push
+  ≥1,000,000 requests through the power-aware scheduler in one run
+  (``python -m repro shard --scenario flash``).
+"""
+
+from __future__ import annotations
+
+from repro.shard.coordinator import (
+    ShardRunConfig,
+    ShardRunResult,
+    run_sharded,
+)
+
+
+def solr_macro_config(
+    n_shards: int = 1,
+    workers: int = 1,
+    seed: int = 42,
+    n_machines: int = 9,
+    duration: float = 1.0,
+) -> ShardRunConfig:
+    """The Solr macro invariance case (a few thousand requests)."""
+    return ShardRunConfig(
+        workload="solr",
+        n_machines=n_machines,
+        n_shards=n_shards,
+        workers=workers,
+        duration=duration,
+        epoch=0.25,
+        seed=seed,
+        load_fraction=0.4,
+        rack_size=4,
+        oversub_fraction=0.7,
+    )
+
+
+def chaos_world_config(
+    n_shards: int = 1,
+    workers: int = 1,
+    seed: int = 7,
+    n_machines: int = 8,
+    duration: float = 1.5,
+) -> ShardRunConfig:
+    """The chaos invariance case: crashes, failover, re-placement."""
+    return ShardRunConfig(
+        workload="chaos",
+        n_machines=n_machines,
+        n_shards=n_shards,
+        workers=workers,
+        duration=duration,
+        epoch=0.25,
+        seed=seed,
+        load_fraction=0.4,
+        rack_size=4,
+        oversub_fraction=0.7,
+        faults=3,
+        fault_outage=0.4,
+    )
+
+
+def diurnal_flash_config(
+    n_shards: int = 4,
+    workers: int = 1,
+    seed: int = 2013,
+    n_machines: int = 1002,
+    duration: float = 6.5,
+) -> ShardRunConfig:
+    """The scale exercise: diurnal load with a flash crowd.
+
+    With 1,002 machines (334 spec cycles) at 0.5 target load the
+    aggregate offered rate is roughly 175k requests/second, so the 6.5 s
+    window -- amplified by the flash-crowd spike -- generates over one
+    million requests.  Rack oversubscription is deliberately tight enough
+    that the flash crowd forces real deferrals and sheds.
+    """
+    return ShardRunConfig(
+        workload="solr",
+        n_machines=n_machines,
+        n_shards=n_shards,
+        workers=workers,
+        duration=duration,
+        epoch=0.25,
+        seed=seed,
+        load_fraction=0.5,
+        arrival="diurnal",
+        diurnal_period=6.5,
+        diurnal_amplitude=0.5,
+        flash_start=3.0,
+        flash_duration=1.0,
+        flash_multiplier=2.0,
+        rack_size=6,
+        oversub_fraction=0.62,
+        faults=5,
+        fault_outage=0.6,
+    )
+
+
+SCENARIOS = {
+    "solr": solr_macro_config,
+    "chaos": chaos_world_config,
+    "flash": diurnal_flash_config,
+}
+
+
+def run_scenario(
+    name: str, n_shards: int = 1, workers: int = 1, **overrides
+) -> ShardRunResult:
+    """Build and run one named scenario."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") \
+            from None
+    config = builder(n_shards=n_shards, workers=workers, **overrides)
+    return run_sharded(config)

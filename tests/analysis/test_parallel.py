@@ -135,6 +135,22 @@ def test_derived_seeds_empty():
     assert derived_seeds(0, 0) == []
 
 
+def test_derived_seeds_shard_domain_separation():
+    # Two shards deriving under the same label must never collide, and
+    # shard=None must keep the historical single-namespace bytes.
+    base = derived_seeds(7, 16)
+    shard0 = derived_seeds(7, 16, shard=0)
+    shard1 = derived_seeds(7, 16, shard=1)
+    assert base == derived_seeds(7, 16, shard=None)
+    assert shard0 != base
+    assert shard0 != shard1
+    assert not set(shard0) & set(shard1)
+    # Pinned bytes: the sha256("7/point/0") derivation must never drift,
+    # or every historical sweep fingerprint silently changes.
+    assert base[0] == 593393411
+    assert derived_seeds(7, 16, shard=0) == shard0
+
+
 # ---------------------------------------------------------------------------
 # Parallel sweep == serial sweep (the determinism contract)
 # ---------------------------------------------------------------------------

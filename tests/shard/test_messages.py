@@ -1,0 +1,127 @@
+"""Wire records: round trips, canonical ordering, and the k-way merge."""
+
+import pytest
+
+from repro.server.dispatch import DispatchTicket
+from repro.shard.messages import (
+    DIRECTIVE_CRASH,
+    DIRECTIVE_INJECT,
+    DIRECTIVE_RECOVER,
+    CompletionRecord,
+    FailoverRecord,
+    crash_directive,
+    inject_directive,
+    merge_records,
+    recover_directive,
+)
+
+
+def _ticket(request_id=5, machine="m0001", attempt=0):
+    return DispatchTicket(
+        request_id=request_id,
+        workload="solr",
+        rtype="search",
+        params={"work_factor": 1.25},
+        arrival=0.375,
+        machine=machine,
+        attempt=attempt,
+    )
+
+
+def test_dispatch_ticket_wire_round_trip():
+    ticket = _ticket(attempt=2)
+    assert DispatchTicket.from_wire(ticket.to_wire()) == ticket
+    assert DispatchTicket.from_wire(ticket.to_wire()).spec().params == {
+        "work_factor": 1.25
+    }
+
+
+def test_completion_record_round_trip_and_key():
+    record = CompletionRecord(
+        completion=1.5, machine="m0002", request_id=9, rtype="search",
+        arrival=1.25, energy_joules=0.125, response_time=0.25,
+    )
+    assert CompletionRecord.from_wire(record.to_wire()) == record
+    assert record.sort_key() == (1.5, "m0002", 9)
+
+
+def test_failover_record_round_trip_carries_ticket():
+    ticket = _ticket()
+    record = FailoverRecord(
+        time=0.5, machine="m0001", request_id=5, ticket_wire=ticket.to_wire()
+    )
+    restored = FailoverRecord.from_wire(record.to_wire())
+    assert restored == record
+    assert restored.ticket() == ticket
+
+
+def test_directive_constructors():
+    assert inject_directive(_ticket())[0] == DIRECTIVE_INJECT
+    assert crash_directive("m0003", 0.7) == (DIRECTIVE_CRASH, ("m0003", 0.7))
+    assert recover_directive("m0003", 0.9) == (
+        DIRECTIVE_RECOVER, ("m0003", 0.9)
+    )
+
+
+def test_merge_preserves_canonical_total_order():
+    def completion(time, machine, request_id):
+        return CompletionRecord(
+            completion=time, machine=machine, request_id=request_id,
+            rtype="search", arrival=0.0, energy_joules=0.0,
+            response_time=time,
+        )
+
+    shard_a = [completion(0.1, "m0", 0), completion(0.3, "m0", 2)]
+    shard_b = [completion(0.2, "m1", 1), completion(0.3, "m1", 3)]
+    merged = merge_records(
+        [[r.to_wire() for r in shard_a], [r.to_wire() for r in shard_b]],
+        CompletionRecord,
+    )
+    assert [r.request_id for r in merged] == [0, 1, 2, 3]
+    # Equal timestamps break ties on machine name -- a genuine total
+    # order, not merge-argument order.
+    swapped = merge_records(
+        [[r.to_wire() for r in shard_b], [r.to_wire() for r in shard_a]],
+        CompletionRecord,
+    )
+    assert [r.sort_key() for r in swapped] == [r.sort_key() for r in merged]
+
+
+def test_merge_handles_empty_outboxes():
+    assert merge_records([[], []], CompletionRecord) == []
+
+
+def test_cluster_shard_partition_round_robin(calibrations):
+    from repro.hardware.specs import spec_by_name
+    from repro.server.cluster import HeterogeneousCluster
+
+    cluster = HeterogeneousCluster()
+    for index in range(5):
+        cluster.add_machine(
+            spec_by_name("sandybridge"), calibrations["sandybridge"],
+            name=f"m{index}",
+        )
+    assert cluster.shard_partition(2) == [["m0", "m2", "m4"], ["m1", "m3"]]
+    assert cluster.shard_partition(1) == [["m0", "m1", "m2", "m3", "m4"]]
+    with pytest.raises(ValueError):
+        cluster.shard_partition(0)
+
+
+def test_cluster_by_name_index(calibrations):
+    from repro.hardware.specs import spec_by_name
+    from repro.server.cluster import HeterogeneousCluster
+
+    cluster = HeterogeneousCluster()
+    member = cluster.add_machine(
+        spec_by_name("sandybridge"), calibrations["sandybridge"], name="a"
+    )
+    assert cluster.by_name("a") is member
+    with pytest.raises(KeyError):
+        cluster.by_name("missing")
+    # Duplicate names keep the first member, matching the linear scan the
+    # index replaced.
+    duplicate = cluster.add_machine(
+        spec_by_name("sandybridge"), calibrations["sandybridge"], name="a"
+    )
+    assert cluster.by_name("a") is member
+    assert duplicate is not member

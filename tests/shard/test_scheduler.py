@@ -1,0 +1,163 @@
+"""PowerAwareScheduler unit tests: headroom, learning, defer/shed."""
+
+import pytest
+
+from repro.server.dispatch import DispatchTicket
+from repro.shard.messages import CompletionRecord, FailoverRecord
+from repro.shard.scheduler import (
+    MIN_PROFILE_SAMPLES,
+    MachineSlot,
+    PowerAwareScheduler,
+)
+
+
+def _slot(name, rack=0, idle=10.0, peak=100.0, arch="sandybridge"):
+    return MachineSlot(
+        name=name, arch=arch, rack=rack, n_cores=4,
+        idle_watts=idle, peak_watts=peak,
+    )
+
+
+def _scheduler(slots, cap=1000.0, bootstrap=10.0, epoch=1.0, **kwargs):
+    racks = {slot.rack for slot in slots}
+    return PowerAwareScheduler(
+        slots,
+        {rack: cap for rack in racks},
+        {"sandybridge": bootstrap},
+        epoch_seconds=epoch,
+        **kwargs,
+    )
+
+
+def _ticket(request_id, rtype="search"):
+    return DispatchTicket(
+        request_id=request_id, workload="solr", rtype=rtype, params={},
+        arrival=0.0, machine="",
+    )
+
+
+def _completion(request_id, machine, energy, response=1.0):
+    return CompletionRecord(
+        completion=1.0, machine=machine, request_id=request_id,
+        rtype="search", arrival=0.0, energy_joules=energy,
+        response_time=response,
+    )
+
+
+def test_places_on_most_headroom_then_rebalances():
+    scheduler = _scheduler([_slot("a", peak=100.0), _slot("b", peak=50.0)])
+    placed, deferred = scheduler.place([_ticket(0), _ticket(1)], 0)
+    assert not deferred
+    # "a" has 90 W headroom vs "b"'s 40 W, so it absorbs the first two
+    # 10 W charges before "b" would surface.
+    assert [t.machine for t in placed] == ["a", "a"]
+
+
+def test_ties_break_on_machine_name():
+    scheduler = _scheduler([_slot("b"), _slot("a")])
+    placed, _ = scheduler.place([_ticket(0)], 0)
+    assert placed[0].machine == "a"
+
+
+def test_rack_cap_defers_then_sheds():
+    # Rack cap 35 W against 2 x 10 W idle: headroom 15 W fits exactly one
+    # 10 W charge at a time.
+    slots = [_slot("a"), _slot("b")]
+    scheduler = PowerAwareScheduler(
+        slots, {0: 35.0}, {"sandybridge": 10.0},
+        epoch_seconds=1.0, max_defers=2,
+    )
+    tickets = [_ticket(i) for i in range(3)]
+    placed, deferred = scheduler.place(tickets, 0)
+    assert len(placed) == 1
+    assert len(deferred) == 2
+    # Without completions the deferred pair keeps bouncing until shed.
+    for epoch in (1, 2):
+        placed, deferred = scheduler.place(deferred, epoch)
+        assert not placed
+    assert not deferred
+    assert scheduler.shed == 2
+    assert scheduler.shed_log == [
+        "1:search:no-headroom:epoch2",
+        "2:search:no-headroom:epoch2",
+    ]
+    assert scheduler.shed_fingerprint() == scheduler.shed_fingerprint()
+
+
+def test_completion_releases_charge_and_learns_profile():
+    scheduler = _scheduler([_slot("a")], bootstrap=10.0)
+    placed, _ = scheduler.place([_ticket(0)], 0)
+    assert scheduler.inflight_count() == 1
+    before = scheduler.machines["a"].predicted_watts
+    scheduler.note_completed(_completion(0, "a", energy=4.0))
+    assert scheduler.inflight_count() == 0
+    assert scheduler.machines["a"].predicted_watts == pytest.approx(
+        before - 10.0
+    )
+    # Below MIN_PROFILE_SAMPLES the bootstrap still rules.
+    assert scheduler.predicted_request_watts(
+        "sandybridge", "solr:search"
+    ) == pytest.approx(10.0)
+    for request_id in range(1, MIN_PROFILE_SAMPLES):
+        scheduler.place([_ticket(request_id)], 0)
+        scheduler.note_completed(_completion(request_id, "a", energy=4.0))
+    # Profile switched over: 4 J per request over a 1 s epoch = 4 W.
+    assert scheduler.predicted_request_watts(
+        "sandybridge", "solr:search"
+    ) == pytest.approx(4.0)
+
+
+def test_failover_releases_without_learning():
+    scheduler = _scheduler([_slot("a")])
+    placed, _ = scheduler.place([_ticket(0)], 0)
+    scheduler.note_failover(FailoverRecord(
+        time=0.5, machine="a", request_id=0,
+        ticket_wire=placed[0].to_wire(),
+    ))
+    assert scheduler.inflight_count() == 0
+    assert scheduler.failovers == 1
+    assert not scheduler.profiles
+
+
+def test_crashed_machine_not_placed_until_recovered():
+    scheduler = _scheduler([_slot("a"), _slot("b")])
+    scheduler.note_crashed("a")
+    placed, _ = scheduler.place([_ticket(0), _ticket(1)], 0)
+    assert {t.machine for t in placed} == {"b"}
+    scheduler.note_recovered("a")
+    placed, _ = scheduler.place([_ticket(2)], 1)
+    assert placed[0].machine == "a"
+
+
+def test_epoch_averaged_charge_scales_with_epoch_length():
+    short = _scheduler([_slot("a")], bootstrap=5.0, epoch=0.5)
+    long = _scheduler([_slot("a")], bootstrap=5.0, epoch=2.0)
+    assert short.predicted_request_watts("sandybridge", "k") \
+        == pytest.approx(10.0)
+    assert long.predicted_request_watts("sandybridge", "k") \
+        == pytest.approx(2.5)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        _scheduler([])
+    with pytest.raises(ValueError):
+        _scheduler([_slot("a")], epoch=0.0)
+    with pytest.raises(ValueError):
+        PowerAwareScheduler(
+            [_slot("a"), _slot("a")], {0: 10.0}, {"sandybridge": 1.0},
+            epoch_seconds=1.0,
+        )
+    with pytest.raises(ValueError):
+        PowerAwareScheduler(
+            [_slot("a", rack=3)], {0: 10.0}, {"sandybridge": 1.0},
+            epoch_seconds=1.0,
+        )
+
+
+def test_stats_keys_stable():
+    scheduler = _scheduler([_slot("a")])
+    assert sorted(scheduler.stats()) == [
+        "completed", "deferred_total", "failovers", "inflight", "placed",
+        "profiles", "shed",
+    ]

@@ -1,0 +1,170 @@
+"""ShardWorld and coordinator mechanics that the property tests skim over."""
+
+import pytest
+
+from repro.server.dispatch import DispatchTicket
+from repro.shard.coordinator import ShardRunConfig, ShardedClusterRun
+from repro.shard.messages import FailoverRecord, inject_directive
+from repro.shard.worker import ShardConfig, ShardWorld, build_shard_workload
+
+
+def _world(calibrations, machines=(("m0", "sandybridge"),)):
+    return ShardWorld.build(
+        ShardConfig(shard_id=0, machines=tuple(machines), workload="solr"),
+        calibrations,
+    )
+
+
+def _ticket(request_id, machine, arrival=0.1):
+    return DispatchTicket(
+        request_id=request_id, workload="solr", rtype="search",
+        params={"work_factor": 0.5}, arrival=arrival, machine=machine,
+    )
+
+
+def test_world_serves_ticket_and_emits_completion(calibrations):
+    world = _world(calibrations)
+    world.deliver([inject_directive(_ticket(0, "m0"))])
+    completions, failovers = world.run_epoch(0.25)
+    assert not failovers
+    assert len(completions) == 1
+    completion, machine, request_id = completions[0][:3]
+    assert (machine, request_id) == ("m0", 0)
+    assert 0.1 < completion <= 0.25
+    assert world.completed_per_machine["m0"] == 1
+    assert world.energy_per_machine["m0"] > 0.0
+    assert not world.inflight
+
+
+def test_ticket_to_dead_machine_bounces_as_failover(calibrations):
+    world = _world(calibrations)
+    world.cluster.by_name("m0").crash()
+    world.deliver([inject_directive(_ticket(3, "m0"))])
+    completions, failovers = world.run_epoch(0.25)
+    assert not completions
+    assert len(failovers) == 1
+    record = FailoverRecord.from_wire(failovers[0])
+    assert record.request_id == 3
+    assert record.ticket() == _ticket(3, "m0")
+
+
+def test_crash_strands_inflight_work(calibrations):
+    from repro.shard.messages import crash_directive
+
+    world = _world(calibrations)
+    world.deliver([
+        inject_directive(_ticket(0, "m0", arrival=0.01)),
+        crash_directive("m0", 0.011),  # mid-service
+    ])
+    completions, failovers = world.run_epoch(0.25)
+    assert not completions
+    assert len(failovers) == 1
+    assert world.cluster.by_name("m0").crash_count == 1
+
+
+def test_unknown_directive_and_workload_rejected(calibrations):
+    world = _world(calibrations)
+    with pytest.raises(ValueError):
+        world.deliver([("teleport", ("m0", 0.1))])
+    with pytest.raises(ValueError):
+        build_shard_workload("warehouse")
+
+
+def test_state_digest_is_pure_function_of_history(calibrations):
+    directives = [inject_directive(_ticket(i, "m0", 0.02 * (i + 1)))
+                  for i in range(4)]
+    digests = []
+    for _ in range(2):
+        world = _world(calibrations)
+        world.deliver(list(directives))
+        world.run_epoch(0.25)
+        digests.append(world.state_digest())
+    assert digests[0] == digests[1]
+
+
+def test_machine_table_cycles_specs():
+    table = ShardRunConfig(n_machines=5).machine_table()
+    assert [name for name, _spec in table] == [
+        "m0000", "m0001", "m0002", "m0003", "m0004",
+    ]
+    assert [spec for _name, spec in table] == [
+        "sandybridge", "woodcrest", "westmere", "sandybridge", "woodcrest",
+    ]
+    with pytest.raises(ValueError):
+        ShardRunConfig(n_machines=0).machine_table()
+
+
+def test_directives_sorted_before_shard_split(calibrations):
+    run = ShardedClusterRun(
+        ShardRunConfig(n_machines=4, n_shards=2, duration=0.5),
+        calibrations,
+    )
+    placed = [
+        _ticket(1, "m0002", arrival=0.2),
+        _ticket(0, "m0000", arrival=0.1),
+    ]
+    per_shard = run._epoch_directives(placed, [(0.15, "crash", "m0000")])
+    # Shard 0 owns m0000 and m0002: inject at 0.1, crash at 0.15, inject
+    # at 0.2 -- time-ordered regardless of input order.
+    shard0 = per_shard[0]
+    assert [kind for kind, _body in shard0] == ["inject", "crash", "inject"]
+    # Shard 1 (m0001, m0003) received nothing this epoch.
+    assert not per_shard.get(1)
+
+
+def test_unknown_arrival_model_rejected(calibrations):
+    run = ShardedClusterRun(
+        ShardRunConfig(n_machines=3, arrival="bursty"), calibrations
+    )
+    with pytest.raises(ValueError):
+        run._rate_at(0.0)
+
+
+def test_diurnal_rate_shape(calibrations):
+    run = ShardedClusterRun(
+        ShardRunConfig(
+            n_machines=3, arrival="diurnal", diurnal_period=4.0,
+            diurnal_amplitude=0.5, flash_start=2.0, flash_duration=0.5,
+            flash_multiplier=3.0,
+        ),
+        calibrations,
+    )
+    steady = run._aggregate_rate
+    assert run._rate_at(1.0) == pytest.approx(steady * 1.5)  # sine peak
+    assert run._rate_at(3.0) == pytest.approx(steady * 0.5)  # sine trough
+    inside = run._rate_at(2.2)
+    run_no_flash = ShardedClusterRun(
+        ShardRunConfig(
+            n_machines=3, arrival="diurnal", diurnal_period=4.0,
+            diurnal_amplitude=0.5,
+        ),
+        calibrations,
+    )
+    assert inside == pytest.approx(run_no_flash._rate_at(2.2) * 3.0)
+
+
+def test_scenario_registry():
+    from repro.shard.scenario import SCENARIOS, run_scenario
+
+    assert set(SCENARIOS) == {"solr", "chaos", "flash"}
+    with pytest.raises(KeyError):
+        run_scenario("warehouse")
+
+
+def test_run_result_mean_response_and_fingerprint(calibrations):
+    from repro.shard import run_sharded
+
+    result = run_sharded(
+        ShardRunConfig(n_machines=3, duration=0.5, load_fraction=0.3),
+        calibrations,
+    )
+    assert result.completed > 0
+    assert result.mean_response_time() > 0.0
+    assert set(result.fingerprints) == {"report", "shed", "batch", "energy"}
+    assert len(result.fingerprint()) == 64
+    # Double-run determinism of the whole pipeline.
+    again = run_sharded(
+        ShardRunConfig(n_machines=3, duration=0.5, load_fraction=0.3),
+        calibrations,
+    )
+    assert again.fingerprint() == result.fingerprint()
