@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: help lint fix docs test test-full examples bench chaos overload telemetry restore shard perf determinism ci ci-fast
+.PHONY: help lint fix docs test test-full examples bench chaos overload telemetry restore shard transport perf determinism ci ci-fast
 
 help:
 	@echo "make lint         - stdlib AST lint (python -m ci lint)"
@@ -18,6 +18,7 @@ help:
 	@echo "make telemetry    - trace-fingerprint double-run + neutrality gate"
 	@echo "make restore      - SIGKILL/resume identity + corrupt-file rejection"
 	@echo "make shard        - shard-count invariance + worker-kill recovery"
+	@echo "make transport    - lossy-transport invariance + coordinator resume"
 	@echo "make perf         - benchmark regression check + fingerprint guard"
 	@echo "make determinism  - seeded double-run equality gate"
 	@echo "make ci           - the full merge gate"
@@ -58,6 +59,9 @@ restore:
 
 shard:
 	$(PYTHON) -m ci shard
+
+transport:
+	$(PYTHON) -m ci transport
 
 perf:
 	$(PYTHON) -m ci perf

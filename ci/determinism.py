@@ -14,7 +14,10 @@ shape-asserting tests still pass.  This lane:
    too, and a chaos run that cannot replay cannot be debugged;
 4. runs a checkpointed Solr experiment, resumes it from its newest
    checkpoint (``repro.checkpoint``), and demands the resumed run's
-   report/trace/shed/batch fingerprints match the uninterrupted run's.
+   report/trace/shed/batch fingerprints match the uninterrupted run's;
+5. runs a sharded chaos world clean, under barrier checkpointing, and
+   resumed from an early checkpoint (``repro.shard``), and demands all
+   three land on identical report/shed/batch/energy fingerprints.
 
 Everything is compared with ``==`` on floats: the runs must be *identical*,
 not merely close.
@@ -160,6 +163,39 @@ def _checkpoint_fingerprints():
     return oneshot, resumed
 
 
+def _shard_resume_fingerprints():
+    """Sharded chaos run three ways: clean, checkpointed, and resumed.
+
+    The transport CI lane covers the cross-process coordinator SIGKILL;
+    this in-process case pins the snapshot discipline itself: collecting
+    barrier checkpoints must not perturb the run, and a coordinator
+    rebuilt from the *oldest retained* checkpoint (not the newest) must
+    replay the remaining epochs onto identical fingerprints.
+    """
+    import shutil
+    import tempfile
+
+    from repro.checkpoint import CheckpointManager
+    from repro.shard import (
+        ShardCheckpointPolicy,
+        resume_sharded,
+        run_scenario,
+    )
+
+    directory = tempfile.mkdtemp(prefix="repro-determinism-shard-")
+    try:
+        clean = run_scenario("chaos", n_shards=2, duration=0.75)
+        checkpointed = run_scenario(
+            "chaos", n_shards=2, duration=0.75,
+            checkpoint=ShardCheckpointPolicy(directory=directory, every=1),
+        )
+        earliest = min(CheckpointManager(directory).indices())
+        resumed = resume_sharded(directory, index=earliest)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return clean, checkpointed, resumed
+
+
 def run_determinism(root: str):
     """Lane entry point -> (ok, findings, detail)."""
     first = _run_once()
@@ -204,9 +240,25 @@ def run_determinism(root: str):
             "ci/determinism.py", 1, "NDET",
             "checkpoint resume never restored from a checkpoint",
         ))
+    shard_clean, shard_ckpt, shard_resumed = _shard_resume_fingerprints()
+    for label, run in (("checkpointed", shard_ckpt),
+                       ("resumed", shard_resumed)):
+        for key in ("report", "shed", "batch", "energy"):
+            if run.fingerprints[key] != shard_clean.fingerprints[key]:
+                findings.append(Finding(
+                    "ci/determinism.py", 1, "NDET",
+                    f"shard coordinator-{label} {key} fingerprint differs "
+                    f"from the uninterrupted sharded run",
+                ))
+    if not shard_resumed.resumed:
+        findings.append(Finding(
+            "ci/determinism.py", 1, "NDET",
+            "shard coordinator resume never restored from a checkpoint",
+        ))
     detail = (f"{first['n_requests']} requests, "
               f"{len(first['coefficients'])} coefficients, "
               f"{len(_CHAOS_SCENARIOS)} chaos fingerprints + "
               f"{len(batch_first['batch_energies'])} batch-engine "
-              f"containers + checkpoint-resume identity compared")
+              f"containers + checkpoint-resume identity + shard "
+              f"coordinator-resume identity compared")
     return not findings, findings, detail

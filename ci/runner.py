@@ -456,6 +456,148 @@ def run_shard():
     return not findings, findings, detail
 
 
+#: Worlds whose fingerprints must survive transport weather unchanged.
+TRANSPORT_WORLDS = ("solr", "chaos")
+
+#: Per-world duration overrides keeping the transport sweep affordable.
+TRANSPORT_DURATIONS = {"solr": 0.75, "chaos": 1.0}
+
+#: Transport-stat suffixes that count an injected channel fault.
+TRANSPORT_FAULT_SUFFIXES = (
+    "dropped", "duplicated", "reordered", "delayed", "corrupted",
+)
+
+
+def _transport_faults_injected(stats: dict) -> int:
+    """Total channel faults a run's transport stats record."""
+    return sum(
+        value for key, value in stats.items()
+        if key.endswith(TRANSPORT_FAULT_SUFFIXES)
+    )
+
+
+def run_transport():
+    """Transport lane: lossy-channel invariance + coordinator recovery.
+
+    (1) Both invariance worlds run under the ``chaos`` transport preset
+    (drops, duplicates, reorders, multi-epoch delays, and detectable
+    corruption on every worker link) and must reproduce the fault-free
+    fingerprints bit-for-bit, with the channel stats proving faults
+    actually fired; (2) the ``corrupt`` preset must show checksummed
+    frames being *rejected* (coordinator- and worker-side) while the
+    fingerprints still match; (3) a two-fork-worker chaos run under lossy
+    transport is SIGKILLed by its own barrier-checkpoint hook -- after one
+    worker was already SIGKILLed and revived in the same run -- and
+    ``python -m repro shard --resume`` must land on the uninterrupted
+    run's fingerprints exactly.
+    """
+    import shutil
+    import signal
+    import tempfile
+
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from repro.shard import run_scenario
+
+    findings = []
+    baselines = {}
+    for world in TRANSPORT_WORLDS:
+        duration = TRANSPORT_DURATIONS[world]
+        clean = run_scenario(world, n_shards=2, duration=duration)
+        baselines[world] = clean.fingerprints
+        faulty = run_scenario(
+            world, n_shards=2, duration=duration, transport="chaos",
+        )
+        if _transport_faults_injected(faulty.transport_stats) == 0:
+            findings.append(Finding(
+                "ci/runner.py", 1, "TRANSPORT",
+                f"{world}: chaos transport preset injected no faults",
+            ))
+        for key in SHARD_KEYS:
+            if faulty.fingerprints[key] != clean.fingerprints[key]:
+                findings.append(Finding(
+                    "ci/runner.py", 1, "TRANSPORT",
+                    f"{world}: {key} fingerprint diverged under chaos "
+                    f"transport weather",
+                ))
+    corrupt = run_scenario(
+        "chaos", n_shards=2, duration=TRANSPORT_DURATIONS["chaos"],
+        transport="corrupt",
+    )
+    rejected = (
+        corrupt.transport_stats.get("corrupt_rejected", 0)
+        + corrupt.transport_stats.get("worker_corrupt_rejected", 0)
+    )
+    if rejected == 0:
+        findings.append(Finding(
+            "ci/runner.py", 1, "TRANSPORT",
+            "corrupt preset: no corrupted frame was checksum-rejected",
+        ))
+    for key in SHARD_KEYS:
+        if corrupt.fingerprints[key] != baselines["chaos"][key]:
+            findings.append(Finding(
+                "ci/runner.py", 1, "TRANSPORT",
+                f"corrupt preset: {key} fingerprint diverged from the "
+                f"fault-free run",
+            ))
+    # -- coordinator SIGKILL + resume over the CLI ----------------------
+    case = [
+        sys.executable, "-m", "repro", "shard",
+        "--scenario", "chaos", "--shards", "4", "--workers", "2",
+        "--duration", "1.0", "--transport", "lossy",
+    ]
+    workdir = tempfile.mkdtemp(prefix="repro-transport-")
+    try:
+        _, clean = _run_json(case)
+        if clean is None:
+            findings.append(Finding(
+                "ci/runner.py", 1, "TRANSPORT",
+                "clean lossy CLI run failed",
+            ))
+        else:
+            crashed, _ = _run_json(
+                case + ["--ckpt-dir", workdir, "--ckpt-every", "1",
+                        "--kill-after-checkpoint", "1",
+                        "--kill-worker-at", "1"],
+            )
+            if crashed.returncode != -signal.SIGKILL:
+                findings.append(Finding(
+                    "ci/runner.py", 1, "TRANSPORT",
+                    f"crash run exited {crashed.returncode}, expected "
+                    f"SIGKILL",
+                ))
+            else:
+                _, resumed = _run_json(
+                    [sys.executable, "-m", "repro", "shard", "--resume",
+                     "--ckpt-dir", workdir, "--transport", "lossy"],
+                )
+                if resumed is None:
+                    findings.append(Finding(
+                        "ci/runner.py", 1, "TRANSPORT",
+                        "resume after coordinator SIGKILL failed",
+                    ))
+                else:
+                    if not resumed.get("resumed"):
+                        findings.append(Finding(
+                            "ci/runner.py", 1, "TRANSPORT",
+                            "resume did not restore from a checkpoint",
+                        ))
+                    for key in SHARD_KEYS:
+                        if resumed[key] != clean[key]:
+                            findings.append(Finding(
+                                "ci/runner.py", 1, "TRANSPORT",
+                                f"resumed {key} fingerprint {resumed[key]!r}"
+                                f" != uninterrupted {clean[key]!r}",
+                            ))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    detail = (
+        f"{len(TRANSPORT_WORLDS)} worlds x {len(SHARD_KEYS)} fingerprints "
+        f"under chaos weather + corrupt-frame rejection + coordinator "
+        f"SIGKILL/resume identity"
+    )
+    return not findings, findings, detail
+
+
 def run_examples():
     """Every example script end-to-end in quick mode, each its own process."""
     findings = []
@@ -517,10 +659,15 @@ def main(argv: list[str] | None = None) -> int:
         "shard",
         help="shard-count invariance + pool-worker-kill recovery",
     )
+    sub.add_parser(
+        "transport",
+        help="lossy-transport fingerprint invariance + coordinator "
+             "SIGKILL/resume identity + corrupt-frame rejection",
+    )
     all_parser = sub.add_parser(
         "all", help="the merge gate: lint + docs + tests + examples "
                     "+ chaos + overload + telemetry + restore + shard "
-                    "+ perf + determinism",
+                    "+ transport + perf + determinism",
     )
     all_parser.add_argument(
         "--fast", action="store_true",
@@ -553,6 +700,8 @@ def main(argv: list[str] | None = None) -> int:
         reporter.run("restore", run_restore)
     elif args.lane == "shard":
         reporter.run("shard", run_shard)
+    elif args.lane == "transport":
+        reporter.run("transport", run_transport)
     elif args.lane == "all":
         reporter.run("lint", run_lint_lane)
         reporter.run("docs", run_docs_lane)
@@ -564,6 +713,7 @@ def main(argv: list[str] | None = None) -> int:
             reporter.run("telemetry", run_telemetry)
             reporter.run("restore", run_restore)
             reporter.run("shard", run_shard)
+            reporter.run("transport", run_transport)
             reporter.run("perf", run_perf_lane)
         reporter.run("determinism", run_determinism_lane)
 

@@ -418,34 +418,77 @@ def cmd_shard(args) -> int:
 
     The four stream fingerprints (``report``, ``shed``, ``batch``,
     ``energy``) are bit-identical for any ``--shards``/``--workers``
-    combination -- the invariance the CI shard lane pins down.
+    combination, under any ``--transport`` fault preset, and across a
+    coordinator crash + ``--resume`` -- the invariances the CI shard and
+    transport lanes pin down.
     """
     import json
     import time
 
-    from repro.shard.scenario import SCENARIOS
-
-    try:
-        builder = SCENARIOS[args.scenario]
-    except KeyError:
-        raise SystemExit(
-            f"unknown scenario {args.scenario!r}; "
-            f"known: {', '.join(sorted(SCENARIOS))}"
-        )
-    overrides = {}
-    if args.seed is not None:
-        overrides["seed"] = args.seed
-    if args.machines is not None:
-        overrides["n_machines"] = args.machines
-    if args.duration is not None:
-        overrides["duration"] = args.duration
-    config = builder(
-        n_shards=args.shards, workers=args.workers, **overrides
+    from repro.shard import (
+        ShardCheckpointPolicy,
+        resume_sharded,
+        run_sharded,
     )
-    from repro.shard import run_sharded
+    from repro.shard.scenario import SCENARIOS, transport_preset
+
+    plan = transport_preset(args.transport)
+    checkpoint = None
+    if args.ckpt_dir is not None:
+        checkpoint = ShardCheckpointPolicy(
+            directory=args.ckpt_dir,
+            every=args.ckpt_every,
+            kill_after=args.kill_after_checkpoint,
+        )
+    pool_hook = None
+    if args.kill_worker_at is not None:
+        killed = {"done": False}
+
+        def pool_hook(pool, epoch_index):
+            if (
+                epoch_index == args.kill_worker_at
+                and pool.parallel
+                and not killed["done"]
+            ):
+                pool.kill_worker(0)
+                killed["done"] = True
 
     started = time.perf_counter()
-    result = run_sharded(config)
+    if args.resume:
+        if args.ckpt_dir is None:
+            raise SystemExit("--resume requires --ckpt-dir")
+        result = resume_sharded(
+            args.ckpt_dir,
+            pool_hook=pool_hook,
+            transport_plan=plan,
+            transport_seed=args.transport_seed,
+        )
+        config = result.config
+    else:
+        try:
+            builder = SCENARIOS[args.scenario]
+        except KeyError:
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r}; "
+                f"known: {', '.join(sorted(SCENARIOS))}"
+            )
+        overrides = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.machines is not None:
+            overrides["n_machines"] = args.machines
+        if args.duration is not None:
+            overrides["duration"] = args.duration
+        config = builder(
+            n_shards=args.shards, workers=args.workers, **overrides
+        )
+        result = run_sharded(
+            config,
+            pool_hook=pool_hook,
+            transport_plan=plan,
+            transport_seed=args.transport_seed,
+            checkpoint=checkpoint,
+        )
     wall = time.perf_counter() - started
     rows = [
         ["machines", str(config.n_machines)],
@@ -463,9 +506,17 @@ def cmd_shard(args) -> int:
         ["attributed energy (J)", f"{result.total_energy_joules:.3f}"],
         ["wall time (s)", f"{wall:.2f}"],
     ]
+    if plan is not None:
+        moved = sum(
+            value for key, value in result.transport_stats.items()
+            if key.endswith(("dropped", "duplicated", "reordered",
+                             "delayed", "corrupted"))
+        )
+        rows.append(["transport faults injected", str(moved)])
     print(render_table(["metric", "value"], rows,
                        title=f"sharded run: {args.scenario}"))
-    print(json.dumps(result.fingerprints, sort_keys=True))
+    print(json.dumps(dict(result.fingerprints, resumed=result.resumed),
+                     sort_keys=True))
     return 0
 
 
@@ -648,6 +699,42 @@ def main(argv: list[str] | None = None) -> int:
             cmd_parser.add_argument(
                 "--duration", type=float, default=None,
                 help="override the scenario's arrival window (simulated s)",
+            )
+            cmd_parser.add_argument(
+                "--transport", default="none",
+                choices=("none", "lossy", "corrupt", "chaos"),
+                help="transport fault preset applied to every "
+                     "coordinator<->worker exchange (results must stay "
+                     "bit-identical)",
+            )
+            cmd_parser.add_argument(
+                "--transport-seed", type=int, default=None,
+                help="seed for the lossy channels (default: the run seed)",
+            )
+            cmd_parser.add_argument(
+                "--ckpt-dir", default=None,
+                help="checkpoint coordinator + pool state here at every "
+                     "epoch barrier",
+            )
+            cmd_parser.add_argument(
+                "--ckpt-every", type=int, default=1,
+                help="checkpoint every N epoch barriers",
+            )
+            cmd_parser.add_argument(
+                "--kill-after-checkpoint", type=int, default=None,
+                help="SIGKILL the coordinator right after the checkpoint "
+                     "for this epoch is durably written (crash-recovery "
+                     "test hook)",
+            )
+            cmd_parser.add_argument(
+                "--kill-worker-at", type=int, default=None,
+                help="SIGKILL worker 0 before this epoch (parallel runs "
+                     "only; restart-test hook)",
+            )
+            cmd_parser.add_argument(
+                "--resume", action="store_true",
+                help="resume the newest checkpoint in --ckpt-dir and run "
+                     "to the end",
             )
         elif name == "overload":
             cmd_parser.add_argument("--seed", type=int, default=42)

@@ -9,15 +9,19 @@ history (WattsApp-style headroom scheduling with rack oversubscription).
 """
 
 from repro.shard.coordinator import (
+    ShardCheckpointPolicy,
     ShardedClusterRun,
     ShardRunConfig,
     ShardRunResult,
+    resume_sharded,
     run_sharded,
 )
 from repro.shard.messages import (
+    DIRECTIVE_KINDS,
     CompletionRecord,
     FailoverRecord,
     merge_records,
+    validate_directive,
 )
 from repro.shard.pool import ShardPool
 from repro.shard.scenario import (
@@ -26,6 +30,20 @@ from repro.shard.scenario import (
     diurnal_flash_config,
     run_scenario,
     solr_macro_config,
+    transport_preset,
+)
+from repro.shard.transport import (
+    TRANSPORT_PRESETS,
+    LossyChannel,
+    ReliableLink,
+    TransportError,
+    TransportFaultPlan,
+    TransportLimits,
+    TransportTimeoutError,
+    TransportWindow,
+    WorkerEndpoint,
+    WorkerQuarantinedError,
+    WorkerUnresponsiveError,
 )
 from repro.shard.scheduler import (
     MachineSlot,
@@ -34,19 +52,35 @@ from repro.shard.scheduler import (
 from repro.shard.worker import ShardConfig, ShardWorld, build_shard_workload
 
 __all__ = [
+    "ShardCheckpointPolicy",
     "ShardedClusterRun",
     "ShardRunConfig",
     "ShardRunResult",
+    "resume_sharded",
     "run_sharded",
+    "DIRECTIVE_KINDS",
     "CompletionRecord",
     "FailoverRecord",
     "merge_records",
+    "validate_directive",
     "ShardPool",
     "SCENARIOS",
     "chaos_world_config",
     "diurnal_flash_config",
     "run_scenario",
     "solr_macro_config",
+    "transport_preset",
+    "TRANSPORT_PRESETS",
+    "LossyChannel",
+    "ReliableLink",
+    "TransportError",
+    "TransportFaultPlan",
+    "TransportLimits",
+    "TransportTimeoutError",
+    "TransportWindow",
+    "WorkerEndpoint",
+    "WorkerQuarantinedError",
+    "WorkerUnresponsiveError",
     "MachineSlot",
     "PowerAwareScheduler",
     "ShardConfig",

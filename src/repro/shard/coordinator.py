@@ -35,7 +35,9 @@ from __future__ import annotations
 
 import hashlib
 import math
-from dataclasses import dataclass, field
+import os
+import signal
+from dataclasses import asdict, dataclass, field
 
 from repro.server.dispatch import DispatchTicket
 from repro.shard.messages import (
@@ -57,6 +59,12 @@ SPEC_CYCLE = ("sandybridge", "woodcrest", "westmere")
 #: Directive sort ranks: at equal times a machine's crash/recover applies
 #: before any inject scheduled at that instant.
 _RANK = {"crash": 0, "recover": 1, "inject": 2}
+
+#: Seed of the chained energy digest.  The chain (each completion line is
+#: hashed together with the previous hex digest) replaces the old
+#: incremental ``hashlib`` object so the cursor is a 64-char string --
+#: plain data the checkpoint layer can snapshot and resume from.
+_ENERGY_CHAIN_SEED = hashlib.sha256(b"shard-energy-chain-v1").hexdigest()
 
 
 @dataclass(frozen=True)
@@ -94,6 +102,39 @@ class ShardRunConfig:
     #: Hard cap on post-arrival drain epochs (safety, not a tuning knob).
     max_drain_epochs: int = 400
 
+    def __post_init__(self) -> None:
+        """Reject impossible configs at construction, not mid-run."""
+        for name, minimum in (("n_machines", 1), ("n_shards", 1),
+                              ("workers", 1), ("rack_size", 1)):
+            value = getattr(self, name)
+            if value < minimum:
+                raise ValueError(
+                    f"{name} must be >= {minimum}, got {value!r}"
+                )
+        if self.epoch <= 0.0:
+            raise ValueError(f"epoch must be positive, got {self.epoch!r}")
+        if self.duration < 0.0:
+            raise ValueError(
+                f"duration must be non-negative, got {self.duration!r}"
+            )
+        if self.load_fraction < 0.0:
+            raise ValueError(
+                f"load_fraction must be non-negative, "
+                f"got {self.load_fraction!r}"
+            )
+        if self.oversub_fraction <= 0.0:
+            raise ValueError(
+                f"oversub_fraction must be positive, "
+                f"got {self.oversub_fraction!r}"
+            )
+        for name in ("max_defers", "faults", "fault_outage",
+                     "max_drain_epochs"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {value!r}"
+                )
+
     def machine_table(self) -> list[tuple[str, str]]:
         """``(name, spec_name)`` rows in cluster insertion order."""
         if self.n_machines < 1:
@@ -102,6 +143,32 @@ class ShardRunConfig:
             (f"m{index:04d}", SPEC_CYCLE[index % len(SPEC_CYCLE)])
             for index in range(self.n_machines)
         ]
+
+
+@dataclass(frozen=True)
+class ShardCheckpointPolicy:
+    """When and where the coordinator checkpoints at epoch barriers.
+
+    ``kill_after`` is the crash-recovery test hook: SIGKILL the
+    coordinator process immediately after the checkpoint for epoch
+    ``kill_after`` has been durably written (atomic rename + fsync), the
+    most hostile instant for a crash that must still resume cleanly.
+    """
+
+    directory: str
+    every: int = 1
+    keep: int = 4
+    kill_after: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every!r}")
+        if self.keep < 1:
+            raise ValueError(f"keep must be >= 1, got {self.keep!r}")
+        if self.kill_after is not None and self.kill_after < 1:
+            raise ValueError(
+                f"kill_after must be >= 1 or None, got {self.kill_after!r}"
+            )
 
 
 @dataclass
@@ -122,6 +189,10 @@ class ShardRunResult:
     scheduler_stats: dict[str, float] = field(default_factory=dict)
     machine_rows: list[tuple] = field(default_factory=list)
     fingerprints: dict[str, str] = field(default_factory=dict)
+    #: Aggregated transport diagnostics (never part of any fingerprint).
+    transport_stats: dict[str, int] = field(default_factory=dict)
+    #: True when this result came out of ``resume_sharded``.
+    resumed: bool = False
 
     def mean_response_time(self) -> float:
         """Mean response time over completed requests (0 when none)."""
@@ -253,8 +324,10 @@ class ShardedClusterRun:
         self.total_response = 0.0
         self.completed = 0
         self.epochs_run = 0
-        self._energy_hash = hashlib.sha256()
+        self._energy_digest = _ENERGY_CHAIN_SEED
         self._pending: list[DispatchTicket] = []
+        #: First epoch index :meth:`run` executes (>0 after a resume).
+        self._start_epoch = 0
 
     # -- pre-drawn fault schedule ---------------------------------------
     def _draw_faults(self, hub: RngHub) -> list[tuple[float, str, str]]:
@@ -410,10 +483,13 @@ class ShardedClusterRun:
             self.completed += 1
             self.total_energy += record.energy_joules
             self.total_response += record.response_time
-            self._energy_hash.update(
+            line = (
                 f"{record.completion!r}:{record.machine}:"
-                f"{record.request_id}:{record.energy_joules!r}\n".encode()
+                f"{record.request_id}:{record.energy_joules!r}\n"
             )
+            self._energy_digest = hashlib.sha256(
+                (self._energy_digest + line).encode()
+            ).hexdigest()
         for record in merge_records(failovers, FailoverRecord):
             self.scheduler.note_failover(record)
             ticket = record.ticket()
@@ -430,18 +506,52 @@ class ShardedClusterRun:
             )
         self.epochs_run += 1
 
-    def run(self, pool_hook=None) -> ShardRunResult:
+    def run(
+        self,
+        pool_hook=None,
+        transport_plan=None,
+        transport_seed=None,
+        transport_limits=None,
+        revive_budget: int = 3,
+        checkpoint: ShardCheckpointPolicy | None = None,
+        _pool_state: dict | None = None,
+    ) -> ShardRunResult:
         """Run arrivals plus drain to completion; returns the result.
 
         ``pool_hook(pool, epoch_index)``, when given, fires before every
         epoch -- the worker-kill tests use it to SIGKILL a worker mid-run.
+        ``transport_plan`` subjects every coordinator<->worker exchange to
+        the given :class:`~repro.shard.transport.TransportFaultPlan`
+        (seeded by ``transport_seed``, default the run seed -- results
+        must stay bit-identical regardless).  ``checkpoint`` persists
+        coordinator + pool state at epoch barriers for
+        :func:`resume_sharded`.  ``_pool_state`` is the resume path's
+        recorded directive history, replayed into fresh workers before
+        the first epoch.
         """
         config = self.config
         arrival_epochs = max(1, math.ceil(config.duration / config.epoch))
+        manager = None
+        if checkpoint is not None:
+            from repro.checkpoint.manager import CheckpointManager
+
+            manager = CheckpointManager(
+                checkpoint.directory, keep=checkpoint.keep
+            )
         with ShardPool(
-            self.shard_configs, self.calibrations, workers=config.workers
+            self.shard_configs,
+            self.calibrations,
+            workers=config.workers,
+            transport_plan=transport_plan,
+            transport_seed=(
+                config.seed if transport_seed is None else transport_seed
+            ),
+            transport_limits=transport_limits,
+            revive_budget=revive_budget,
         ) as pool:
-            epoch_index = 0
+            if _pool_state is not None:
+                pool.restore_history(_pool_state)
+            epoch_index = self._start_epoch
             while True:
                 drained = (
                     epoch_index >= arrival_epochs
@@ -456,12 +566,85 @@ class ShardedClusterRun:
                     pool_hook(pool, epoch_index)
                 self.run_one_epoch(pool, epoch_index)
                 epoch_index += 1
+                if manager is not None \
+                        and epoch_index % checkpoint.every == 0:
+                    self._save_checkpoint(manager, epoch_index, pool)
+                    if checkpoint.kill_after is not None \
+                            and epoch_index >= checkpoint.kill_after:
+                        # The checkpoint is durably on disk; die at the
+                        # worst possible moment (crash-recovery hook).
+                        os.kill(os.getpid(), signal.SIGKILL)
             payloads = pool.finish()
             restarts = pool.worker_restarts
-        return self._finalize(payloads, restarts)
+            transport_stats = pool.transport_stats()
+        return self._finalize(payloads, restarts, transport_stats)
+
+    # -- checkpoint / resume ---------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data snapshot of every coordinator-side cursor.
+
+        Together with the pool's directive history this is everything a
+        fresh process needs to continue the run bit-identically: counters
+        and totals, the chained energy digest, the arrival RNG cursor,
+        pending (deferred/failover) tickets as wire tuples, and the
+        scheduler's live placement state.  The fault schedule is *not*
+        stored -- it re-derives deterministically from the config seed.
+        """
+        from repro.checkpoint.state import generator_state
+
+        return {
+            "v": 1,
+            "next_epoch": self.epochs_run,
+            "next_request_id": self._next_request_id,
+            "n_requests": self.n_requests,
+            "completed": self.completed,
+            "total_energy": self.total_energy,
+            "total_response": self.total_response,
+            "energy_digest": self._energy_digest,
+            "arrival_rng": generator_state(self._arrival_rng),
+            "pending": [list(ticket.to_wire()) for ticket in self._pending],
+            "scheduler": self.scheduler.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` snapshot (same-config run)."""
+        from repro.checkpoint.state import set_generator_state
+
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown coordinator snapshot version {state.get('v')!r}"
+            )
+        self.epochs_run = int(state["next_epoch"])
+        self._start_epoch = int(state["next_epoch"])
+        self._next_request_id = int(state["next_request_id"])
+        self.n_requests = int(state["n_requests"])
+        self.completed = int(state["completed"])
+        self.total_energy = float(state["total_energy"])
+        self.total_response = float(state["total_response"])
+        self._energy_digest = state["energy_digest"]
+        set_generator_state(self._arrival_rng, state["arrival_rng"])
+        self._pending = [
+            DispatchTicket.from_wire(tuple(wire))
+            for wire in state["pending"]
+        ]
+        self.scheduler.restore_state(state["scheduler"])
+
+    def _save_checkpoint(self, manager, next_epoch: int,
+                         pool: ShardPool) -> None:
+        """Persist one barrier's coordinator + pool state atomically."""
+        manager.save(
+            next_epoch,
+            next_epoch * self.config.epoch,
+            asdict(self.config),
+            {
+                "coordinator": self.snapshot_state(),
+                "pool": pool.snapshot_history(),
+            },
+        )
 
     # -- fingerprint rendering -------------------------------------------
-    def _finalize(self, payloads: dict[int, dict], restarts: int)\
+    def _finalize(self, payloads: dict[int, dict], restarts: int,
+                  transport_stats: dict[str, int] | None = None)\
             -> ShardRunResult:
         """Fold per-shard payloads into the four run fingerprints."""
         machine_rows = []
@@ -512,7 +695,7 @@ class ShardedClusterRun:
             ).hexdigest(),
             "shed": self.scheduler.shed_fingerprint(),
             "batch": batch_hash.hexdigest(),
-            "energy": self._energy_hash.hexdigest(),
+            "energy": self._energy_digest,
         }
         return ShardRunResult(
             config=self.config,
@@ -529,11 +712,71 @@ class ShardedClusterRun:
             scheduler_stats=stats,
             machine_rows=machine_rows,
             fingerprints=fingerprints,
+            transport_stats=dict(transport_stats or {}),
+            resumed=self._start_epoch > 0,
         )
 
 
 def run_sharded(
-    config: ShardRunConfig, calibrations=None, pool_hook=None
+    config: ShardRunConfig,
+    calibrations=None,
+    pool_hook=None,
+    transport_plan=None,
+    transport_seed=None,
+    transport_limits=None,
+    revive_budget: int = 3,
+    checkpoint: ShardCheckpointPolicy | None = None,
 ) -> ShardRunResult:
     """Build and run one sharded cluster simulation."""
-    return ShardedClusterRun(config, calibrations).run(pool_hook=pool_hook)
+    return ShardedClusterRun(config, calibrations).run(
+        pool_hook=pool_hook,
+        transport_plan=transport_plan,
+        transport_seed=transport_seed,
+        transport_limits=transport_limits,
+        revive_budget=revive_budget,
+        checkpoint=checkpoint,
+    )
+
+
+def resume_sharded(
+    directory: str,
+    calibrations=None,
+    pool_hook=None,
+    transport_plan=None,
+    transport_seed=None,
+    transport_limits=None,
+    revive_budget: int = 3,
+    index: int | None = None,
+    checkpoint: ShardCheckpointPolicy | None = None,
+) -> ShardRunResult:
+    """Rebuild a crashed coordinator from its checkpoint and continue.
+
+    Loads the newest checkpoint in ``directory`` (or the one at
+    ``index``), reconstructs the run from the persisted config, restores
+    every coordinator cursor, replays the recorded directive history into
+    fresh workers -- re-verifying each shard's digest against the
+    checkpoint -- and runs the remaining epochs.  The resumed run's
+    fingerprints are bit-identical to the uninterrupted run's: recovery
+    is invisible in every fingerprinted output.
+    """
+    from repro.checkpoint.manager import CheckpointManager
+
+    manager = CheckpointManager(directory)
+    body = (
+        manager.load(manager.path_for(index))
+        if index is not None
+        else manager.load_latest()
+    )
+    run = ShardedClusterRun(
+        ShardRunConfig(**body["config"]), calibrations
+    )
+    run.restore_state(body["layers"]["coordinator"])
+    return run.run(
+        pool_hook=pool_hook,
+        transport_plan=transport_plan,
+        transport_seed=transport_seed,
+        transport_limits=transport_limits,
+        revive_budget=revive_budget,
+        checkpoint=checkpoint,
+        _pool_state=body["layers"]["pool"],
+    )

@@ -27,6 +27,27 @@ DIRECTIVE_INJECT = "inject"
 DIRECTIVE_CRASH = "crash"
 DIRECTIVE_RECOVER = "recover"
 
+#: Every legal directive kind (validation + the transport tests' oracle).
+DIRECTIVE_KINDS = frozenset(
+    (DIRECTIVE_INJECT, DIRECTIVE_CRASH, DIRECTIVE_RECOVER)
+)
+
+
+def validate_directive(directive: object) -> tuple:
+    """Check one wire directive's shape; returns it or raises ValueError.
+
+    Directive batches ride inside checksummed transport frames, so bit
+    rot is caught before this point -- this guards against *protocol*
+    bugs (a malformed batch built coordinator-side), which no checksum
+    can catch.
+    """
+    if not isinstance(directive, tuple) or len(directive) != 2:
+        raise ValueError(f"malformed directive {directive!r}")
+    kind, _body = directive
+    if kind not in DIRECTIVE_KINDS:
+        raise ValueError(f"unknown directive kind {kind!r}")
+    return directive
+
 
 @dataclass(frozen=True)
 class CompletionRecord:

@@ -1,21 +1,44 @@
-"""Persistent worker-process pool for shard execution, with crash replay.
+"""Persistent worker pool for shard execution, hardened against faults.
 
 The pool assigns shards to long-lived fork workers (round-robin, so the
-assignment is deterministic) and drives them through the epoch protocol
-over pipes.  ``workers=1`` -- or any platform where fork is unavailable --
-degrades to running every shard in-process; results are identical either
-way because a shard's outputs are a pure function of its config and
-delivered directives.
+assignment is deterministic) and drives them through the epoch protocol.
+``workers=1`` -- or any platform where fork is unavailable -- degrades to
+running every shard in-process; results are identical either way because
+a shard's outputs are a pure function of its config and delivered
+directives.
 
-**Worker-crash recovery** rests on that same purity: the pool remembers
-every shard's directive history, so when a worker dies (OOM kill,
-SIGKILL, pipe torn mid-epoch) its shards are rebuilt in a fresh process
-and *replayed* from history, then verified -- the replayed state summary
-must match the last recorded digest bit-for-bit
-(:func:`repro.checkpoint.state.payload_digest`), with field-level
-divergences reported through :func:`repro.checkpoint.state.diff_states`
-and :class:`repro.checkpoint.state.RestoreMismatchError` -- the PR 7
-checkpoint discipline applied to live workers.
+Every command now travels through the transport layer
+(:mod:`repro.shard.transport`): checksummed frames over a
+:class:`~repro.shard.transport.ReliableLink` whose
+:class:`~repro.shard.transport.LossyChannel` pair can -- under a
+:class:`~repro.shard.transport.TransportFaultPlan` -- drop, duplicate,
+reorder, delay, and corrupt traffic in either direction, while the
+stop-and-wait exactly-once protocol keeps shard state equal to the
+fault-free run's, bit for bit.
+
+**Failure handling** is a ladder:
+
+1. *Retransmit*: lost or corrupted frames are retried with deterministic
+   doubling backoff; duplicates are no-ops worker-side.
+2. *Probe*: after ``probe_after`` silent rounds the link sends heartbeat
+   probes to distinguish a slow worker from a dead one.
+3. *Revive*: a dead pipe or a probe deadline
+   (:class:`~repro.shard.transport.WorkerUnresponsiveError`) kills and
+   respawns the worker, then *replays* its shards from the recorded
+   directive history over a lossless link and verifies the replayed
+   state digests (:func:`repro.checkpoint.state.payload_digest`) --
+   the PR 7 checkpoint discipline applied to live workers.  Divergence
+   raises :class:`repro.checkpoint.state.RestoreMismatchError`.
+4. *Quarantine*: each worker has a bounded revive budget (default 3).
+   Exhausting it raises a terminal
+   :class:`~repro.shard.transport.WorkerQuarantinedError` carrying the
+   digest diff of a final diagnostic replay, instead of replay-looping
+   forever.
+
+The recorded history also powers coordinator crash recovery: the
+coordinator checkpoints :meth:`ShardPool.snapshot_history` at epoch
+barriers, and :meth:`ShardPool.restore_history` rebuilds fresh workers
+from it, re-verifying every shard digest before the run continues.
 """
 
 from __future__ import annotations
@@ -28,47 +51,33 @@ from repro.checkpoint.state import (
     diff_states,
     payload_digest,
 )
+from repro.shard.transport import (
+    ReliableLink,
+    TransportError,
+    TransportFaultPlan,
+    TransportLimits,
+    WorkerEndpoint,
+    WorkerQuarantinedError,
+    WorkerUnresponsiveError,
+)
 from repro.shard.worker import ShardConfig, ShardWorld
 
-#: Pipe-protocol command verbs (coordinator -> worker).
+#: Framed-protocol payload verbs (inside exactly-once DATA frames).
 _CMD_EPOCH = "epoch"
 _CMD_FINISH = "finish"
-_CMD_EXIT = "exit"
+
+#: Raw pipe verbs (outside the frame protocol: lifecycle + diagnostics).
+_RAW_FRAMES = "frames"
+_RAW_STATS = "stats"
+_RAW_EXIT = "exit"
 
 
-def _worker_main(conn, configs: list[ShardConfig], calibrations) -> None:
-    """Worker process body: build owned shards, serve the epoch protocol."""
-    worlds = {
-        config.shard_id: ShardWorld.build(config, calibrations)
-        for config in configs
-    }
-    while True:
-        command = conn.recv()
-        verb = command[0]
-        if verb == _CMD_EPOCH:
-            _verb, end, directives, want_summary = command
-            reply = {}
-            for shard_id in sorted(worlds):
-                world = worlds[shard_id]
-                world.deliver(directives.get(shard_id, []))
-                completions, failovers = world.run_epoch(end)
-                summary = world.state_summary() if want_summary else None
-                reply[shard_id] = (completions, failovers, summary)
-            conn.send(reply)
-        elif verb == _CMD_FINISH:
-            conn.send({
-                shard_id: worlds[shard_id].final_payload()
-                for shard_id in sorted(worlds)
-            })
-        elif verb == _CMD_EXIT:
-            conn.close()
-            return
-        else:  # pragma: no cover - protocol misuse
-            raise ValueError(f"unknown pool command {verb!r}")
+class _ShardExecutor:
+    """Owns a set of shard worlds and executes decoded commands.
 
-
-class _InProcessWorker:
-    """Serial stand-in for a worker process (same protocol, no pipe)."""
+    Shared by the fork worker and the in-process stand-in so both modes
+    run byte-identical code under the same endpoint protocol.
+    """
 
     def __init__(self, configs: list[ShardConfig], calibrations) -> None:
         self.worlds = {
@@ -76,21 +85,83 @@ class _InProcessWorker:
             for config in configs
         }
 
-    def run_epoch(self, end, directives, want_summary):
-        reply = {}
-        for shard_id in sorted(self.worlds):
-            world = self.worlds[shard_id]
-            world.deliver(directives.get(shard_id, []))
-            completions, failovers = world.run_epoch(end)
-            summary = world.state_summary() if want_summary else None
-            reply[shard_id] = (completions, failovers, summary)
-        return reply
+    def execute(self, payload: tuple):
+        verb = payload[0]
+        if verb == _CMD_EPOCH:
+            _verb, end, directives, want_summary = payload
+            reply = {}
+            for shard_id in sorted(self.worlds):
+                world = self.worlds[shard_id]
+                world.deliver(directives.get(shard_id, []))
+                completions, failovers = world.run_epoch(end)
+                summary = world.state_summary() if want_summary else None
+                reply[shard_id] = (completions, failovers, summary)
+            return reply
+        if verb == _CMD_FINISH:
+            return {
+                shard_id: self.worlds[shard_id].final_payload()
+                for shard_id in sorted(self.worlds)
+            }
+        raise ValueError(f"unknown pool command {verb!r}")
 
-    def finish(self):
-        return {
-            shard_id: self.worlds[shard_id].final_payload()
-            for shard_id in sorted(self.worlds)
-        }
+
+#: How often (seconds) an idle worker checks whether it was orphaned.
+_ORPHAN_POLL = 1.0
+
+
+def _worker_main(conn, configs: list[ShardConfig], calibrations) -> None:
+    """Worker process body: serve frames through an exactly-once endpoint.
+
+    Workers forked after their siblings inherit copies of the siblings'
+    pipe ends, so a SIGKILLed coordinator never produces an EOF on
+    ``conn`` -- each worker instead polls its parentage while idle and
+    exits once it has been reparented (the coordinator is gone and can
+    only come back as a *resume*, which spawns fresh workers).
+    """
+    parent = os.getppid()
+    executor = _ShardExecutor(configs, calibrations)
+    endpoint = WorkerEndpoint(executor.execute)
+    while True:
+        while not conn.poll(_ORPHAN_POLL):
+            if os.getppid() != parent:
+                return
+        try:
+            command = conn.recv()
+        except EOFError:
+            return
+        verb = command[0]
+        if verb == _RAW_FRAMES:
+            conn.send(endpoint.handle_frames(command[1]))
+        elif verb == _RAW_STATS:
+            conn.send(dict(endpoint.stats))
+        elif verb == _RAW_EXIT:
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise ValueError(f"unknown pipe verb {verb!r}")
+
+
+class _InProcessWorker:
+    """Serial stand-in for a worker process (same protocol, no pipe)."""
+
+    def __init__(self, configs: list[ShardConfig], calibrations) -> None:
+        self.configs = configs
+        self.calibrations = calibrations
+        self.respawn()
+
+    def respawn(self) -> None:
+        """Rebuild worlds + endpoint from scratch (the serial 'restart')."""
+        self.executor = _ShardExecutor(self.configs, self.calibrations)
+        self.endpoint = WorkerEndpoint(self.executor.execute)
+
+    def exchange_frames(self, frames: list) -> list:
+        return self.endpoint.handle_frames(frames)
+
+    def endpoint_stats(self) -> dict:
+        return dict(self.endpoint.stats)
+
+    def close(self) -> None:
+        pass
 
 
 class _ProcessWorker:
@@ -115,8 +186,8 @@ class _ProcessWorker:
         child.close()
         self.conn = parent
 
-    def request(self, command):
-        """One command round-trip; raises ``ConnectionError`` on death."""
+    def _request(self, command):
+        """One raw pipe round-trip; raises ``ConnectionError`` on death."""
         try:
             self.conn.send(command)
             return self.conn.recv()
@@ -124,15 +195,24 @@ class _ProcessWorker:
                 as exc:
             raise ConnectionError(str(exc)) from exc
 
+    def exchange_frames(self, frames: list) -> list:
+        return self._request((_RAW_FRAMES, frames))
+
+    def endpoint_stats(self) -> dict:
+        return self._request((_RAW_STATS,))
+
     def kill(self) -> None:
         """SIGKILL the worker (the chaos hook for restart tests)."""
         if self.process is not None and self.process.pid is not None:
-            os.kill(self.process.pid, signal.SIGKILL)
+            try:
+                os.kill(self.process.pid, signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - already gone
+                pass
             self.process.join()
 
     def close(self) -> None:
         try:
-            self.conn.send((_CMD_EXIT,))
+            self.conn.send((_RAW_EXIT,))
         except (BrokenPipeError, OSError):
             pass
         if self.process is not None:
@@ -143,7 +223,7 @@ class _ProcessWorker:
 
 
 class ShardPool:
-    """Drives every shard through barriers, surviving worker crashes."""
+    """Drives every shard through barriers, surviving faults end to end."""
 
     def __init__(
         self,
@@ -151,12 +231,29 @@ class ShardPool:
         calibrations: dict,
         workers: int = 1,
         verify: bool = True,
+        transport_plan: TransportFaultPlan | None = None,
+        transport_seed: int = 0,
+        transport_limits: TransportLimits | None = None,
+        revive_budget: int = 3,
     ) -> None:
         if not configs:
             raise ValueError("need at least one shard")
+        if int(workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if int(revive_budget) < 0:
+            raise ValueError(
+                f"revive_budget must be non-negative, got {revive_budget!r}"
+            )
         self.configs = list(configs)
         self.calibrations = calibrations
         self.verify = verify
+        self.transport_plan = transport_plan
+        self.transport_seed = int(transport_seed)
+        self.transport_limits = (
+            transport_limits if transport_limits is not None
+            else TransportLimits()
+        )
+        self.revive_budget = int(revive_budget)
         #: Per-shard directive history: ``[(end, directives), ...]``.
         self._history: dict[int, list[tuple]] = {
             config.shard_id: [] for config in configs
@@ -167,7 +264,8 @@ class ShardPool:
         #: Workers resurrected after a crash (mirrors ``parallel_map``'s
         #: retry counter).
         self.worker_restarts = 0
-        workers = max(1, min(int(workers), len(self.configs)))
+        self._epochs_run = 0
+        workers = min(int(workers), len(self.configs))
         self._assignment: dict[int, list[ShardConfig]] = {
             index: [] for index in range(workers)
         }
@@ -184,6 +282,15 @@ class ShardPool:
             ]
         else:
             self._workers = [_InProcessWorker(self.configs, calibrations)]
+        self._revives = {index: 0 for index in range(len(self._workers))}
+        self._incarnations = {
+            index: 0 for index in range(len(self._workers))
+        }
+        #: Counters folded in from links retired by revives.
+        self._retired_stats: dict[str, int] = {}
+        self._links = [
+            self._make_link(index) for index in range(len(self._workers))
+        ]
 
     @staticmethod
     def _fork_available() -> bool:
@@ -196,6 +303,30 @@ class ShardPool:
         """Live worker count (1 in serial mode)."""
         return len(self._workers)
 
+    # -- transport plumbing ---------------------------------------------
+    def _make_link(self, index: int) -> ReliableLink:
+        return ReliableLink(
+            self._workers[index].exchange_frames,
+            self.transport_plan,
+            seed=self.transport_seed,
+            worker_index=index,
+            incarnation=self._incarnations[index],
+            limits=self.transport_limits,
+        )
+
+    def _request(self, index: int, payload: tuple,
+                 lossless: bool = False):
+        """Deliver one command exactly once, reviving through failures."""
+        while True:
+            try:
+                return self._links[index].request(
+                    payload, self._epochs_run, lossless=lossless
+                )
+            except ConnectionError as exc:
+                self._revive(index, f"pipe failure: {exc}")
+            except WorkerUnresponsiveError as exc:
+                self._revive(index, str(exc))
+
     # -- crash recovery -------------------------------------------------
     def kill_worker(self, index: int = 0) -> None:
         """SIGKILL one worker process (restart-test hook; parallel only)."""
@@ -203,16 +334,26 @@ class ShardPool:
             raise RuntimeError("no worker processes in serial mode")
         self._workers[index].kill()
 
-    def _revive(self, index: int) -> None:
-        """Respawn a dead worker and replay its shards from history.
+    def _retire_link_stats(self, index: int) -> None:
+        for key, value in self._links[index].combined_stats().items():
+            self._retired_stats[key] = self._retired_stats.get(key, 0) + value
 
-        The replayed state must match the last verified digest for every
-        owned shard; a mismatch names the diverging fields and aborts the
-        run rather than continuing from silently-wrong state.
-        """
-        self.worker_restarts += 1
+    def _respawn(self, index: int) -> None:
         worker = self._workers[index]
-        worker.spawn()
+        if self.parallel:
+            worker.kill()
+            worker.spawn()
+        else:
+            worker.respawn()
+        self._incarnations[index] += 1
+
+    def _replay(self, index: int, link: ReliableLink) -> list[str]:
+        """Replay one worker's shards from history over a lossless link.
+
+        Returns digest-diff lines (empty when every shard's replayed
+        summary matches its recorded digest bit-for-bit).
+        """
+        worker = self._workers[index]
         owned = [config.shard_id for config in worker.configs]
         depth = max(
             (len(self._history[shard_id]) for shard_id in owned), default=0
@@ -227,20 +368,68 @@ class ShardPool:
                     end, step_directives = history[step]
                     directives[shard_id] = step_directives
             want_summary = step == depth - 1
-            reply = worker.request((_CMD_EPOCH, end, directives, want_summary))
+            reply = link.request(
+                (_CMD_EPOCH, end, directives, want_summary),
+                self._epochs_run,
+                lossless=True,
+            )
+        diffs: list[str] = []
         if reply is None or not self.verify:
-            return
+            return diffs
         for shard_id in owned:
             expected = self._summaries.get(shard_id)
             if expected is None:
                 continue
             _completions, _failovers, summary = reply[shard_id]
             if payload_digest(summary) != self._digests[shard_id]:
-                diffs = diff_states(expected, summary)
-                raise RestoreMismatchError(
-                    f"shard {shard_id} replay diverged after worker "
-                    f"restart: " + "; ".join(diffs)
+                diffs.extend(
+                    f"shard {shard_id}: {line}"
+                    for line in diff_states(expected, summary)
                 )
+        return diffs
+
+    def _revive(self, index: int, reason: str) -> None:
+        """Respawn a dead worker and replay its shards from history.
+
+        The replayed state must match the last verified digest for every
+        owned shard; a mismatch names the diverging fields and aborts the
+        run rather than continuing from silently-wrong state.  Each
+        worker may be revived at most ``revive_budget`` times; the next
+        failure quarantines it terminally.
+        """
+        if self._revives[index] >= self.revive_budget:
+            self._quarantine(index, reason)
+        self._revives[index] += 1
+        self.worker_restarts += 1
+        self._retire_link_stats(index)
+        self._respawn(index)
+        link = self._make_link(index)
+        diffs = self._replay(index, link)
+        if diffs:
+            raise RestoreMismatchError(
+                f"worker {index} replay diverged after worker restart: "
+                + "; ".join(diffs)
+            )
+        self._links[index] = link
+
+    def _quarantine(self, index: int, reason: str) -> None:
+        """Terminal stop: one diagnostic replay, then a typed error.
+
+        The diagnostic replay (fresh worker, lossless link) distinguishes
+        corrupted shard state from a hostile transport: an empty digest
+        diff means replay still reproduces every recorded digest.
+        """
+        shard_ids = [
+            config.shard_id for config in self._workers[index].configs
+        ]
+        try:
+            self._respawn(index)
+            diffs = self._replay(index, self._make_link(index))
+        except (ConnectionError, TransportError) as exc:
+            diffs = [f"diagnostic replay failed: {exc}"]
+        raise WorkerQuarantinedError(
+            index, shard_ids, self._revives[index], diffs, reason
+        )
 
     # -- epoch protocol -------------------------------------------------
     def run_epoch(
@@ -248,30 +437,21 @@ class ShardPool:
     ) -> tuple[list[list[tuple]], list[list[tuple]]]:
         """Advance every shard to the barrier; returns per-shard outboxes.
 
-        ``directives`` maps shard id to that shard's sorted directive list.
-        Returns ``(completions, failovers)`` as per-shard lists in shard-id
-        order.  A worker found dead is revived and replayed before the
-        epoch is retried on it, so a mid-run SIGKILL costs wall time, never
-        results.
+        ``directives`` maps shard id to that shard's sorted directive
+        list.  Returns ``(completions, failovers)`` as per-shard lists in
+        shard-id order.  Transport faults cost retransmit rounds, dead
+        workers cost a revive + replay -- neither ever changes results.
         """
         merged: dict[int, tuple] = {}
         for index, worker in enumerate(self._workers):
-            if self.parallel:
-                owned = [config.shard_id for config in worker.configs]
-                command = (
-                    _CMD_EPOCH, end,
-                    {shard_id: directives.get(shard_id, [])
-                     for shard_id in owned},
-                    self.verify,
-                )
-                try:
-                    reply = worker.request(command)
-                except ConnectionError:
-                    self._revive(index)
-                    reply = worker.request(command)
-            else:
-                reply = worker.run_epoch(end, directives, self.verify)
-            merged.update(reply)
+            owned = [config.shard_id for config in worker.configs]
+            payload = (
+                _CMD_EPOCH, end,
+                {shard_id: directives.get(shard_id, [])
+                 for shard_id in owned},
+                self.verify,
+            )
+            merged.update(self._request(index, payload))
         completions: list[list[tuple]] = []
         failovers: list[list[tuple]] = []
         for config in self.configs:
@@ -286,28 +466,104 @@ class ShardPool:
             self._history[config.shard_id].append(
                 (end, directives.get(config.shard_id, []))
             )
+        self._epochs_run += 1
         return completions, failovers
 
     def finish(self) -> dict[int, dict]:
         """Collect every shard's final payload (shard id -> payload)."""
         merged: dict[int, dict] = {}
-        for index, worker in enumerate(self._workers):
-            if self.parallel:
-                try:
-                    reply = worker.request((_CMD_FINISH,))
-                except ConnectionError:
-                    self._revive(index)
-                    reply = worker.request((_CMD_FINISH,))
-            else:
-                reply = worker.finish()
-            merged.update(reply)
+        for index in range(len(self._workers)):
+            merged.update(self._request(index, (_CMD_FINISH,)))
         return merged
+
+    # -- diagnostics -----------------------------------------------------
+    def transport_stats(self) -> dict[str, int]:
+        """Aggregated link/channel/endpoint counters (never fingerprinted).
+
+        Link and channel counters sum across workers; worker-endpoint
+        counters are fetched over the raw pipe and prefixed ``worker_``
+        (a dead worker's endpoint counters are skipped, not invented).
+        """
+        totals: dict[str, int] = dict(self._retired_stats)
+        for link in self._links:
+            for key, value in link.combined_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        for worker in self._workers:
+            try:
+                stats = worker.endpoint_stats()
+            except ConnectionError:
+                continue
+            for key, value in stats.items():
+                worker_key = f"worker_{key}"
+                totals[worker_key] = totals.get(worker_key, 0) + value
+        totals["worker_restarts"] = self.worker_restarts
+        return totals
+
+    # -- coordinator checkpoint integration ------------------------------
+    def snapshot_history(self) -> dict:
+        """Plain-data directive history + digests (checkpoint layer)."""
+        return {
+            "v": 1,
+            "epochs": self._epochs_run,
+            "restarts": self.worker_restarts,
+            "history": {
+                str(shard_id): [[end, directives]
+                                for end, directives in steps]
+                for shard_id, steps in self._history.items()
+            },
+            "digests": {
+                str(shard_id): digest
+                for shard_id, digest in self._digests.items()
+            },
+            "summaries": {
+                str(shard_id): summary
+                for shard_id, summary in self._summaries.items()
+            },
+        }
+
+    def restore_history(self, state: dict) -> None:
+        """Rebuild every worker's shard state from a history snapshot.
+
+        Replays each worker's directive history over a lossless link and
+        re-verifies every shard's digest against the snapshot --
+        divergence raises
+        :class:`~repro.checkpoint.state.RestoreMismatchError` rather than
+        resuming from wrong state.
+        """
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown pool history snapshot version {state.get('v')!r}"
+            )
+        restored = {int(key): value for key, value in state["history"].items()}
+        if set(restored) != set(self._history):
+            raise RestoreMismatchError(
+                f"snapshot shards {sorted(restored)} != pool shards "
+                f"{sorted(self._history)}"
+            )
+        self._history = {
+            shard_id: [(end, directives) for end, directives in steps]
+            for shard_id, steps in restored.items()
+        }
+        self._digests = {
+            int(key): value for key, value in state["digests"].items()
+        }
+        self._summaries = {
+            int(key): value for key, value in state["summaries"].items()
+        }
+        self._epochs_run = int(state["epochs"])
+        self.worker_restarts = int(state["restarts"])
+        for index in range(len(self._workers)):
+            diffs = self._replay(index, self._links[index])
+            if diffs:
+                raise RestoreMismatchError(
+                    f"resume: worker {index} replay diverged from "
+                    f"checkpointed digests: " + "; ".join(diffs)
+                )
 
     def close(self) -> None:
         """Shut every worker down (idempotent)."""
-        if self.parallel:
-            for worker in self._workers:
-                worker.close()
+        for worker in self._workers:
+            worker.close()
 
     def __enter__(self) -> "ShardPool":
         return self

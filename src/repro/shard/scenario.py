@@ -22,6 +22,7 @@ from repro.shard.coordinator import (
     ShardRunResult,
     run_sharded,
 )
+from repro.shard.transport import TRANSPORT_PRESETS, TransportFaultPlan
 
 
 def solr_macro_config(
@@ -114,10 +115,31 @@ SCENARIOS = {
 }
 
 
+def transport_preset(name: str | None) -> TransportFaultPlan | None:
+    """Resolve a named transport weather preset (``None``/"none" -> off)."""
+    if name is None or name == "none":
+        return None
+    try:
+        return TRANSPORT_PRESETS[name]()
+    except KeyError:
+        known = ", ".join(sorted(TRANSPORT_PRESETS))
+        raise KeyError(
+            f"unknown transport preset {name!r}; known: none, {known}"
+        ) from None
+
+
 def run_scenario(
-    name: str, n_shards: int = 1, workers: int = 1, **overrides
+    name: str,
+    n_shards: int = 1,
+    workers: int = 1,
+    transport: str | None = None,
+    transport_seed: int | None = None,
+    pool_hook=None,
+    checkpoint=None,
+    **overrides,
 ) -> ShardRunResult:
-    """Build and run one named scenario."""
+    """Build and run one named scenario, optionally under transport
+    weather and/or barrier checkpointing."""
     try:
         builder = SCENARIOS[name]
     except KeyError:
@@ -125,4 +147,10 @@ def run_scenario(
         raise KeyError(f"unknown scenario {name!r}; known: {known}") \
             from None
     config = builder(n_shards=n_shards, workers=workers, **overrides)
-    return run_sharded(config)
+    return run_sharded(
+        config,
+        pool_hook=pool_hook,
+        transport_plan=transport_preset(transport),
+        transport_seed=transport_seed,
+        checkpoint=checkpoint,
+    )

@@ -317,6 +317,91 @@ class PowerAwareScheduler:
         state.alive = True
         self._push_machine(state)
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data snapshot of the live placement state.
+
+        Heaps are deliberately absent: they are a lazy cache over
+        ``predicted_watts``/``alive`` (stale entries are discarded on
+        pop), so rebuilding them fresh on restore pops the exact same
+        ``(-headroom, name)`` winners the original run's heaps would.
+        """
+        return {
+            "v": 1,
+            "machines": [
+                [name, state.predicted_watts, state.alive]
+                for name, state in sorted(self.machines.items())
+            ],
+            "racks": [
+                [index, rack.predicted_watts]
+                for index, rack in sorted(self.racks.items())
+            ],
+            "profiles": [
+                [arch, key, profile.count, profile.energy_sum,
+                 profile.service_sum]
+                for (arch, key), profile in sorted(self.profiles.items())
+            ],
+            "inflight": [
+                [request_id, machine, demand, key]
+                for request_id, (machine, demand, key)
+                in sorted(self._inflight.items())
+            ],
+            "defers": [
+                [request_id, count]
+                for request_id, count in sorted(self._defers.items())
+            ],
+            "shed_log": list(self.shed_log),
+            "counters": {
+                "placed": self.placed,
+                "completed": self.completed,
+                "shed": self.shed,
+                "deferred_total": self.deferred_total,
+                "failovers": self.failovers,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot taken from an identically-configured run."""
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown scheduler snapshot version {state.get('v')!r}"
+            )
+        for name, watts, alive in state["machines"]:
+            machine = self.machines[name]
+            machine.predicted_watts = watts
+            machine.alive = alive
+        for index, watts in state["racks"]:
+            self.racks[index].predicted_watts = watts
+        self.profiles = {
+            (arch, key): _Profile(
+                count=count, energy_sum=energy_sum, service_sum=service_sum
+            )
+            for arch, key, count, energy_sum, service_sum
+            in state["profiles"]
+        }
+        self._inflight = {
+            request_id: (machine, demand, key)
+            for request_id, machine, demand, key in state["inflight"]
+        }
+        self._defers = {
+            request_id: count for request_id, count in state["defers"]
+        }
+        self.shed_log = list(state["shed_log"])
+        counters = state["counters"]
+        self.placed = counters["placed"]
+        self.completed = counters["completed"]
+        self.shed = counters["shed"]
+        self.deferred_total = counters["deferred_total"]
+        self.failovers = counters["failovers"]
+        self._rack_heap = []
+        self._machine_heaps = {
+            rack.index: [] for rack in self.racks.values()
+        }
+        for rack in self.racks.values():
+            self._push_rack(rack)
+            for name in rack.machine_names:
+                self._push_machine(self.machines[name])
+
     # -- reporting ------------------------------------------------------
     def inflight_count(self) -> int:
         """Requests currently charged to some machine."""

@@ -30,6 +30,7 @@ from repro.shard.messages import (
     DIRECTIVE_RECOVER,
     CompletionRecord,
     FailoverRecord,
+    validate_directive,
 )
 
 
@@ -47,6 +48,14 @@ class ShardConfig:
     shard_id: int
     machines: tuple[tuple[str, str], ...]
     workload: str
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 0:
+            raise ValueError(
+                f"shard_id must be non-negative, got {self.shard_id!r}"
+            )
+        if not self.workload:
+            raise ValueError("workload must be a non-empty kind name")
 
 
 def build_shard_workload(kind: str):
@@ -114,7 +123,8 @@ class ShardWorld:
         on different machines cannot interact.
         """
         sim = self.cluster.simulator
-        for kind, body in directives:
+        for directive in directives:
+            kind, body = validate_directive(directive)
             if kind == DIRECTIVE_INJECT:
                 ticket = DispatchTicket.from_wire(body)
                 sim.schedule_at(
