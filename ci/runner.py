@@ -165,8 +165,48 @@ def run_telemetry():
                 f"determinism-gate key {key!r} changed when telemetry was "
                 f"enabled on the Solr run",
             ))
+
+    # Cluster half: sharded neutrality + merged-stream determinism.  One
+    # sharded Solr world per telemetry mode -- all four fingerprint sets
+    # must be bit-identical -- then the telemetry-on case double-run with
+    # equal merged trace/alert/store digests, and the dashboard exported
+    # as the bench workflow's artifact.
+    from repro.shard.scenario import run_scenario as run_shard_scenario
+
+    sharded = {
+        mode: run_shard_scenario("solr", n_shards=2, telemetry=mode,
+                                 duration=0.5)
+        for mode in ("off", "disabled", "store", "on")
+    }
+    for mode in ("disabled", "store", "on"):
+        if sharded[mode].fingerprints != sharded["off"].fingerprints:
+            findings.append(Finding(
+                "ci/runner.py", 1, "TELEM",
+                f"sharded telemetry mode {mode!r} changed the run "
+                f"fingerprints (cluster instrumentation is not neutral)",
+            ))
+    rerun = run_shard_scenario("solr", n_shards=2, telemetry="on",
+                               duration=0.5)
+    for key in ("trace_fingerprint", "alert_fingerprint",
+                "store_fingerprint"):
+        if (rerun.telemetry_summary[key]
+                != sharded["on"].telemetry_summary[key]):
+            findings.append(Finding(
+                "ci/runner.py", 1, "NDET",
+                f"merged {key} differs between identically-seeded "
+                f"sharded runs",
+            ))
+    dashboard_path = os.path.join(ROOT, "results", "dashboard-ci.json")
+    os.makedirs(os.path.dirname(dashboard_path), exist_ok=True)
+    with open(dashboard_path, "w") as fh:
+        fh.write(sharded["on"].observability.store.dashboard_json(
+            meta={"lane": "telemetry", "scenario": "solr", "shards": 2},
+            alerts=sharded["on"].observability.engine.alert_table(),
+        ))
+
     detail = (f"{len(_CHAOS_SCENARIOS)} scenarios x (neutrality + double-run "
-              f"+ disabled identity) + Solr gate neutrality")
+              f"+ disabled identity) + Solr gate neutrality + sharded "
+              f"4-mode neutrality + merged-stream double-run")
     return not findings, findings, detail
 
 

@@ -301,13 +301,61 @@ def cmd_overload(args) -> int:
     return 0
 
 
+def _run_sharded_telemetry(args, capacity: int = 65536):
+    """Shared ``--shards`` path for trace/metrics: sharded run, mode "on"."""
+    from repro.shard.scenario import SCENARIOS, run_scenario
+
+    if args.scenario not in SCENARIOS:
+        raise SystemExit(
+            f"--shards requires a sharded scenario "
+            f"({', '.join(sorted(SCENARIOS))}), got {args.scenario!r}"
+        )
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return run_scenario(
+        args.scenario,
+        n_shards=args.shards,
+        workers=args.workers,
+        telemetry="on",
+        telemetry_capacity=capacity,
+        **overrides,
+    )
+
+
 def cmd_trace(args) -> int:
-    """Trace one chaos scenario: request spans + energy timeline export."""
+    """Trace one chaos scenario: request spans + energy timeline export.
+
+    With ``--shards N`` the scenario names a *sharded* scenario instead
+    (solr/chaos/flash); per-shard telemetry frames are k-way merged and
+    the merged Chrome trace is written (``--duration-scale`` does not
+    apply there).
+    """
     import os
 
     from repro.faults import run_scenario, scenario_by_name
     from repro.telemetry import Telemetry
 
+    if args.shards:
+        result = _run_sharded_telemetry(args, capacity=args.capacity)
+        aggregator = result.observability.aggregator
+        out = args.out or os.path.join(
+            "results", f"trace-shard-{args.scenario}.json"
+        )
+        directory = os.path.dirname(out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(out, "w") as handle:
+            handle.write(aggregator.to_chrome_json())
+        print(aggregator.tracer.timeline(limit=args.limit))
+        print(
+            f"{aggregator.events_merged} events merged from "
+            f"{aggregator.frames_merged} frames across "
+            f"{result.config.n_shards} shard(s); merged trace fingerprint "
+            f"{aggregator.trace_fingerprint()}"
+        )
+        print(f"wrote merged Chrome trace_event JSON to {out}")
+        return 0
     scenario = scenario_by_name(args.scenario)
     telemetry = Telemetry(capacity=args.capacity)
     report = run_scenario(
@@ -331,12 +379,32 @@ def cmd_trace(args) -> int:
 
 
 def cmd_metrics(args) -> int:
-    """Run one chaos scenario and dump the unified metrics exposition."""
+    """Run one chaos scenario and dump the unified metrics exposition.
+
+    With ``--shards N`` the scenario names a *sharded* scenario; the
+    exposition renders the coordinator's merged registry (every shard's
+    facility metrics plus the ``transport_*`` health gauges).
+    """
     import os
 
     from repro.faults import run_scenario, scenario_by_name
     from repro.telemetry import Telemetry
 
+    if args.shards:
+        result = _run_sharded_telemetry(args)
+        registry = result.observability.aggregator.registry
+        text = registry.exposition()
+        out = args.out or os.path.join(
+            "results", f"metrics-shard-{args.scenario}.txt"
+        )
+        directory = os.path.dirname(out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(out, "w") as handle:
+            handle.write(text)
+        print(text, end="")
+        print(f"wrote {len(registry)} merged metrics to {out}")
+        return 0
     scenario = scenario_by_name(args.scenario)
     telemetry = Telemetry()
     report = run_scenario(
@@ -520,6 +588,129 @@ def cmd_shard(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """One-shot energy service: sharded run -> store -> dashboard/query.
+
+    The SmartWatts-style central store ingests the merged completion
+    stream (plus telemetry frames in mode "on") and either exports a
+    self-contained dashboard JSON + CSV (default) or answers one
+    deterministic ``--query``.  Mode defaults to "store" for flash (zero
+    worker-side cost at 1,000+ machines) and "on" otherwise.
+    """
+    import json
+    import os
+
+    from repro.shard.scenario import SCENARIOS, run_scenario
+
+    if args.scenario not in SCENARIOS:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; "
+            f"known: {', '.join(sorted(SCENARIOS))}"
+        )
+    mode = args.telemetry
+    if mode is None:
+        mode = "store" if args.scenario == "flash" else "on"
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.machines is not None:
+        overrides["n_machines"] = args.machines
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    result = run_scenario(
+        args.scenario,
+        n_shards=args.shards,
+        workers=args.workers,
+        telemetry=mode,
+        **overrides,
+    )
+    observability = result.observability
+    store = observability.store
+    engine = observability.engine
+    if args.query == "top-energy":
+        print(render_table(
+            ["request", "machine", "rtype", "joules"],
+            [[f"r{row['request_id']}", row["machine"], row["rtype"],
+              row["joules"]] for row in store.top_energy()],
+            title=f"top-{store.top_k} energy consumers: {args.scenario}",
+        ))
+    elif args.query == "percentiles":
+        percentiles = store.joules_percentiles()
+        keys = sorted(next(iter(percentiles.values()), {}))
+        print(render_table(
+            ["rtype", *keys],
+            [[rtype, *(values[key] for key in keys)]
+             for rtype, values in sorted(percentiles.items())],
+            title=f"joules per request: {args.scenario}",
+        ))
+    elif args.query == "rack-power":
+        rows = []
+        for rack, points in sorted(store.rack_power_series().items()):
+            watts = [value for _start, value in points]
+            rows.append([
+                f"rack{rack}", len(points),
+                sum(watts) / len(watts) if watts else 0.0,
+                max(watts) if watts else 0.0,
+            ])
+        print(render_table(
+            ["rack", "windows", "mean W", "peak W"], rows,
+            title=f"rack power rollup: {args.scenario} "
+                  f"(full series in the dashboard JSON)",
+        ))
+    elif args.query == "alerts":
+        print(render_table(
+            ["window", "detector", "severity", "subject", "message"],
+            [[alert.window, alert.detector, alert.severity, alert.subject,
+              alert.message] for alert in engine.alerts],
+            title=f"fired alerts: {args.scenario} "
+                  f"(fingerprint {engine.alert_fingerprint()})",
+        ))
+    else:  # default: the one-shot dashboard report
+        meta = {
+            "scenario": args.scenario,
+            "workload": result.config.workload,
+            "machines": result.config.n_machines,
+            "shards": result.config.n_shards,
+            "seed": result.config.seed,
+            "telemetry_mode": mode,
+            "run_fingerprint": result.fingerprint(),
+        }
+        dashboard = observability.dashboard(meta=meta)
+        os.makedirs(args.out_dir, exist_ok=True)
+        json_path = os.path.join(
+            args.out_dir, f"dashboard-{args.scenario}.json"
+        )
+        with open(json_path, "w") as handle:
+            handle.write(json.dumps(dashboard, indent=2, sort_keys=True))
+        csv_path = os.path.join(
+            args.out_dir, f"dashboard-{args.scenario}.csv"
+        )
+        store.write_csv(csv_path)
+        summary = dashboard["summary"]
+        rows = [
+            ["requests", str(summary["requests"])],
+            ["total energy (J)", f"{summary['total_joules']:.3f}"],
+            ["machines", str(summary["machines"])],
+            ["racks", str(summary["racks"])],
+            ["windows", str(summary["windows"])],
+            ["alerts fired", str(len(dashboard["alerts"]))],
+            ["store fingerprint", dashboard["store_fingerprint"]],
+            ["alert fingerprint", engine.alert_fingerprint()],
+        ]
+        if observability.trace_fingerprint() is not None:
+            rows.append(
+                ["merged trace fingerprint",
+                 observability.trace_fingerprint()]
+            )
+        print(render_table(
+            ["metric", "value"], rows,
+            title=f"energy service: {args.scenario} (mode {mode})",
+        ))
+        print(f"wrote dashboard JSON to {json_path}")
+        print(f"wrote dashboard CSV to {csv_path}")
+    return 0
+
+
 COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig01": (cmd_fig01, "Fig. 1: incremental per-core power"),
     "calibration": (cmd_calibration, "Sec. 4.1: calibration table"),
@@ -538,6 +729,8 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "resume": (cmd_resume, "resume the newest checkpoint and run to the end"),
     "shard": (cmd_shard, "sharded cluster run: epoch barriers + power-aware "
                          "placement"),
+    "serve": (cmd_serve, "one-shot energy service: dashboard export + "
+                         "deterministic --query answers"),
 }
 
 
@@ -620,6 +813,15 @@ def main(argv: list[str] | None = None) -> int:
             cmd_parser.add_argument(
                 "--out", default=None,
                 help="output path (default: results/<cmd>-<scenario>.*)",
+            )
+            cmd_parser.add_argument(
+                "--shards", type=int, default=0,
+                help="run a sharded scenario (solr/chaos/flash) instead of "
+                     "a chaos world and merge per-shard telemetry",
+            )
+            cmd_parser.add_argument(
+                "--workers", type=int, default=1,
+                help="worker processes for the sharded run (with --shards)",
             )
             if name == "trace":
                 cmd_parser.add_argument(
@@ -735,6 +937,45 @@ def main(argv: list[str] | None = None) -> int:
                 "--resume", action="store_true",
                 help="resume the newest checkpoint in --ckpt-dir and run "
                      "to the end",
+            )
+        elif name == "serve":
+            cmd_parser.add_argument(
+                "--scenario", default="solr",
+                choices=("solr", "chaos", "flash"),
+                help="named sharded scenario to serve a report for",
+            )
+            cmd_parser.add_argument(
+                "--shards", type=int, default=2,
+                help="number of shards the cluster is partitioned into",
+            )
+            cmd_parser.add_argument(
+                "--workers", type=int, default=1,
+                help="worker processes executing the shards",
+            )
+            cmd_parser.add_argument("--seed", type=int, default=None)
+            cmd_parser.add_argument(
+                "--machines", type=int, default=None,
+                help="override the scenario's machine count",
+            )
+            cmd_parser.add_argument(
+                "--duration", type=float, default=None,
+                help="override the scenario's arrival window (simulated s)",
+            )
+            cmd_parser.add_argument(
+                "--telemetry", default=None, choices=("store", "on"),
+                help="telemetry mode (default: store for flash, on "
+                     "otherwise; store skips worker-side frames)",
+            )
+            cmd_parser.add_argument(
+                "--query", default=None,
+                choices=("top-energy", "percentiles", "rack-power",
+                         "alerts"),
+                help="print one deterministic query instead of exporting "
+                     "the dashboard",
+            )
+            cmd_parser.add_argument(
+                "--out-dir", default="results",
+                help="directory for dashboard JSON + CSV exports",
             )
         elif name == "overload":
             cmd_parser.add_argument("--seed", type=int, default=42)

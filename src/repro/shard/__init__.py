@@ -9,6 +9,7 @@ history (WattsApp-style headroom scheduling with rack oversubscription).
 """
 
 from repro.shard.coordinator import (
+    RUN_TELEMETRY_MODES,
     ShardCheckpointPolicy,
     ShardedClusterRun,
     ShardRunConfig,
@@ -20,6 +21,8 @@ from repro.shard.messages import (
     DIRECTIVE_KINDS,
     CompletionRecord,
     FailoverRecord,
+    FrameChecksumError,
+    TelemetryFrame,
     merge_records,
     validate_directive,
 )
@@ -52,6 +55,7 @@ from repro.shard.scheduler import (
 from repro.shard.worker import ShardConfig, ShardWorld, build_shard_workload
 
 __all__ = [
+    "RUN_TELEMETRY_MODES",
     "ShardCheckpointPolicy",
     "ShardedClusterRun",
     "ShardRunConfig",
@@ -61,6 +65,8 @@ __all__ = [
     "DIRECTIVE_KINDS",
     "CompletionRecord",
     "FailoverRecord",
+    "FrameChecksumError",
+    "TelemetryFrame",
     "merge_records",
     "validate_directive",
     "ShardPool",

@@ -52,6 +52,7 @@ from repro.shard.pool import ShardPool
 from repro.shard.scheduler import MachineSlot, PowerAwareScheduler
 from repro.shard.worker import ShardConfig, build_shard_workload
 from repro.sim.rng import RngHub
+from repro.telemetry import ClusterObservability
 
 #: Machine-spec cycle used to populate the cluster (insertion order).
 SPEC_CYCLE = ("sandybridge", "woodcrest", "westmere")
@@ -66,6 +67,19 @@ _RANK = {"crash": 0, "recover": 1, "inject": 2}
 #: plain data the checkpoint layer can snapshot and resume from.
 _ENERGY_CHAIN_SEED = hashlib.sha256(b"shard-energy-chain-v1").hexdigest()
 
+#: Run-level telemetry modes.  ``"off"`` -- nothing; ``"disabled"`` --
+#: workers carry an enabled=False handle (the neutrality/overhead arm);
+#: ``"store"`` -- coordinator-side rollups + detectors from the merged
+#: completion stream only (zero worker-side cost, the flash-scale
+#: default); ``"on"`` -- everything: per-shard frames merged into one
+#: global tracer/registry plus the store and detectors.
+RUN_TELEMETRY_MODES = ("off", "disabled", "store", "on")
+
+#: Run-level telemetry mode -> per-shard worker mode.
+_WORKER_TELEMETRY = {
+    "off": "off", "disabled": "disabled", "store": "off", "on": "on",
+}
+
 
 @dataclass(frozen=True)
 class ShardRunConfig:
@@ -73,7 +87,9 @@ class ShardRunConfig:
 
     Fingerprints depend on every field except ``n_shards`` and
     ``workers`` -- those two only repartition execution, which is exactly
-    the invariance the property tests pin down.
+    the invariance the property tests pin down -- and the ``telemetry*``
+    fields, which only observe (report/shed/batch/energy fingerprints are
+    bit-identical for every telemetry mode).
     """
 
     workload: str = "solr"
@@ -101,6 +117,11 @@ class ShardRunConfig:
     fault_outage: float = 0.5
     #: Hard cap on post-arrival drain epochs (safety, not a tuning knob).
     max_drain_epochs: int = 400
+    #: Telemetry mode (see :data:`RUN_TELEMETRY_MODES`); never affects
+    #: fingerprints.
+    telemetry: str = "off"
+    telemetry_capacity: int = 65536
+    telemetry_top_k: int = 10
 
     def __post_init__(self) -> None:
         """Reject impossible configs at construction, not mid-run."""
@@ -133,6 +154,17 @@ class ShardRunConfig:
             if value < 0:
                 raise ValueError(
                     f"{name} must be non-negative, got {value!r}"
+                )
+        if self.telemetry not in RUN_TELEMETRY_MODES:
+            raise ValueError(
+                f"telemetry mode must be one of {RUN_TELEMETRY_MODES}, "
+                f"got {self.telemetry!r}"
+            )
+        for name in ("telemetry_capacity", "telemetry_top_k"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(
+                    f"{name} must be >= 1, got {value!r}"
                 )
 
     def machine_table(self) -> list[tuple[str, str]]:
@@ -193,6 +225,12 @@ class ShardRunResult:
     transport_stats: dict[str, int] = field(default_factory=dict)
     #: True when this result came out of ``resume_sharded``.
     resumed: bool = False
+    #: Plain-data observability roll-up (trace/alert/store fingerprints,
+    #: merge counters); empty when telemetry mode is "off"/"disabled".
+    telemetry_summary: dict = field(default_factory=dict)
+    #: The live :class:`~repro.telemetry.ClusterObservability` (dashboard
+    #: export, queries); ``None`` unless mode is "store"/"on".
+    observability: object = None
 
     def mean_response_time(self) -> float:
         """Mean response time over completed requests (0 when none)."""
@@ -306,9 +344,21 @@ class ShardedClusterRun:
                 shard_id=shard_id,
                 machines=tuple(shard_machines[shard_id]),
                 workload=config.workload,
+                telemetry=_WORKER_TELEMETRY[config.telemetry],
+                telemetry_capacity=config.telemetry_capacity,
             )
             for shard_id in range(config.n_shards)
         ]
+        self.observability: ClusterObservability | None = None
+        if config.telemetry in ("store", "on"):
+            self.observability = ClusterObservability(
+                epoch_seconds=config.epoch,
+                rack_of={slot.name: slot.rack for slot in slots},
+                rack_caps=rack_caps,
+                frames=config.telemetry == "on",
+                capacity=config.telemetry_capacity,
+                top_k=config.telemetry_top_k,
+            )
         hub = RngHub(config.seed)
         self._arrival_rng = hub.stream("shard-arrivals")
         self._aggregate_rate = sum(
@@ -477,8 +527,9 @@ class ShardedClusterRun:
         )
         self._pending = deferred
         per_shard = self._epoch_directives(placed, epoch_faults)
-        completions, failovers = pool.run_epoch(end, per_shard)
-        for record in merge_records(completions, CompletionRecord):
+        completions, failovers, frames = pool.run_epoch(end, per_shard)
+        merged_completions = merge_records(completions, CompletionRecord)
+        for record in merged_completions:
             self.scheduler.note_completed(record)
             self.completed += 1
             self.total_energy += record.energy_joules
@@ -490,7 +541,8 @@ class ShardedClusterRun:
             self._energy_digest = hashlib.sha256(
                 (self._energy_digest + line).encode()
             ).hexdigest()
-        for record in merge_records(failovers, FailoverRecord):
+        merged_failovers = merge_records(failovers, FailoverRecord)
+        for record in merged_failovers:
             self.scheduler.note_failover(record)
             ticket = record.ticket()
             self._pending.append(
@@ -505,6 +557,18 @@ class ShardedClusterRun:
                 )
             )
         self.epochs_run += 1
+        # Observability consumes the already-merged streams; it never
+        # feeds anything back, so fingerprints cannot depend on it.
+        if self.observability is not None:
+            self.observability.observe_epoch(
+                epoch_index=epoch_index,
+                end=end,
+                completions=merged_completions,
+                failover_count=len(merged_failovers),
+                frames=frames,
+                shed_total=self.scheduler.shed,
+                deferred_total=self.scheduler.deferred_total,
+            )
 
     def run(
         self,
@@ -577,6 +641,15 @@ class ShardedClusterRun:
             payloads = pool.finish()
             restarts = pool.worker_restarts
             transport_stats = pool.transport_stats()
+            if (
+                self.observability is not None
+                and self.observability.aggregator is not None
+            ):
+                # Shard-transport health lands in the merged registry
+                # alongside the workers' facility metrics.
+                pool.publish_metrics(
+                    self.observability.aggregator.registry
+                )
         return self._finalize(payloads, restarts, transport_stats)
 
     # -- checkpoint / resume ---------------------------------------------
@@ -604,6 +677,10 @@ class ShardedClusterRun:
             "arrival_rng": generator_state(self._arrival_rng),
             "pending": [list(ticket.to_wire()) for ticket in self._pending],
             "scheduler": self.scheduler.snapshot_state(),
+            "telemetry": (
+                self.observability.snapshot_state()
+                if self.observability is not None else None
+            ),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -628,6 +705,9 @@ class ShardedClusterRun:
             for wire in state["pending"]
         ]
         self.scheduler.restore_state(state["scheduler"])
+        telemetry_state = state.get("telemetry")
+        if telemetry_state is not None and self.observability is not None:
+            self.observability.restore_state(telemetry_state)
 
     def _save_checkpoint(self, manager, next_epoch: int,
                          pool: ShardPool) -> None:
@@ -697,6 +777,12 @@ class ShardedClusterRun:
             "batch": batch_hash.hexdigest(),
             "energy": self._energy_digest,
         }
+        telemetry_summary: dict = {}
+        if self.observability is not None:
+            self.observability.finalize(
+                self.epochs_run * self.config.epoch, machine_rows
+            )
+            telemetry_summary = self.observability.summary()
         return ShardRunResult(
             config=self.config,
             n_requests=self.n_requests,
@@ -714,6 +800,8 @@ class ShardedClusterRun:
             fingerprints=fingerprints,
             transport_stats=dict(transport_stats or {}),
             resumed=self._start_epoch > 0,
+            telemetry_summary=telemetry_summary,
+            observability=self.observability,
         )
 
 

@@ -22,6 +22,27 @@ from typing import Iterable, Sequence
 
 from repro.server.dispatch import DispatchTicket
 
+# Telemetry frames ride the same wire as completions/failovers; the class
+# lives in repro.telemetry.aggregate (telemetry never imports shard) and
+# is re-exported here so the wire protocol has one home.
+from repro.telemetry.aggregate import FrameChecksumError, TelemetryFrame
+
+__all__ = [
+    "DIRECTIVE_INJECT",
+    "DIRECTIVE_CRASH",
+    "DIRECTIVE_RECOVER",
+    "DIRECTIVE_KINDS",
+    "validate_directive",
+    "CompletionRecord",
+    "FailoverRecord",
+    "FrameChecksumError",
+    "TelemetryFrame",
+    "inject_directive",
+    "crash_directive",
+    "recover_directive",
+    "merge_records",
+]
+
 #: Epoch directive kinds a shard accepts, in delivery order at one barrier.
 DIRECTIVE_INJECT = "inject"
 DIRECTIVE_CRASH = "crash"

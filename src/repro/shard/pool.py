@@ -94,8 +94,11 @@ class _ShardExecutor:
                 world = self.worlds[shard_id]
                 world.deliver(directives.get(shard_id, []))
                 completions, failovers = world.run_epoch(end)
+                # Drain before the summary so the summary's frame-chain
+                # digest covers this barrier's frame (replay-verified).
+                frame = world.drain_frame()
                 summary = world.state_summary() if want_summary else None
-                reply[shard_id] = (completions, failovers, summary)
+                reply[shard_id] = (completions, failovers, summary, frame)
             return reply
         if verb == _CMD_FINISH:
             return {
@@ -380,7 +383,10 @@ class ShardPool:
             expected = self._summaries.get(shard_id)
             if expected is None:
                 continue
-            _completions, _failovers, summary = reply[shard_id]
+            # Replayed frames are discarded: the coordinator already
+            # ingested those barriers; the summary's frame chain still
+            # proves the regenerated frames matched the shipped ones.
+            _completions, _failovers, summary, _frame = reply[shard_id]
             if payload_digest(summary) != self._digests[shard_id]:
                 diffs.extend(
                     f"shard {shard_id}: {line}"
@@ -434,13 +440,15 @@ class ShardPool:
     # -- epoch protocol -------------------------------------------------
     def run_epoch(
         self, end: float, directives: dict[int, list[tuple]]
-    ) -> tuple[list[list[tuple]], list[list[tuple]]]:
+    ) -> tuple[list[list[tuple]], list[list[tuple]], list]:
         """Advance every shard to the barrier; returns per-shard outboxes.
 
         ``directives`` maps shard id to that shard's sorted directive
-        list.  Returns ``(completions, failovers)`` as per-shard lists in
-        shard-id order.  Transport faults cost retransmit rounds, dead
-        workers cost a revive + replay -- neither ever changes results.
+        list.  Returns ``(completions, failovers, frames)`` as per-shard
+        lists in shard-id order; ``frames`` entries are telemetry frame
+        wire tuples (``None`` for shards with telemetry off).  Transport
+        faults cost retransmit rounds, dead workers cost a revive +
+        replay -- neither ever changes results.
         """
         merged: dict[int, tuple] = {}
         for index, worker in enumerate(self._workers):
@@ -454,12 +462,14 @@ class ShardPool:
             merged.update(self._request(index, payload))
         completions: list[list[tuple]] = []
         failovers: list[list[tuple]] = []
+        frames: list = []
         for config in self.configs:
-            shard_completions, shard_failovers, summary = merged[
+            shard_completions, shard_failovers, summary, frame = merged[
                 config.shard_id
             ]
             completions.append(shard_completions)
             failovers.append(shard_failovers)
+            frames.append(frame)
             if summary is not None:
                 self._summaries[config.shard_id] = summary
                 self._digests[config.shard_id] = payload_digest(summary)
@@ -467,7 +477,7 @@ class ShardPool:
                 (end, directives.get(config.shard_id, []))
             )
         self._epochs_run += 1
-        return completions, failovers
+        return completions, failovers, frames
 
     def finish(self) -> dict[int, dict]:
         """Collect every shard's final payload (shard id -> payload)."""
@@ -498,6 +508,24 @@ class ShardPool:
                 totals[worker_key] = totals.get(worker_key, 0) + value
         totals["worker_restarts"] = self.worker_restarts
         return totals
+
+    def publish_metrics(self, registry) -> None:
+        """Mirror :meth:`transport_stats` into a telemetry metrics registry.
+
+        Keys become ``transport_<key>`` gauges (channel counters already
+        carry their ``c2w_``/``w2c_`` direction prefix, endpoint counters
+        their ``worker_`` prefix), plus ``pool_worker_restarts`` and
+        ``pool_revive_budget`` for the revive/quarantine ladder --
+        following the ``<component>_<counter>`` convention from
+        docs/api.md.  Diagnostic only: never folded into fingerprints.
+        """
+        for key, value in sorted(self.transport_stats().items()):
+            registry.gauge(f"transport_{key}").set(float(value))
+        registry.gauge("pool_worker_restarts").set(
+            float(self.worker_restarts)
+        )
+        registry.gauge("pool_revive_budget").set(float(self.revive_budget))
+        registry.gauge("pool_workers").set(float(len(self._workers)))
 
     # -- coordinator checkpoint integration ------------------------------
     def snapshot_history(self) -> dict:

@@ -136,10 +136,15 @@ def run_scenario(
     transport_seed: int | None = None,
     pool_hook=None,
     checkpoint=None,
+    telemetry: str | None = None,
+    telemetry_capacity: int | None = None,
     **overrides,
 ) -> ShardRunResult:
     """Build and run one named scenario, optionally under transport
-    weather and/or barrier checkpointing."""
+    weather, barrier checkpointing, and/or a telemetry mode
+    (``telemetry``/``telemetry_capacity`` are applied on top of the built
+    config because the scenario builders pin their own field sets;
+    fingerprints never depend on them)."""
     try:
         builder = SCENARIOS[name]
     except KeyError:
@@ -147,6 +152,15 @@ def run_scenario(
         raise KeyError(f"unknown scenario {name!r}; known: {known}") \
             from None
     config = builder(n_shards=n_shards, workers=workers, **overrides)
+    if telemetry is not None or telemetry_capacity is not None:
+        from dataclasses import replace
+
+        patch = {}
+        if telemetry is not None:
+            patch["telemetry"] = telemetry
+        if telemetry_capacity is not None:
+            patch["telemetry_capacity"] = telemetry_capacity
+        config = replace(config, **patch)
     return run_sharded(
         config,
         pool_hook=pool_hook,

@@ -32,6 +32,11 @@ from repro.shard.messages import (
     FailoverRecord,
     validate_directive,
 )
+from repro.telemetry import FrameDrain, Telemetry
+
+#: Legal per-shard telemetry modes: no handle at all, an attached but
+#: disabled handle (the neutrality/overhead arm), or full frame shipping.
+SHARD_TELEMETRY_MODES = ("off", "disabled", "on")
 
 
 @dataclass(frozen=True)
@@ -43,11 +48,20 @@ class ShardConfig:
     "chaos").  A shard rebuilt from the same config and replayed from the
     same directive history reproduces its state bit-for-bit -- the
     property worker-crash recovery rests on.
+
+    ``telemetry`` selects the shard's observability mode: ``"off"`` (no
+    handle -- the pre-telemetry code paths, byte-identical), ``"disabled"``
+    (a handle with ``enabled=False`` -- one attribute check per site), or
+    ``"on"`` (record everything and ship a telemetry frame each barrier).
+    Frames are a pure function of config + directives, so replay after a
+    worker crash regenerates them bit-for-bit.
     """
 
     shard_id: int
     machines: tuple[tuple[str, str], ...]
     workload: str
+    telemetry: str = "off"
+    telemetry_capacity: int = 65536
 
     def __post_init__(self) -> None:
         if self.shard_id < 0:
@@ -56,6 +70,16 @@ class ShardConfig:
             )
         if not self.workload:
             raise ValueError("workload must be a non-empty kind name")
+        if self.telemetry not in SHARD_TELEMETRY_MODES:
+            raise ValueError(
+                f"telemetry mode must be one of {SHARD_TELEMETRY_MODES}, "
+                f"got {self.telemetry!r}"
+            )
+        if self.telemetry_capacity <= 0:
+            raise ValueError(
+                f"telemetry_capacity must be positive, got "
+                f"{self.telemetry_capacity!r}"
+            )
 
 
 def build_shard_workload(kind: str):
@@ -89,20 +113,43 @@ class ShardWorld:
     late_replies: int = 0
     completed_per_machine: dict[str, int] = field(default_factory=dict)
     energy_per_machine: dict[str, float] = field(default_factory=dict)
+    #: One shared handle per shard ("disabled"/"on" modes); tracks are
+    #: machine-scoped via ``telemetry_node``, so sharing one tracer ring
+    #: never mixes machines' event order within a track.
+    telemetry: object = None
+    drain: object = None
+    epochs_run: int = 0
 
     @classmethod
     def build(cls, config: ShardConfig, calibrations: dict) -> "ShardWorld":
         """Assemble the shard's machines, servers, and reply plumbing."""
         from repro.hardware.specs import spec_by_name
 
+        telemetry = None
+        if config.telemetry != "off":
+            telemetry = Telemetry(
+                enabled=config.telemetry == "on",
+                capacity=config.telemetry_capacity,
+            )
         cluster = HeterogeneousCluster()
         for name, spec_name in config.machines:
+            facility_kwargs = None
+            if telemetry is not None:
+                facility_kwargs = {
+                    "telemetry": telemetry, "telemetry_node": name
+                }
             cluster.add_machine(
-                spec_by_name(spec_name), calibrations[spec_name], name=name
+                spec_by_name(spec_name),
+                calibrations[spec_name],
+                name=name,
+                facility_kwargs=facility_kwargs,
             )
         workload = build_shard_workload(config.workload)
         cluster.build_workload(workload)
         world = cls(config=config, cluster=cluster, workload=workload)
+        world.telemetry = telemetry
+        if config.telemetry == "on":
+            world.drain = FrameDrain(telemetry)
         for member in cluster.machines:
             world.completed_per_machine[member.name] = 0
             world.energy_per_machine[member.name] = 0.0
@@ -148,11 +195,25 @@ class ShardWorld:
         canonical key and cleared for the next epoch.
         """
         self.cluster.simulator.run_epoch(end)
+        self.epochs_run += 1
         completions = sorted(self.completions)
         failovers = sorted(self.failovers)
         self.completions = []
         self.failovers = []
         return completions, failovers
+
+    def drain_frame(self):
+        """This barrier's telemetry frame wire tuple (``None`` unless "on").
+
+        Call once per barrier, after :meth:`run_epoch`: the drain empties
+        the tracer ring and snapshots the registry, so the frame carries
+        exactly this epoch's deltas.
+        """
+        if self.drain is None:
+            return None
+        return self.drain.drain(
+            self.config.shard_id, self.epochs_run - 1
+        ).to_wire()
 
     # -- host plumbing --------------------------------------------------
     def _inject(self, ticket: DispatchTicket) -> None:
@@ -248,7 +309,7 @@ class ShardWorld:
         history must reproduce this summary bit-for-bit; the pool verifies
         the digest after every worker restart.
         """
-        return {
+        summary = {
             "v": 1,
             "shard": self.config.shard_id,
             "now": self.cluster.simulator.now,
@@ -258,6 +319,11 @@ class ShardWorld:
             "completed": dict(sorted(self.completed_per_machine.items())),
             "energy": dict(sorted(self.energy_per_machine.items())),
         }
+        if self.drain is not None:
+            # Chain digest over every frame shipped: replay verification
+            # then proves a revived worker regenerated identical frames.
+            summary["telemetry"] = self.drain.summary()
+        return summary
 
     def state_digest(self) -> str:
         """SHA-256 of :meth:`state_summary` (the cheap per-epoch check)."""

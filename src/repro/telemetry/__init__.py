@@ -8,17 +8,53 @@ and pass it as the ``telemetry=`` keyword of
 :class:`~repro.core.PowerCapEnforcer`, or
 :func:`~repro.faults.run_scenario`.  With no handle attached (the
 default) the instrumented code paths are byte-identical to before.
+
+Cluster-scale pieces (``aggregate``/``store``/``anomaly``) merge
+per-shard telemetry frames into one global stream, roll it up into a
+queryable energy-service store, and run deterministic anomaly detectors
+-- see the "Cluster-scale telemetry & energy service" section of
+``docs/observability.md``.
 """
 
+from .aggregate import (
+    ClusterObservability,
+    FrameChecksumError,
+    FrameDrain,
+    TelemetryAggregator,
+    TelemetryFrame,
+    apply_metric_deltas,
+    metric_deltas,
+)
+from .anomaly import (
+    AlertRecord,
+    AnomalyEngine,
+    AnomalyThresholds,
+    WindowInputs,
+    alert_fingerprint,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .store import TelemetryStore
 from .tracer import RequestTracer, Telemetry, TraceSpanEvent
 
 __all__ = [
+    "AlertRecord",
+    "AnomalyEngine",
+    "AnomalyThresholds",
+    "ClusterObservability",
     "Counter",
+    "FrameChecksumError",
+    "FrameDrain",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RequestTracer",
     "Telemetry",
+    "TelemetryAggregator",
+    "TelemetryFrame",
+    "TelemetryStore",
     "TraceSpanEvent",
+    "WindowInputs",
+    "alert_fingerprint",
+    "apply_metric_deltas",
+    "metric_deltas",
 ]

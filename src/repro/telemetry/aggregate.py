@@ -1,0 +1,543 @@
+"""Cross-shard telemetry aggregation: frames, k-way merge, observability.
+
+Sharded runs (``repro.shard``) execute each :class:`ShardWorld` in its
+own process, so a per-shard ``Telemetry`` handle records spans, instants,
+and metrics nobody can see.  This module closes the loop:
+
+* :class:`FrameDrain` (worker side) drains the tracer ring and the metric
+  registry at every epoch barrier into a :class:`TelemetryFrame` -- a
+  plain-data, checksummed wire record carrying ``(now, track, seq, kind,
+  name, args)`` event tuples plus metric *deltas* since the previous
+  barrier;
+* :class:`TelemetryAggregator` (coordinator side) k-way-merges frames by
+  ``(now, track, seq)`` into one global stream, folds metric deltas into
+  a global registry, and maintains a barrier-chained streaming
+  fingerprint so the merged ``trace_fingerprint()`` never needs the full
+  event list in memory;
+* :class:`ClusterObservability` composes the aggregator with the
+  :class:`~repro.telemetry.store.TelemetryStore` rollups and the
+  :class:`~repro.telemetry.anomaly.AnomalyEngine` detectors into the one
+  object the coordinator drives.
+
+**Why the merge key is a total order.**  Facility tracks are
+machine-scoped (``request:<node>/<cid>``, ``core:<node>/<idx>``,
+``facility:<node>``), so every track is written by exactly one machine,
+which lives in exactly one shard.  ``seq`` is a per-track counter
+assigned in recording order, making ``(now, track, seq)`` unique and --
+because a machine's event stream depends only on its directives, never on
+which shard hosts it -- identical for any shard or worker count.  Frames
+drained at the same barrier cover the same sim-time window everywhere,
+so the per-barrier chained fingerprint is invariant too.
+
+**Why replay/crash recovery is safe.**  A revived worker replays the
+directive history and regenerates the exact same frames (the drain is a
+pure function of configuration plus directives); the pool discards
+replayed frames because the coordinator already ingested those barriers,
+and the drain's frame-chain digest inside ``state_summary()`` proves the
+regenerated telemetry matches what the dead worker shipped.
+
+Nothing here feeds back into the simulation: report/shed/batch/energy
+fingerprints are bit-identical with telemetry on, off, or absent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import zlib
+from typing import Optional
+
+from .anomaly import AnomalyEngine, AnomalyThresholds, WindowInputs
+from .metrics import MetricsRegistry
+from .store import TelemetryStore
+from .tracer import KIND_INSTANT, RequestTracer, Telemetry, TraceSpanEvent
+
+#: Wire tag identifying a telemetry frame tuple.
+FRAME_TAG = "tframe"
+
+#: Seed for the worker-side frame-chain digest (proves replayed frames
+#: match shipped ones via ``state_summary()``).
+FRAME_CHAIN_SEED = hashlib.sha256(b"telemetry-frame-chain-v1").hexdigest()
+
+#: Seed for the coordinator-side merged-stream digest.
+MERGE_CHAIN_SEED = hashlib.sha256(b"telemetry-merge-chain-v1").hexdigest()
+
+
+class FrameChecksumError(ValueError):
+    """A telemetry frame failed checksum or shape validation."""
+
+
+def _event_key(event: tuple) -> tuple:
+    """The global merge key: ``(now, track, seq)``."""
+    return (event[0], event[1], event[2])
+
+
+class TelemetryFrame:
+    """One barrier's telemetry from one shard, as checksummed plain data.
+
+    ``events`` is a tuple of ``(now, track, seq, kind, name, args)``
+    tuples sorted by ``(now, track, seq)``; ``args`` is the tracer's
+    sorted ``(key, value)`` pair tuple.  ``metrics`` is a tuple of delta
+    entries (see :func:`metric_deltas`).  ``dropped`` counts ring-buffer
+    evictions since the previous barrier (diagnostic only -- excluded
+    from merge fingerprints so ring pressure cannot break invariance).
+    """
+
+    __slots__ = (
+        "shard_id", "epoch_index", "events", "metrics", "dropped",
+        "checksum",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        epoch_index: int,
+        events: tuple,
+        metrics: tuple,
+        dropped: int,
+        checksum: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.epoch_index = epoch_index
+        self.events = events
+        self.metrics = metrics
+        self.dropped = dropped
+        self.checksum = checksum
+
+    @staticmethod
+    def _body_checksum(
+        shard_id: int, epoch_index: int, events: tuple, metrics: tuple,
+        dropped: int,
+    ) -> int:
+        return zlib.crc32(repr(
+            (FRAME_TAG, shard_id, epoch_index, events, metrics, dropped)
+        ).encode())
+
+    @classmethod
+    def build(
+        cls,
+        shard_id: int,
+        epoch_index: int,
+        events: tuple,
+        metrics: tuple,
+        dropped: int,
+    ) -> "TelemetryFrame":
+        """Construct a frame, computing its checksum."""
+        return cls(
+            shard_id, epoch_index, events, metrics, dropped,
+            cls._body_checksum(
+                shard_id, epoch_index, events, metrics, dropped
+            ),
+        )
+
+    def to_wire(self) -> tuple:
+        """Plain-data tuple for the shard wire protocol."""
+        return (
+            FRAME_TAG, self.shard_id, self.epoch_index, self.events,
+            self.metrics, self.dropped, self.checksum,
+        )
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "TelemetryFrame":
+        """Validate shape + checksum and rebuild the frame."""
+        if not isinstance(wire, tuple) or len(wire) != 7:
+            raise FrameChecksumError(
+                f"telemetry frame wire must be a 7-tuple, got {wire!r}"
+            )
+        tag, shard_id, epoch_index, events, metrics, dropped, checksum = wire
+        if tag != FRAME_TAG:
+            raise FrameChecksumError(
+                f"telemetry frame tag must be {FRAME_TAG!r}, got {tag!r}"
+            )
+        expected = cls._body_checksum(
+            shard_id, epoch_index, events, metrics, dropped
+        )
+        if checksum != expected:
+            raise FrameChecksumError(
+                f"telemetry frame checksum mismatch for shard {shard_id} "
+                f"epoch {epoch_index}: got {checksum}, expected {expected}"
+            )
+        return cls(shard_id, epoch_index, events, metrics, dropped, checksum)
+
+
+def metric_deltas(previous: dict, current: dict) -> tuple:
+    """Delta entries between two ``MetricsRegistry.snapshot_state()`` maps.
+
+    Entry shapes (name-sorted):
+
+    * ``("c", name, help, delta)`` -- counter increment since ``previous``;
+    * ``("g", name, help, value)`` -- gauge absolute value (machine-scoped
+      names mean exactly one writer, so last-write-wins is well defined);
+    * ``("h", name, help, edges, bucket_deltas, count_delta, sum_delta)``.
+
+    Unchanged existing metrics are omitted; new metrics are always
+    included so the merged registry grows the same shape as the shards'.
+    """
+    out = []
+    for name in sorted(current):
+        entry = current[name]
+        prev = previous.get(name)
+        kind = entry[0]
+        if kind == "counter":
+            delta = entry[2] - (prev[2] if prev else 0.0)
+            if prev is None or delta != 0.0:
+                out.append(("c", name, entry[1], delta))
+        elif kind == "gauge":
+            if prev is None or entry[2] != prev[2]:
+                out.append(("g", name, entry[1], entry[2]))
+        else:  # histogram: [kind, help, edges, bucket_counts, count, sum]
+            is_new = prev is None
+            if is_new:
+                prev = [kind, entry[1], entry[2], [0] * len(entry[3]), 0, 0.0]
+            count_delta = entry[4] - prev[4]
+            if is_new or count_delta != 0:
+                out.append((
+                    "h", name, entry[1], tuple(entry[2]),
+                    tuple(b - p for b, p in zip(entry[3], prev[3])),
+                    count_delta, entry[5] - prev[5],
+                ))
+    return tuple(out)
+
+
+def apply_metric_deltas(registry: MetricsRegistry, entries: tuple) -> None:
+    """Fold :func:`metric_deltas` entries into ``registry``."""
+    for entry in entries:
+        kind = entry[0]
+        if kind == "c":
+            registry.counter(entry[1], help=entry[2]).inc(entry[3])
+        elif kind == "g":
+            registry.gauge(entry[1], help=entry[2]).set(entry[3])
+        elif kind == "h":
+            _, name, help_text, edges, buckets, count, total = entry
+            metric = registry.histogram(name, tuple(edges), help=help_text)
+            for i, delta in enumerate(buckets):
+                metric.bucket_counts[i] += delta
+            metric.count += count
+            metric.sum += total
+        else:
+            raise FrameChecksumError(
+                f"unknown metric delta kind {kind!r}"
+            )
+
+
+class FrameDrain:
+    """Worker-side barrier drain: tracer ring + registry -> frames.
+
+    Persistent per-track ``seq`` counters make event keys unique across
+    the whole run; the drain empties the tracer ring each barrier (memory
+    stays bounded regardless of run length) and snapshots the registry to
+    compute deltas.  ``chain``/``frames`` summarize everything shipped so
+    far -- folded into ``state_summary()`` so replay verification covers
+    telemetry byte-for-byte.
+    """
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._seq: dict[str, int] = {}
+        self._last_metrics: dict = {}
+        self._last_dropped = 0
+        self.frames = 0
+        self.chain = FRAME_CHAIN_SEED
+
+    def drain(self, shard_id: int, epoch_index: int) -> TelemetryFrame:
+        """Drain everything recorded since the previous barrier."""
+        tracer = self.telemetry.tracer
+        events = []
+        for event in tracer.events:
+            seq = self._seq.get(event.track, 0)
+            self._seq[event.track] = seq + 1
+            events.append((
+                event.now, event.track, seq, event.kind, event.name,
+                event.args,
+            ))
+        tracer.events.clear()
+        events.sort(key=_event_key)
+        dropped = tracer.dropped_events - self._last_dropped
+        self._last_dropped = tracer.dropped_events
+        current = self.telemetry.registry.snapshot_state()["metrics"]
+        deltas = metric_deltas(self._last_metrics, current)
+        self._last_metrics = current
+        frame = TelemetryFrame.build(
+            shard_id, epoch_index, tuple(events), deltas, dropped
+        )
+        self.frames += 1
+        self.chain = hashlib.sha256(
+            f"{self.chain}:{frame.checksum}".encode()
+        ).hexdigest()
+        return frame
+
+    def summary(self) -> dict:
+        """Digest of every frame shipped (for ``state_summary()``)."""
+        return {"frames": self.frames, "chain": self.chain}
+
+
+class TelemetryAggregator:
+    """Coordinator-side k-way merge of per-shard telemetry frames.
+
+    The streaming fingerprint chains one sha256 per barrier over the
+    merged canonical event lines, so invariance holds without retaining
+    events.  A bounded :class:`RequestTracer` is kept for Chrome-trace
+    export when ``retain`` is true (the default); flash-scale runs can
+    turn it off and still fingerprint/aggregate everything.
+    """
+
+    def __init__(self, capacity: int = 65536, retain: bool = True) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[RequestTracer] = (
+            RequestTracer(capacity=capacity) if retain else None
+        )
+        self.chain = MERGE_CHAIN_SEED
+        self.events_merged = 0
+        self.frames_merged = 0
+        self.dropped_total = 0
+
+    def ingest(self, frames: list) -> dict[str, int]:
+        """Merge one barrier's frames; returns instant-name counts.
+
+        ``frames`` may hold :class:`TelemetryFrame` objects or raw wire
+        tuples (validated here); ``None`` entries (shards with telemetry
+        off) are skipped.
+        """
+        decoded = []
+        for frame in frames:
+            if frame is None:
+                continue
+            if not isinstance(frame, TelemetryFrame):
+                frame = TelemetryFrame.from_wire(frame)
+            decoded.append(frame)
+        decoded.sort(key=lambda f: f.shard_id)
+        instant_counts: dict[str, int] = {}
+        digest = hashlib.sha256(self.chain.encode())
+        merged_any = False
+        for event in heapq.merge(
+            *(frame.events for frame in decoded), key=_event_key
+        ):
+            merged_any = True
+            now, track, _seq, kind, name, args = event
+            span = TraceSpanEvent(kind, now, track, name, tuple(args))
+            digest.update(span.canonical().encode())
+            digest.update(b"\n")
+            if self.tracer is not None:
+                self.tracer._append(span)
+            if kind == KIND_INSTANT:
+                instant_counts[name] = instant_counts.get(name, 0) + 1
+            self.events_merged += 1
+        if merged_any:
+            self.chain = digest.hexdigest()
+        for frame in decoded:
+            apply_metric_deltas(self.registry, frame.metrics)
+            self.dropped_total += frame.dropped
+            self.frames_merged += 1
+        return instant_counts
+
+    def trace_fingerprint(self) -> str:
+        """Chained digest of the merged stream (shard-count-invariant)."""
+        return self.chain[:16]
+
+    def exposition(self) -> str:
+        return self.registry.exposition()
+
+    def to_chrome_json(self, indent: Optional[int] = None) -> str:
+        if self.tracer is None:
+            raise ValueError(
+                "aggregator built with retain=False keeps no events"
+            )
+        return self.tracer.to_chrome_json(indent=indent)
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "chain": self.chain,
+            "events_merged": self.events_merged,
+            "frames_merged": self.frames_merged,
+            "dropped_total": self.dropped_total,
+            "registry": self.registry.snapshot_state(),
+            "tracer": (
+                self.tracer.snapshot_state()
+                if self.tracer is not None else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown TelemetryAggregator snapshot version "
+                f"{state.get('v')!r}"
+            )
+        self.chain = state["chain"]
+        self.events_merged = int(state["events_merged"])
+        self.frames_merged = int(state["frames_merged"])
+        self.dropped_total = int(state["dropped_total"])
+        self.registry.restore_state(state["registry"])
+        if state["tracer"] is not None:
+            if self.tracer is None:
+                self.tracer = RequestTracer(
+                    capacity=state["tracer"]["capacity"]
+                )
+            self.tracer.restore_state(state["tracer"])
+        else:
+            self.tracer = None
+
+
+class ClusterObservability:
+    """Aggregator + store + detectors, driven once per epoch barrier.
+
+    Built by the sharded coordinator when its ``telemetry`` mode is
+    ``"store"`` (rollups + detectors from the completion stream only --
+    zero worker-side cost, the flash-scale default) or ``"on"`` (plus
+    per-shard frames merged into the global tracer/registry).  Records
+    are duck-typed (``completion``/``machine``/``request_id``/``rtype``/
+    ``energy_joules``/``response_time``) so this module never imports
+    ``repro.shard``.
+    """
+
+    def __init__(
+        self,
+        epoch_seconds: float,
+        rack_of: dict[str, int],
+        rack_caps: dict[int, float] | None = None,
+        frames: bool = False,
+        capacity: int = 65536,
+        retain_trace: bool = True,
+        top_k: int = 10,
+        thresholds: AnomalyThresholds | None = None,
+    ) -> None:
+        self.frames_enabled = frames
+        self.aggregator = (
+            TelemetryAggregator(capacity=capacity, retain=retain_trace)
+            if frames else None
+        )
+        self.store = TelemetryStore(
+            epoch_seconds=epoch_seconds, rack_of=rack_of, top_k=top_k
+        )
+        self.engine = AnomalyEngine(
+            rack_caps=rack_caps, thresholds=thresholds
+        )
+        self._prev_shed = 0
+        self._prev_deferred = 0
+
+    def observe_epoch(
+        self,
+        epoch_index: int,
+        end: float,
+        completions: list,
+        failover_count: int,
+        frames: list | None = None,
+        shed_total: int = 0,
+        deferred_total: int = 0,
+    ) -> None:
+        """Ingest one barrier: merged completions, frames, and deltas."""
+        instant_counts: dict[str, int] = {}
+        if self.aggregator is not None and frames:
+            instant_counts = self.aggregator.ingest(frames)
+        joules = 0.0
+        for record in completions:
+            window = min(epoch_index, max(0, int(record.completion
+                         / self.store.epoch_seconds)))
+            self.store.ingest_completion(
+                window=window,
+                machine=record.machine,
+                request_id=record.request_id,
+                rtype=record.rtype,
+                energy_joules=record.energy_joules,
+                response_time=record.response_time,
+            )
+            joules += record.energy_joules
+        shed_delta = shed_total - self._prev_shed
+        deferred_delta = deferred_total - self._prev_deferred
+        self._prev_shed = shed_total
+        self._prev_deferred = deferred_total
+        self.store.ingest_window(
+            window=epoch_index,
+            shed=shed_delta,
+            deferred=deferred_delta,
+            failovers=failover_count,
+            completed=len(completions),
+            joules=joules,
+        )
+        self.engine.observe_window(WindowInputs(
+            window=epoch_index,
+            time=end,
+            rack_watts=tuple(
+                sorted(self.store.rack_watts(epoch_index).items())
+            ),
+            shed=shed_delta,
+            failovers=failover_count,
+            completed=len(completions),
+            instant_counts=tuple(sorted(instant_counts.items())),
+        ))
+
+    def finalize(self, time: float, machine_rows: list) -> None:
+        """Run the finalize-time detectors (attribution drift)."""
+        self.engine.finalize(time, machine_rows)
+
+    # -- summaries and exports ------------------------------------------
+    def trace_fingerprint(self) -> Optional[str]:
+        if self.aggregator is None:
+            return None
+        return self.aggregator.trace_fingerprint()
+
+    def alert_fingerprint(self) -> str:
+        return self.engine.alert_fingerprint()
+
+    def store_fingerprint(self) -> str:
+        return self.store.store_fingerprint()
+
+    def summary(self) -> dict:
+        """Plain-data roll-up for ``ShardRunResult``."""
+        out = {
+            "trace_fingerprint": self.trace_fingerprint(),
+            "alert_fingerprint": self.alert_fingerprint(),
+            "store_fingerprint": self.store_fingerprint(),
+            "alerts": len(self.engine.alerts),
+            "requests": self.store.requests_seen,
+        }
+        if self.aggregator is not None:
+            out["events_merged"] = self.aggregator.events_merged
+            out["frames_merged"] = self.aggregator.frames_merged
+            out["frames_dropped_events"] = self.aggregator.dropped_total
+        return out
+
+    def dashboard(self, meta: dict | None = None) -> dict:
+        """The store dashboard document plus alerts + fingerprints."""
+        meta = dict(meta or {})
+        if self.aggregator is not None:
+            meta["trace_fingerprint"] = self.aggregator.trace_fingerprint()
+        meta["alert_fingerprint"] = self.alert_fingerprint()
+        return self.store.dashboard(
+            meta=meta, alerts=self.engine.alert_table()
+        )
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "v": 1,
+            "frames_enabled": self.frames_enabled,
+            "prev_shed": self._prev_shed,
+            "prev_deferred": self._prev_deferred,
+            "aggregator": (
+                self.aggregator.snapshot_state()
+                if self.aggregator is not None else None
+            ),
+            "store": self.store.snapshot_state(),
+            "engine": self.engine.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unknown ClusterObservability snapshot version "
+                f"{state.get('v')!r}"
+            )
+        self.frames_enabled = state["frames_enabled"]
+        self._prev_shed = int(state["prev_shed"])
+        self._prev_deferred = int(state["prev_deferred"])
+        if state["aggregator"] is not None:
+            if self.aggregator is None:
+                self.aggregator = TelemetryAggregator()
+            self.aggregator.restore_state(state["aggregator"])
+        else:
+            self.aggregator = None
+        self.store.restore_state(state["store"])
+        self.engine.restore_state(state["engine"])
